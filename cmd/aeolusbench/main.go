@@ -1,0 +1,79 @@
+// Command aeolusbench regenerates the tables and figures of the Aeolus
+// paper's evaluation. Each experiment builds the paper's topology, workload
+// and schemes on the packet-level simulator and prints the rows the paper
+// plots.
+//
+// Usage:
+//
+//	aeolusbench -list
+//	aeolusbench -exp fig9
+//	aeolusbench -exp all -budget 512 -csv
+//
+// The -budget flag (in MiB of offered traffic per run) trades fidelity for
+// time; -quick trims parameter sweeps for a fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/aeolus-transport/aeolus/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID (fig1..fig18, table1..table5) or \"all\"")
+		list   = flag.Bool("list", false, "list available experiments")
+		budget = flag.Int64("budget", 150, "offered traffic per run, MiB")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		quick  = flag.Bool("quick", false, "trim parameter sweeps")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Budget = *budget << 20
+	cfg.Seed = *seed
+	cfg.Quick = *quick
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		tables := e.Fn(cfg)
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s,%s\n", t.ID, t.Title)
+				t.CSV(os.Stdout)
+			} else {
+				t.Fprint(os.Stdout)
+			}
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.Registry {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,98 @@
+// Command aeolussim runs a single ad-hoc simulation from flags and prints a
+// summary: pick a topology, a scheme, a workload and a load (and/or an
+// incast), and get FCT statistics, efficiency, goodput and drop counters.
+//
+// Examples:
+//
+//	aeolussim -topo leafspine -scheme homa+aeolus -workload WebSearch -load 0.5 -flows 2000
+//	aeolussim -topo single -scheme xpass+aeolus -incast 7 -msg 40000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/aeolus-transport/aeolus/internal/experiments"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/stats"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topo", "leafspine", "topology: fattree, leafspine, single, incastfabric, micro")
+		scheme   = flag.String("scheme", "xpass+aeolus", "scheme ID (see aeolusbench docs)")
+		wlName   = flag.String("workload", "", "workload: WebServer, CacheFollower, WebSearch, DataMining")
+		load     = flag.Float64("load", 0.4, "core load for the Poisson workload")
+		flows    = flag.Int("flows", 0, "flow count (0 = derive from -budget)")
+		budget   = flag.Int64("budget", 64, "offered traffic, MiB (when -flows is 0)")
+		incast   = flag.Int("incast", 0, "add an N-to-1 incast with this fan-in")
+		msg      = flag.Int64("msg", 64_000, "incast message size, bytes")
+		buffer   = flag.Int64("buffer", 0, "per-port buffer bytes (0 = 200KB)")
+		thresh   = flag.Int64("threshold", 0, "selective dropping threshold bytes (0 = default)")
+		rtoUs    = flag.Int64("rto", 0, "RTO override, microseconds (0 = scheme default)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		deadline = flag.Int64("deadline", 500, "extra simulated time after last arrival, ms")
+		trace    = flag.Uint64("trace", 0, "print a packet trace for this flow ID")
+		cdf      = flag.Bool("cdf", false, "print the small-flow FCT CDF (the paper's figure format)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Budget = *budget << 20
+	cfg.Seed = *seed
+
+	var wl *workload.CDF
+	if *wlName != "" {
+		wl = workload.ByName(*wlName)
+		if wl == nil {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wlName)
+			os.Exit(2)
+		}
+	}
+	spec := experiments.RunSpec{
+		Scheme: experiments.SchemeSpec{
+			ID: *scheme, Workload: wl,
+			RTO:       sim.Duration(*rtoUs) * sim.Microsecond,
+			Threshold: *thresh, Seed: *seed,
+		},
+		Topo: *topo, Buffer: *buffer,
+		Workload: wl, CoreLoad: *load, Flows: *flows,
+		Deadline: sim.Duration(*deadline) * sim.Millisecond,
+	}
+	if *incast > 0 {
+		spec.Incast = &workload.IncastConfig{
+			Fanin: *incast, Receiver: 0, MsgSize: *msg, Seed: *seed,
+			StartAt: sim.Time(10 * sim.Microsecond),
+		}
+	}
+	if wl == nil && *incast == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to send: give -workload and/or -incast")
+		os.Exit(2)
+	}
+
+	if *trace != 0 {
+		spec.TraceFlow = *trace
+	}
+	r := experiments.Run(cfg, spec)
+	fmt.Printf("scheme       %s\n", r.Scheme)
+	fmt.Printf("flows        %d/%d completed\n", r.Completed, r.Total)
+	fmt.Printf("small flows  n=%d p50=%sus p99=%sus p99.9=%sus mean=%sus in1RTT=%.3f\n",
+		r.Small.N, stats.FormatDur(r.Small.P50), stats.FormatDur(r.Small.P99),
+		stats.FormatDur(r.Small.P999), stats.FormatDur(r.Small.Mean), r.FirstRTTFrac)
+	fmt.Printf("all flows    n=%d mean=%sus max=%sus slowdown(mean)=%.1f slowdown(p99)=%.1f\n",
+		r.All.N, stats.FormatDur(r.All.Mean), stats.FormatDur(r.All.Max),
+		r.All.MeanSlowdown, r.All.P99Slowdown)
+	fmt.Printf("efficiency   %.3f\n", r.Efficiency)
+	fmt.Printf("goodput      %.3f (whole run)   %.3f (steady window)\n", r.Goodput, r.WindowGoodput)
+	fmt.Printf("timeouts     %d flows\n", r.TimeoutFlows)
+	fmt.Printf("drops        tail=%d selective=%d credit=%d trim-fail=%d\n",
+		r.Drops[0], r.Drops[1], r.Drops[2], r.Drops[3])
+	if *cdf {
+		fmt.Println("\n# small-flow FCT CDF: fct_us cumulative_fraction")
+		for _, pt := range r.SmallCDF {
+			fmt.Printf("%.2f %.4f\n", pt[0], pt[1])
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command workloadgen samples flow traces from the paper's workload
+// distributions and prints them (or summary statistics). It also regenerates
+// the analytic Figure 2 table (-fig2).
+//
+// Examples:
+//
+//	workloadgen -workload WebSearch -flows 1000 -hosts 64 -load 0.4
+//	workloadgen -workload DataMining -stats
+//	workloadgen -fig2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/aeolus-transport/aeolus/internal/experiments"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "WebSearch", "workload name")
+		flows  = flag.Int("flows", 100, "flows to sample")
+		hosts  = flag.Int("hosts", 64, "hosts to draw endpoints from")
+		load   = flag.Float64("load", 0.4, "target edge load")
+		rate   = flag.Int64("gbps", 100, "edge link rate, Gbps")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		stat   = flag.Bool("stats", false, "print distribution statistics instead of a trace")
+		fig2   = flag.Bool("fig2", false, "print the Figure 2 analytic table")
+	)
+	flag.Parse()
+
+	if *fig2 {
+		for _, t := range experiments.Fig2(experiments.DefaultConfig()) {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		return
+	}
+
+	wl := workload.ByName(*wlName)
+	if wl == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (have WebServer, CacheFollower, WebSearch, DataMining)\n", *wlName)
+		os.Exit(2)
+	}
+	if *stat {
+		fmt.Printf("workload      %s\n", wl.Name())
+		fmt.Printf("mean          %.0f bytes\n", wl.Mean())
+		for _, p := range []float64{0.25, 0.5, 0.75, 0.9, 0.99} {
+			fmt.Printf("p%-12.0f %.0f bytes\n", p*100, wl.Quantile(p))
+		}
+		fmt.Printf("P(<=100KB)    %.3f\n", wl.Fraction(100e3))
+		fmt.Printf("P(100KB-1MB)  %.3f\n", wl.Fraction(1e6)-wl.Fraction(100e3))
+		fmt.Printf("P(>1MB)       %.3f\n", 1-wl.Fraction(1e6))
+		return
+	}
+
+	cfg := workload.PoissonConfig{
+		CDF: wl, Hosts: *hosts, HostRate: sim.Rate(*rate) * sim.Gbps,
+		Load: *load, Flows: *flows, Seed: *seed,
+	}
+	fmt.Println("# id src dst size_bytes start_us")
+	for _, f := range cfg.Generate() {
+		fmt.Printf("%d %d %d %d %.3f\n", f.ID, f.Src, f.Dst, f.Size, f.Start.Microseconds())
+	}
+}

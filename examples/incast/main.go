@@ -1,0 +1,74 @@
+// Incast: the paper's hardware-testbed scenario (§5.1, Figs. 8/11) as a
+// runnable example — a 7-to-1 incast of 40 KB messages on an 8-host 10 Gbps
+// single-switch fabric, under Homa and Homa+Aeolus.
+//
+// Original Homa prioritizes the unscheduled first-window packets, so the
+// synchronized burst overflows the shared buffer and drops scheduled
+// packets, stranding messages until the 10 ms retransmission timeout.
+// Aeolus drops only unscheduled packets (at the 6 KB threshold), keeps
+// scheduled packets safe, and recovers first-window losses via probe +
+// selective ACKs one RTT later — collapsing the tail.
+//
+// Run it with:
+//
+//	go run ./examples/incast
+package main
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/core"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/stats"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+	"github.com/aeolus-transport/aeolus/internal/transport/homa"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+func run(aeolus bool) (stats.Summary, int, [4]uint64) {
+	opts := homa.DefaultOptions()
+	// Homa's overcommitment trades buffer for utilization; on this shallow
+	// 100 KB testbed switch, 3 concurrently granted messages (3 x BDP ≈
+	// 54 KB of scheduled in-flight) is what the buffer affords.
+	opts.Overcommit = 3
+	if aeolus {
+		opts.Aeolus = core.DefaultOptions()
+	}
+	eng := sim.NewEngine()
+	// A deliberately tight 100 KB shared buffer makes the 7-way blind
+	// burst (7 x BDP ≈ 126 KB of unscheduled packets) overflow, as the
+	// paper's testbed switch does at full scale.
+	net := netem.BuildSingleSwitch(eng, 8, netem.TopoConfig{
+		HostRate:  10 * sim.Gbps,
+		LinkDelay: 3 * sim.Microsecond,
+		MakeQdisc: homa.QdiscFactory(opts, 100<<10),
+	})
+	env := transport.NewEnv(net, netem.MaxPayload)
+	proto := homa.New(env, opts)
+
+	trace := (&workload.IncastConfig{
+		Fanin: 7, Receiver: 0, Hosts: 8, MsgSize: 60_000,
+		Seed: 42, StartAt: sim.Time(10 * sim.Microsecond),
+	}).Generate()
+	transport.Runner(env, proto, trace, sim.Time(2*sim.Second))
+	return stats.Summarize(env.FCT.Records()), env.FCT.TimeoutFlows(),
+		netem.DropTotals(net.SwitchPorts())
+}
+
+func main() {
+	fmt.Println("7-to-1 incast, 60KB messages, 10Gbps, 100KB shared switch buffer")
+	fmt.Println()
+	for _, aeolus := range []bool{false, true} {
+		s, timeouts, drops := run(aeolus)
+		name := "Homa       "
+		if aeolus {
+			name = "Homa+Aeolus"
+		}
+		fmt.Printf("%s  MCT p50 %8v  max %10v  timeout-flows %d\n",
+			name, s.P50, s.Max, timeouts)
+		fmt.Printf("             drops: tail=%d (any class)  selective=%d (unscheduled only)\n\n",
+			drops[netem.DropTailFull], drops[netem.DropSelective])
+	}
+	fmt.Println("Homa's tail is bound to the 10ms RTO; Aeolus recovers in ~1 RTT.")
+}

@@ -1,0 +1,50 @@
+// Threshold sweep: the §5.5 parameter-sensitivity study (Figs. 15/16) as a
+// runnable example.
+//
+// A 16-to-1 burst of 200 KB messages hits one 100G port under
+// ExpressPass+Aeolus while the selective dropping threshold sweeps from one
+// packet to 96 KB. Small thresholds keep the queue — and therefore the
+// latency of scheduled packets — tiny but discard more of the first-RTT
+// burst; large thresholds admit the whole burst but rebuild the very queues
+// proactive transport exists to avoid. The paper's conclusion, visible in
+// the output: ~4 packets (6 KB) already captures nearly all of the
+// first-RTT throughput.
+//
+// Run it with:
+//
+//	go run ./examples/threshold_sweep
+package main
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/experiments"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/stats"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	fmt.Println("16-to-1 incast, 200KB per sender, one 100G switch, ExpressPass+Aeolus")
+	fmt.Println()
+	fmt.Printf("%-13s %12s %12s %12s %12s\n",
+		"threshold", "meanMCT/us", "maxMCT/us", "selDrops", "schedDrops")
+	for _, th := range []int64{1538, 3 << 10, 6 << 10, 12 << 10, 24 << 10, 48 << 10, 96 << 10} {
+		r := experiments.Run(cfg, experiments.RunSpec{
+			Scheme: experiments.SchemeSpec{ID: "xpass+aeolus", Threshold: th, Seed: 1},
+			Topo:   experiments.TopoMicro,
+			Incast: &workload.IncastConfig{
+				Fanin: 16, Receiver: 0, MsgSize: 200_000, Seed: 1,
+				StartAt: sim.Time(10 * sim.Microsecond),
+			},
+			Deadline: sim.Duration(sim.Second),
+		})
+		fmt.Printf("%5.1f KB      %12s %12s %12d %12d\n",
+			float64(th)/1024,
+			stats.FormatDur(r.All.Mean), stats.FormatDur(r.All.Max),
+			r.Drops[1], r.Drops[0])
+	}
+	fmt.Println("\nScheduled packets are never selectively dropped at any threshold;")
+	fmt.Println("the trade is first-RTT admission (higher threshold) against queueing.")
+}

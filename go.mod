@@ -1,0 +1,3 @@
+module github.com/aeolus-transport/aeolus
+
+go 1.24

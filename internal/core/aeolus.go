@@ -1,0 +1,379 @@
+// Package core implements the Aeolus building block (§3 of the paper): the
+// minimal pre-credit rate control (line-rate burst of one BDP of unscheduled
+// packets, §3.1), the sender-side probe/selective-ACK loss detection and
+// retransmission ordering (§3.3), and the oracle priority queue used to
+// model the paper's "hypothetical" idealized baselines.
+//
+// The selective-dropping switch queue itself (§3.2/§4.1) lives in
+// internal/netem as SelectiveDrop, since it is a property of the fabric;
+// this package provides the factory that installs it everywhere.
+//
+// Aeolus is deliberately a layer, not a transport: ExpressPass, Homa and NDP
+// each embed a PreCredit per flow and spend their own scheduled transmission
+// opportunities (credits, grants, pulls) through PreCredit.NextRetx, which
+// reproduces §3.3's "reuse the preserved proactive transport as a reliable
+// means to recover dropped pre-credit packets".
+package core
+
+import (
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+)
+
+// Options configures the Aeolus layer of a transport.
+type Options struct {
+	// Enabled turns the pre-credit machinery on. When false, the host
+	// transport behaves as its original paper describes.
+	Enabled bool
+
+	// ThresholdBytes is the selective dropping threshold installed at
+	// switches. The paper's default is 6 KB (4 full frames), §5.1.
+	ThresholdBytes int64
+
+	// ProbeTimeout re-sends the probe if neither a probe ACK nor any
+	// scheduled transmission opportunity arrived in time (§6, resilience
+	// under heavy incast: "let the sender set a timer to retransmit ... the
+	// probe packet if no credit is received in a given duration").
+	// Zero disables the safety timer.
+	ProbeTimeout sim.Duration
+
+	// MaxProbeResends bounds safety-timer probe retransmissions.
+	MaxProbeResends int
+}
+
+// DefaultThreshold is the paper's default selective dropping threshold:
+// 6 KB ≈ 4 full-size packets.
+const DefaultThreshold int64 = 6 << 10
+
+// DefaultOptions returns the paper's default Aeolus configuration.
+func DefaultOptions() Options {
+	return Options{
+		Enabled:         true,
+		ThresholdBytes:  DefaultThreshold,
+		ProbeTimeout:    0,
+		MaxProbeResends: 3,
+	}
+}
+
+// RetxClass tells a transport why PreCredit chose a segment, mirroring the
+// three §3.3 priority classes.
+type RetxClass int
+
+// Retransmission classes, in strictly decreasing priority.
+const (
+	ClassLost    RetxClass = iota // loss-detected unscheduled packets
+	ClassUnsent                   // never-transmitted (scheduled) payload
+	ClassUnacked                  // sent-but-unacknowledged unscheduled packets
+	ClassNone                     // nothing left to transmit
+)
+
+// PreCredit is the sender-side Aeolus state machine for one flow. The host
+// transport provides the raw packet senders; PreCredit decides what to send
+// in the pre-credit phase and how each later scheduled opportunity is spent.
+type PreCredit struct {
+	Env  *transport.Env
+	Flow *transport.Flow
+	Seg  transport.Segmenter
+
+	// SendSeg transmits segment seg, marked scheduled or unscheduled.
+	SendSeg func(seg int, scheduled bool)
+	// SendProbe transmits the 64-byte probe carrying the sequence of the
+	// last unscheduled byte (and the flow size, for Homa-style receivers).
+	SendProbe func()
+
+	opts Options
+
+	burstLimit int // segments eligible for the pre-credit burst (≤ one BDP)
+	burstSent  int // segments actually burst before the phase ended
+	stopped    bool
+	probeSent  bool
+	probeAcked bool
+	resends    int
+
+	acked    []bool
+	assigned []bool // spent a scheduled opportunity on this segment already
+	ackCount int
+
+	lost     []int // FIFO of loss-detected segments awaiting retransmission
+	nextNew  int   // next never-sent segment
+	unackedP int   // scan pointer for the ClassUnacked sweep
+
+	// noUnackedSweep disables the ClassUnacked class. Original transports
+	// without per-packet ACKs (vanilla Homa) assume burst delivery and
+	// surface losses only through ForceLost.
+	noUnackedSweep bool
+
+	pacer *sim.Event
+	timer *sim.Event
+}
+
+// NewPreCredit builds the state machine for a flow. bdpBytes bounds the
+// burst ("a flow sender ... sends a bandwidth-delay product worth of
+// unscheduled packets at line-rate", §3.1).
+func NewPreCredit(env *transport.Env, f *transport.Flow, opts Options, bdpBytes int64) *PreCredit {
+	seg := transport.Segmenter{Size: f.Size, MSS: env.MSS}
+	n := seg.NumSegs()
+	burst := int(bdpBytes / int64(env.MSS))
+	if burst < 1 {
+		burst = 1
+	}
+	if burst > n {
+		burst = n
+	}
+	return &PreCredit{
+		Env: env, Flow: f, Seg: seg, opts: opts,
+		burstLimit: burst,
+		acked:      make([]bool, n),
+		assigned:   make([]bool, n),
+	}
+}
+
+// BurstLimit returns the number of segments the pre-credit phase may send.
+func (pc *PreCredit) BurstLimit() int { return pc.burstLimit }
+
+// BurstSent returns how many unscheduled segments were actually sent.
+func (pc *PreCredit) BurstSent() int { return pc.burstSent }
+
+// ProbeSeq returns the byte sequence the probe should echo: the offset just
+// past the last unscheduled byte (clamped to the flow size when the final
+// burst segment is partial).
+func (pc *PreCredit) ProbeSeq() int64 {
+	off := pc.Seg.Offset(pc.burstSent)
+	if off > pc.Flow.Size {
+		off = pc.Flow.Size
+	}
+	return off
+}
+
+// Start begins the pre-credit line-rate burst: segments are self-paced at
+// the edge rate so the phase can stop instantly when the first credit
+// arrives (§3.1: "once the credit returns, it will exit the pre-credit state
+// immediately even it has not yet sent out all unscheduled packets").
+func (pc *PreCredit) Start() {
+	if !pc.opts.Enabled {
+		// Original transports without a pre-credit phase skip the burst;
+		// everything is "unsent" and flows entirely through credits.
+		pc.stopped = true
+		return
+	}
+	pc.sendNext()
+}
+
+func (pc *PreCredit) sendNext() {
+	pc.pacer = nil
+	if pc.stopped {
+		return
+	}
+	if pc.burstSent >= pc.burstLimit {
+		pc.finishBurst()
+		return
+	}
+	seg := pc.burstSent
+	pc.burstSent++
+	pc.nextNew = pc.burstSent
+	pc.SendSeg(seg, false)
+	gap := sim.TxTime(netem.WireSizeFor(pc.Seg.SegLen(seg)), pc.Env.Net.HostRate)
+	pc.pacer = pc.Env.Eng.After(gap, pc.sendNext)
+}
+
+func (pc *PreCredit) finishBurst() {
+	pc.stopped = true
+	if pc.probeSent {
+		return
+	}
+	pc.probeSent = true
+	pc.SendProbe()
+	pc.armTimer()
+}
+
+func (pc *PreCredit) armTimer() {
+	if pc.opts.ProbeTimeout <= 0 {
+		return
+	}
+	if pc.timer != nil {
+		pc.timer.Cancel()
+	}
+	pc.timer = pc.Env.Eng.After(pc.opts.ProbeTimeout, func() {
+		pc.timer = nil
+		if pc.probeAcked || pc.Done() || pc.resends >= pc.opts.MaxProbeResends {
+			return
+		}
+		pc.resends++
+		pc.SendProbe()
+		pc.armTimer()
+	})
+}
+
+// StopBurst ends the pre-credit phase (first credit/grant/pull arrived). The
+// probe is still sent so outstanding unscheduled losses can be located.
+func (pc *PreCredit) StopBurst() {
+	if pc.stopped {
+		return
+	}
+	if pc.pacer != nil {
+		pc.pacer.Cancel()
+		pc.pacer = nil
+	}
+	pc.finishBurst()
+}
+
+// OnAck processes a per-packet selective ACK for the segment at the given
+// byte offset.
+func (pc *PreCredit) OnAck(off int64) {
+	i := pc.Seg.SegOf(off)
+	if i < 0 || i >= len(pc.acked) || pc.acked[i] {
+		return
+	}
+	pc.acked[i] = true
+	pc.ackCount++
+}
+
+// OnProbeAck processes the probe's ACK: every burst segment that is neither
+// acknowledged nor already assigned a retransmission is now known lost
+// (§3.3: "once the sender receives such a probe ACK, it can immediately
+// infer all the losses of unscheduled packets, including the last one").
+// It returns the number of newly detected losses.
+func (pc *PreCredit) OnProbeAck() int {
+	pc.probeAcked = true
+	if pc.timer != nil {
+		pc.timer.Cancel()
+		pc.timer = nil
+	}
+	n := 0
+	for i := 0; i < pc.burstSent; i++ {
+		if !pc.acked[i] && !pc.assigned[i] {
+			pc.lost = append(pc.lost, i)
+			pc.assigned[i] = true
+			n++
+		}
+	}
+	return n
+}
+
+// ForceLost queues a segment for highest-priority retransmission regardless
+// of its assignment state. Transports use it for receiver-driven resend
+// requests (RTO recovery of scheduled drops), which override the one-shot
+// assignment bookkeeping.
+func (pc *PreCredit) ForceLost(seg int) {
+	if seg < 0 || seg >= len(pc.acked) || pc.acked[seg] {
+		return
+	}
+	pc.lost = append(pc.lost, seg)
+	pc.assigned[seg] = true
+}
+
+// DisableUnackedSweep turns off the ClassUnacked sweep; see noUnackedSweep.
+func (pc *PreCredit) DisableUnackedSweep() { pc.noUnackedSweep = true }
+
+// NextLost pops only loss-detected segments, for transports that retransmit
+// resend-requested packets immediately rather than through the next
+// scheduled opportunity (Homa's RTO path). ok is false when none remain.
+func (pc *PreCredit) NextLost() (seg int, ok bool) {
+	for len(pc.lost) > 0 {
+		s := pc.lost[0]
+		pc.lost = pc.lost[1:]
+		if pc.acked[s] {
+			continue
+		}
+		return s, true
+	}
+	return -1, false
+}
+
+// RequeueUnacked rebuilds the loss queue from every transmitted-but-
+// unacknowledged segment across the whole flow, burst and scheduled region
+// alike. It is the timeout-recovery path for transports with per-packet
+// ACKs on all data (NDP): a scheduled packet lost to an extreme buffer
+// overflow leaves no other trace. It returns the number of queued segments.
+func (pc *PreCredit) RequeueUnacked() int {
+	pc.lost = pc.lost[:0]
+	n := 0
+	for i := 0; i < pc.Seg.NumSegs(); i++ {
+		sent := i < pc.burstSent || pc.assigned[i]
+		if sent && !pc.acked[i] {
+			pc.lost = append(pc.lost, i)
+			pc.assigned[i] = true
+			n++
+		}
+	}
+	return n
+}
+
+// Next chooses the segment the transport's next scheduled transmission
+// opportunity should be spent on, in the §3.3 priority order:
+// loss-detected unscheduled, then unsent payload, then sent-but-unacked
+// unscheduled. It marks the segment assigned and returns its class.
+func (pc *PreCredit) Next() (seg int, class RetxClass) {
+	// Class 1: loss-detected unscheduled packets ("we want to fill the gap
+	// as soon as possible to minimize the re-sequence buffer").
+	for len(pc.lost) > 0 {
+		s := pc.lost[0]
+		pc.lost = pc.lost[1:]
+		if pc.acked[s] {
+			continue // ACK raced ahead of the loss verdict
+		}
+		return s, ClassLost
+	}
+	// Class 2: unsent payload ("to avoid redundant retransmissions").
+	for pc.nextNew < pc.Seg.NumSegs() {
+		s := pc.nextNew
+		pc.nextNew++
+		if pc.assigned[s] || pc.acked[s] {
+			continue
+		}
+		pc.assigned[s] = true
+		return s, ClassUnsent
+	}
+	// Class 3: sent-but-unacknowledged unscheduled packets. While a probe
+	// verdict is pending, blind class-3 retransmissions would both
+	// duplicate in-flight packets and burn opportunities the upcoming loss
+	// report needs, so the sweep waits for the probe ACK.
+	if pc.noUnackedSweep || (pc.probeSent && !pc.probeAcked) {
+		return -1, ClassNone
+	}
+	for pc.unackedP < pc.burstSent {
+		s := pc.unackedP
+		pc.unackedP++
+		if pc.acked[s] || pc.assigned[s] {
+			continue
+		}
+		pc.assigned[s] = true
+		return s, ClassUnacked
+	}
+	return -1, ClassNone
+}
+
+// Done reports whether every segment is either acknowledged or assigned and
+// nothing remains to transmit — i.e. a scheduled opportunity would be wasted.
+func (pc *PreCredit) Done() bool {
+	if pc.nextNew < pc.Seg.NumSegs() || len(pc.lost) > 0 {
+		return false
+	}
+	if pc.noUnackedSweep {
+		return true
+	}
+	for i := pc.unackedP; i < pc.burstSent; i++ {
+		if !pc.acked[i] && !pc.assigned[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stopped reports whether the pre-credit phase has ended.
+func (pc *PreCredit) Stopped() bool { return pc.stopped }
+
+// MakeProbe builds the Aeolus probe packet for this flow: minimum Ethernet
+// size, scheduled (protected), carrying the end-of-burst sequence and the
+// flow size (so a Homa-style receiver learns the demand even if every
+// unscheduled packet was dropped, §4.2).
+func (pc *PreCredit) MakeProbe() *netem.Packet {
+	return &netem.Packet{
+		Type: netem.Probe, Flow: pc.Flow.ID,
+		Src: pc.Flow.Src, Dst: pc.Flow.Dst,
+		Seq: pc.ProbeSeq(), WireSize: netem.ProbeSize,
+		Scheduled: true, PathID: pc.Flow.PathID,
+		Meta: pc.Flow.Size,
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+)
+
+func testEnv(t *testing.T) *transport.Env {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netem.BuildSingleSwitch(eng, 2, netem.TopoConfig{
+		HostRate: 10 * sim.Gbps, LinkDelay: sim.Microsecond,
+	})
+	return transport.NewEnv(net, netem.MaxPayload)
+}
+
+type sentRec struct {
+	seg       int
+	scheduled bool
+}
+
+func harness(t *testing.T, size int64, opts Options) (*transport.Env, *PreCredit, *[]sentRec, *int) {
+	env := testEnv(t)
+	f := &transport.Flow{ID: 1, Src: 0, Dst: 1, Size: size}
+	var sent []sentRec
+	probes := 0
+	pc := NewPreCredit(env, f, opts, env.Net.BDPBytes())
+	pc.SendSeg = func(seg int, sched bool) { sent = append(sent, sentRec{seg, sched}) }
+	pc.SendProbe = func() { probes++ }
+	return env, pc, &sent, &probes
+}
+
+func TestPreCreditBurstsBDPAtLineRate(t *testing.T) {
+	env, pc, sent, probes := harness(t, 1<<20, DefaultOptions())
+	bdpSegs := int(env.Net.BDPBytes()) / env.MSS
+	if pc.BurstLimit() != bdpSegs {
+		t.Fatalf("BurstLimit = %d, want %d", pc.BurstLimit(), bdpSegs)
+	}
+	pc.Start()
+	env.Eng.Run()
+	if len(*sent) != bdpSegs {
+		t.Fatalf("burst %d segments, want %d", len(*sent), bdpSegs)
+	}
+	for i, s := range *sent {
+		if s.seg != i || s.scheduled {
+			t.Fatalf("burst packet %d = %+v, want unscheduled seg %d", i, s, i)
+		}
+	}
+	if *probes != 1 {
+		t.Fatalf("probes = %d, want 1 at end of burst", *probes)
+	}
+	// The burst is paced at line rate: the last send happens one tx-gap per
+	// segment after the start.
+	wantSpan := sim.Duration(bdpSegs-1) * sim.TxTime(1538, env.Net.HostRate)
+	if got := sim.Duration(env.Eng.Now()); got < wantSpan {
+		t.Fatalf("burst finished too fast: %v < %v", got, wantSpan)
+	}
+}
+
+func TestPreCreditSmallFlowBurstsEverything(t *testing.T) {
+	_, pc, sent, probes := harness(t, 3000, DefaultOptions())
+	pc.Start()
+	pc.Env.Eng.Run()
+	if len(*sent) != 3 { // 1460+1460+80
+		t.Fatalf("sent %d segments, want 3", len(*sent))
+	}
+	if *probes != 1 {
+		t.Fatalf("probes = %d", *probes)
+	}
+	// ProbeSeq is clamped to the flow size (the last segment is partial).
+	if pc.ProbeSeq() != 3000 {
+		t.Fatalf("ProbeSeq = %d, want 3000", pc.ProbeSeq())
+	}
+}
+
+func TestPreCreditStopBurst(t *testing.T) {
+	env, pc, sent, probes := harness(t, 1<<20, DefaultOptions())
+	pc.Start()
+	// Stop after ~3 segment times.
+	env.Eng.At(sim.Time(3*sim.TxTime(1538, env.Net.HostRate))+1, pc.StopBurst)
+	env.Eng.Run()
+	if len(*sent) >= pc.BurstLimit() {
+		t.Fatalf("burst did not stop: sent %d of limit %d", len(*sent), pc.BurstLimit())
+	}
+	if !pc.Stopped() {
+		t.Fatal("not stopped")
+	}
+	if *probes != 1 {
+		t.Fatalf("probes = %d, want 1 (probe still sent after early stop)", *probes)
+	}
+	if pc.ProbeSeq() != pc.Seg.Offset(pc.BurstSent()) {
+		t.Fatal("probe seq mismatch after early stop")
+	}
+}
+
+func TestPreCreditDisabledSkipsBurst(t *testing.T) {
+	_, pc, sent, probes := harness(t, 1<<20, Options{Enabled: false})
+	pc.Start()
+	pc.Env.Eng.Run()
+	if len(*sent) != 0 || *probes != 0 {
+		t.Fatalf("disabled pre-credit sent %d segs, %d probes", len(*sent), *probes)
+	}
+	// All payload must flow through ClassUnsent.
+	seg, class := pc.Next()
+	if seg != 0 || class != ClassUnsent {
+		t.Fatalf("first Next = (%d, %v), want (0, ClassUnsent)", seg, class)
+	}
+}
+
+func TestPreCreditLossDetectionAndOrdering(t *testing.T) {
+	env, pc, _, _ := harness(t, 20*1460, DefaultOptions())
+	// Force a small burst window: use bdp for 4 segments.
+	pc = NewPreCredit(env, pc.Flow, DefaultOptions(), 4*1460)
+	var sent []sentRec
+	pc.SendSeg = func(seg int, sched bool) { sent = append(sent, sentRec{seg, sched}) }
+	pc.SendProbe = func() {}
+	pc.Start()
+	env.Eng.Run()
+	if len(sent) != 4 {
+		t.Fatalf("burst = %d, want 4", len(sent))
+	}
+
+	// Segments 0 and 2 ACKed, 1 and 3 lost.
+	pc.OnAck(pc.Seg.Offset(0))
+	pc.OnAck(pc.Seg.Offset(2))
+	if n := pc.OnProbeAck(); n != 2 {
+		t.Fatalf("detected %d losses, want 2", n)
+	}
+
+	// §3.3 order: lost (1, 3) first, then unsent (4, 5, ...).
+	wantOrder := []struct {
+		seg   int
+		class RetxClass
+	}{{1, ClassLost}, {3, ClassLost}, {4, ClassUnsent}, {5, ClassUnsent}}
+	for _, w := range wantOrder {
+		seg, class := pc.Next()
+		if seg != w.seg || class != w.class {
+			t.Fatalf("Next = (%d, %v), want (%d, %v)", seg, class, w.seg, w.class)
+		}
+	}
+}
+
+func TestPreCreditHoldsClass3WhileProbePending(t *testing.T) {
+	env, _, _, _ := harness(t, 4*1460, DefaultOptions())
+	f := &transport.Flow{ID: 2, Src: 0, Dst: 1, Size: 4 * 1460}
+	pc := NewPreCredit(env, f, DefaultOptions(), 4*1460)
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() {}
+	pc.Start()
+	env.Eng.Run()
+
+	// Probe sent but not yet acknowledged; seg 1 ACKed. A scheduled
+	// opportunity must NOT be spent on blind class-3 duplicates while the
+	// probe verdict is pending.
+	pc.OnAck(pc.Seg.Offset(1))
+	if seg, class := pc.Next(); class != ClassNone {
+		t.Fatalf("Next = (%d, %v) while probe pending, want ClassNone", seg, class)
+	}
+	if pc.Done() {
+		t.Fatal("Done() = true with unacked burst segments outstanding")
+	}
+	// The probe ACK converts the unacked remainder into loss verdicts.
+	if n := pc.OnProbeAck(); n != 3 {
+		t.Fatalf("losses = %d, want 3", n)
+	}
+	want := []int{0, 2, 3}
+	for _, w := range want {
+		seg, class := pc.Next()
+		if seg != w || class != ClassLost {
+			t.Fatalf("Next = (%d, %v), want (%d, ClassLost)", seg, class, w)
+		}
+	}
+	if seg, class := pc.Next(); class != ClassNone {
+		t.Fatalf("Next = (%d, %v), want ClassNone", seg, class)
+	}
+	if !pc.Done() {
+		t.Fatal("Done() = false with everything assigned")
+	}
+}
+
+func TestPreCreditAckRacesLossVerdict(t *testing.T) {
+	env, _, _, _ := harness(t, 2*1460, DefaultOptions())
+	f := &transport.Flow{ID: 3, Src: 0, Dst: 1, Size: 2 * 1460}
+	pc := NewPreCredit(env, f, DefaultOptions(), 4*1460)
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() {}
+	pc.Start()
+	env.Eng.Run()
+	pc.OnProbeAck() // both segments flagged lost
+	pc.OnAck(pc.Seg.Offset(0))
+	// Segment 0's ACK raced in: Next must skip it.
+	seg, class := pc.Next()
+	if seg != 1 || class != ClassLost {
+		t.Fatalf("Next = (%d, %v), want (1, ClassLost)", seg, class)
+	}
+}
+
+func TestPreCreditNoDoubleRetransmission(t *testing.T) {
+	env, _, _, _ := harness(t, 3*1460, DefaultOptions())
+	f := &transport.Flow{ID: 4, Src: 0, Dst: 1, Size: 3 * 1460}
+	pc := NewPreCredit(env, f, DefaultOptions(), 3*1460)
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() {}
+	pc.Start()
+	env.Eng.Run()
+
+	// A receiver-driven resend force-queues seg 0 ahead of the probe ACK.
+	pc.ForceLost(0)
+	if seg, class := pc.Next(); seg != 0 || class != ClassLost {
+		t.Fatalf("Next = (%d, %v), want (0, ClassLost)", seg, class)
+	}
+	// The probe ACK then reports nothing ACKed: 1, 2 newly lost, 0 already
+	// assigned and must not be queued again.
+	if n := pc.OnProbeAck(); n != 2 {
+		t.Fatalf("new losses = %d, want 2 (seg 0 already assigned)", n)
+	}
+	got := map[int]bool{}
+	for {
+		seg, class := pc.Next()
+		if class == ClassNone {
+			break
+		}
+		if got[seg] {
+			t.Fatalf("segment %d retransmitted twice", seg)
+		}
+		got[seg] = true
+	}
+}
+
+func TestPreCreditProbeSafetyTimer(t *testing.T) {
+	env, _, _, _ := harness(t, 1460, Options{})
+	f := &transport.Flow{ID: 5, Src: 0, Dst: 1, Size: 1460}
+	opts := Options{Enabled: true, ThresholdBytes: DefaultThreshold,
+		ProbeTimeout: 10 * sim.Microsecond, MaxProbeResends: 2}
+	pc := NewPreCredit(env, f, opts, 4*1460)
+	probes := 0
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() { probes++ }
+	pc.Start()
+	env.Eng.Run()
+	// Initial probe + 2 resends (no ACK ever arrives).
+	if probes != 3 {
+		t.Fatalf("probes = %d, want 3", probes)
+	}
+}
+
+func TestPreCreditProbeTimerCanceledByAck(t *testing.T) {
+	env, _, _, _ := harness(t, 1460, Options{})
+	f := &transport.Flow{ID: 6, Src: 0, Dst: 1, Size: 1460}
+	opts := Options{Enabled: true, ProbeTimeout: 10 * sim.Microsecond, MaxProbeResends: 5}
+	pc := NewPreCredit(env, f, opts, 4*1460)
+	probes := 0
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() { probes++ }
+	pc.Start()
+	env.Eng.After(2*sim.Microsecond, func() {
+		pc.OnAck(0)
+		pc.OnProbeAck()
+	})
+	env.Eng.Run()
+	if probes != 1 {
+		t.Fatalf("probes = %d, want 1 (timer canceled by probe ACK)", probes)
+	}
+}
+
+func TestMakeProbe(t *testing.T) {
+	env, _, _, _ := harness(t, 5000, Options{})
+	f := &transport.Flow{ID: 7, Src: 0, Dst: 1, Size: 5000, PathID: 99}
+	pc := NewPreCredit(env, f, DefaultOptions(), 2*1460)
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() {}
+	pc.Start()
+	env.Eng.Run()
+	p := pc.MakeProbe()
+	if p.Type != netem.Probe || !p.Scheduled || p.WireSize != netem.ProbeSize {
+		t.Fatalf("bad probe %v", p)
+	}
+	if p.Meta != 5000 {
+		t.Fatalf("probe Meta = %d, want flow size 5000", p.Meta)
+	}
+	if p.Seq != pc.ProbeSeq() || p.PathID != 99 {
+		t.Fatalf("probe fields wrong: %v", p)
+	}
+}
+
+func TestOraclePrioSchedFirstNeverDrops(t *testing.T) {
+	q := NewOraclePrio()
+	for i := 0; i < 1000; i++ {
+		ok := q.Enqueue(&netem.Packet{Type: netem.Data, Flow: uint64(i), WireSize: 1538}, 0)
+		if !ok {
+			t.Fatal("oracle queue dropped")
+		}
+	}
+	s := &netem.Packet{Type: netem.Data, Flow: 9999, WireSize: 1538, Scheduled: true}
+	q.Enqueue(s, 0)
+	if got := q.Dequeue(0); got != s {
+		t.Fatalf("scheduled packet not served first: %v", got)
+	}
+	if q.Backlog().Packets != 1000 {
+		t.Fatalf("backlog = %d", q.Backlog().Packets)
+	}
+	if q.NextWake(0) != sim.MaxTime {
+		t.Fatal("NextWake should be MaxTime")
+	}
+}
+
+func TestFactories(t *testing.T) {
+	sf := SelectiveFactory(DefaultThreshold, netem.DefaultBuffer)
+	if _, ok := sf(netem.HostNIC, 10*sim.Gbps).(*OraclePrio); !ok {
+		t.Fatal("NIC qdisc should be scheduled-first priority")
+	}
+	if _, ok := sf(netem.SwitchToHost, 10*sim.Gbps).(*netem.SelectiveDrop); !ok {
+		t.Fatal("switch qdisc should be SelectiveDrop")
+	}
+	of := OracleFactory()
+	if _, ok := of(netem.SwitchToSwitch, 10*sim.Gbps).(*OraclePrio); !ok {
+		t.Fatal("oracle factory mismatch")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if !o.Enabled || o.ThresholdBytes != 6<<10 {
+		t.Fatalf("DefaultOptions = %+v", o)
+	}
+}

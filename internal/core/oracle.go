@@ -1,0 +1,119 @@
+package core
+
+import (
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// OraclePrio is the queueing discipline of the paper's *hypothetical*
+// baselines (Figs. 1, 3, 4 and Table 1): scheduled packets proceed "as if no
+// unscheduled packets are present" and unscheduled packets consume exactly
+// the leftover bandwidth, with hindsight — no losses, no interference. It is
+// a two-band strict priority queue keyed on the Scheduled flag with an
+// unbounded buffer. It is an experimental apparatus, not a deployable
+// design (that is what selective dropping is for).
+type OraclePrio struct {
+	netem.DropCounter
+
+	// LimitBytes, when positive, bounds the two bands with a *shared*
+	// buffer (tail-dropped regardless of band). This turns the oracle into
+	// the realizable two-priority-queue alternative of §5.5 — the design
+	// Aeolus argues against: unscheduled packets in the low band can fill
+	// the shared buffer and starve scheduled arrivals (Table 5), and
+	// trapped-vs-lost ambiguity forces an RTO choice (Table 4).
+	LimitBytes int64
+
+	sched, unsched fifoLite
+}
+
+// NewOraclePrio returns the unbounded oracle queue (hypothetical baselines).
+func NewOraclePrio() *OraclePrio { return &OraclePrio{} }
+
+// NewBoundedPrio returns the shared-buffer two-priority queue of §5.5.
+func NewBoundedPrio(limitBytes int64) *OraclePrio {
+	return &OraclePrio{LimitBytes: limitBytes}
+}
+
+// Enqueue implements netem.Qdisc.
+func (q *OraclePrio) Enqueue(p *netem.Packet, _ sim.Time) bool {
+	if q.LimitBytes > 0 &&
+		q.sched.bytes+q.unsched.bytes+int64(p.WireSize) > q.LimitBytes {
+		q.Drop(p, netem.DropTailFull)
+		return false
+	}
+	if p.Scheduled || p.Type.IsControl() {
+		q.sched.push(p)
+	} else {
+		q.unsched.push(p)
+	}
+	return true
+}
+
+// Dequeue implements netem.Qdisc: scheduled strictly first.
+func (q *OraclePrio) Dequeue(_ sim.Time) *netem.Packet {
+	if p := q.sched.pop(); p != nil {
+		return p
+	}
+	return q.unsched.pop()
+}
+
+// NextWake implements netem.Qdisc.
+func (q *OraclePrio) NextWake(_ sim.Time) sim.Time { return sim.MaxTime }
+
+// Backlog implements netem.Qdisc.
+func (q *OraclePrio) Backlog() netem.Backlog {
+	return netem.Backlog{
+		Packets: q.sched.n + q.unsched.n,
+		Bytes:   q.sched.bytes + q.unsched.bytes,
+	}
+}
+
+// fifoLite is a minimal packet FIFO (netem's fifo is unexported).
+type fifoLite struct {
+	pkts  []*netem.Packet
+	head  int
+	n     int
+	bytes int64
+}
+
+func (f *fifoLite) push(p *netem.Packet) {
+	f.pkts = append(f.pkts, p)
+	f.n++
+	f.bytes += int64(p.WireSize)
+}
+
+func (f *fifoLite) pop() *netem.Packet {
+	if f.head == len(f.pkts) {
+		return nil
+	}
+	p := f.pkts[f.head]
+	f.pkts[f.head] = nil
+	f.head++
+	f.n--
+	f.bytes -= int64(p.WireSize)
+	if f.head == len(f.pkts) {
+		f.pkts, f.head = f.pkts[:0], 0
+	}
+	return p
+}
+
+// SelectiveFactory returns a QdiscFactory installing Aeolus selective
+// dropping at every switch port (threshold per §3.2) and an unbounded
+// scheduled-first priority queue at host NICs, so a sender's own scheduled
+// packets are never stuck behind its pre-credit bursts.
+func SelectiveFactory(thresholdBytes, bufferBytes int64) netem.QdiscFactory {
+	return func(kind netem.PortKind, rate sim.Rate) netem.Qdisc {
+		if kind == netem.HostNIC {
+			return NewOraclePrio() // scheduled-first, unbounded host queue
+		}
+		return netem.NewSelectiveDrop(thresholdBytes, bufferBytes)
+	}
+}
+
+// OracleFactory returns a QdiscFactory installing the hypothetical oracle
+// queue everywhere.
+func OracleFactory() netem.QdiscFactory {
+	return func(kind netem.PortKind, rate sim.Rate) netem.Qdisc {
+		return NewOraclePrio()
+	}
+}

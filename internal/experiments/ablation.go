@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/stats"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// Ablation isolates the contribution of each Aeolus design choice on one
+// baseline (ExpressPass, Cache Follower, two-tier fabric, 40% core load):
+//
+//   - the selective dropping threshold, swept from 1 packet to effectively
+//     "no selective protection" (threshold = whole buffer);
+//   - probe/selective-ACK loss detection versus RTO-only recovery (what the
+//     §5.5 priority-queueing alternative is forced into), at both a
+//     conservative and an aggressive RTO;
+//   - no pre-credit burst at all (vanilla ExpressPass).
+//
+// The table shows why the paper's combination — small threshold plus
+// probe-based recovery — is the sweet spot: thresholds barely move the
+// small-flow mean until they stop protecting scheduled packets, while
+// RTO-only recovery either inflates the tail (10 ms) or burns goodput on
+// duplicates (20 µs).
+func Ablation(cfg Config) []Table {
+	wl := workload.CacheFollower
+	t := Table{ID: "ablation", Title: "Aeolus design-choice ablation (ExpressPass base, Cache Follower, 40% core)",
+		Columns: []string{"variant", "p50/us", "p99/us", "mean/us", "in1RTT", "maxFCT/us", "efficiency"}}
+
+	add := func(name string, spec SchemeSpec) {
+		r := Run(cfg, RunSpec{
+			Scheme: spec, Topo: TopoLeafSpine, Workload: wl, CoreLoad: 0.4,
+		})
+		t.Add(name,
+			stats.FormatDur(r.Small.P50), stats.FormatDur(r.Small.P99),
+			stats.FormatDur(r.Small.Mean), f3(r.FirstRTTFrac),
+			stats.FormatDur(r.All.Max), f3(r.Efficiency))
+	}
+
+	add("no pre-credit burst (vanilla)", SchemeSpec{ID: "xpass", Workload: wl, Seed: cfg.Seed})
+
+	thresholds := []int64{1538, 3 << 10, 6 << 10, 12 << 10, 24 << 10, 96 << 10, 200 << 10}
+	if cfg.Quick {
+		thresholds = []int64{1538, 6 << 10, 200 << 10}
+	}
+	for _, th := range thresholds {
+		name := fmt.Sprintf("aeolus, threshold %dKB", th>>10)
+		if th >= 200<<10 {
+			name = "aeolus, threshold = buffer (no SPF)"
+		}
+		add(name, SchemeSpec{ID: "xpass+aeolus", Workload: wl, Threshold: th, Seed: cfg.Seed})
+	}
+
+	add("burst + RTO-only recovery (10ms)", SchemeSpec{
+		ID: "xpass+prio", Workload: wl, RTO: 10 * sim.Millisecond, Seed: cfg.Seed})
+	add("burst + RTO-only recovery (20us)", SchemeSpec{
+		ID: "xpass+prio", Workload: wl, RTO: 20 * sim.Microsecond, Seed: cfg.Seed})
+
+	return []Table{t}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/stats"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// microIncastRun builds the many-to-one microbenchmark of §5.5 (N senders,
+// one receiver, one 100G switch, 200 KB per sender) under ExpressPass+Aeolus
+// with the given selective-dropping threshold, runs it, and returns the
+// receiver downlink port plus the environment for instrumentation.
+func microIncastRun(cfg Config, n int, threshold int64, msg int64,
+	instrument func(env *transport.Env, bottleneck *netem.Port)) (*transport.Env, *netem.Port) {
+
+	scheme := MakeScheme(SchemeSpec{ID: "xpass+aeolus", Threshold: threshold, Seed: cfg.Seed})
+	net := buildTopo(TopoMicro, scheme.Factory(netem.DefaultBuffer))
+	env := transport.NewEnv(net, scheme.MSS)
+	proto := scheme.New(env)
+	// The bottleneck is the switch downlink to the receiver (host 0).
+	bottleneck := net.Switches[0].Ports[0]
+	trace := (&workload.IncastConfig{
+		Fanin: n, Receiver: 0, Hosts: len(net.Hosts), MsgSize: msg,
+		Seed: cfg.Seed, StartAt: sim.Time(10 * sim.Microsecond),
+	}).Generate()
+	if instrument != nil {
+		instrument(env, bottleneck)
+	}
+	transport.Runner(env, proto, trace, sim.Time(200*sim.Millisecond))
+	return env, bottleneck
+}
+
+// microSustainedRun is the §5.5 microbenchmark as described: "in each RTT,
+// all the senders transfer 200KB data to the receiver" — a fresh burst per
+// sender every base RTT for the given number of rounds.
+func microSustainedRun(cfg Config, n int, threshold int64, msg int64, rounds int,
+	instrument func(env *transport.Env, bottleneck *netem.Port)) {
+
+	scheme := MakeScheme(SchemeSpec{ID: "xpass+aeolus", Threshold: threshold, Seed: cfg.Seed})
+	net := buildTopo(TopoMicro, scheme.Factory(netem.DefaultBuffer))
+	env := transport.NewEnv(net, scheme.MSS)
+	proto := scheme.New(env)
+	bottleneck := net.Switches[0].Ports[0]
+	var traces [][]workload.FlowSpec
+	for round := 0; round < rounds; round++ {
+		start := sim.Time(10 * sim.Microsecond).Add(sim.Duration(round) * net.BaseRTT)
+		traces = append(traces, (&workload.IncastConfig{
+			Fanin: n, Receiver: 0, Hosts: len(net.Hosts), MsgSize: msg,
+			Seed: cfg.Seed + uint64(round), StartAt: start,
+			BaseID: uint64(round) * 10000,
+		}).Generate())
+	}
+	if instrument != nil {
+		instrument(env, bottleneck)
+	}
+	transport.Runner(env, proto, workload.Merge(traces...), sim.Time(200*sim.Millisecond))
+}
+
+// Fig15 reproduces Figure 15: average and maximum queue length on the
+// congested link under different selective dropping thresholds (16-to-1,
+// 200 KB per sender). The paper's observation: queue length is nearly
+// linear in the threshold.
+func Fig15(cfg Config) []Table {
+	t := Table{ID: "fig15", Title: "Queue length vs selective dropping threshold (16-to-1, 200KB each)",
+		Columns: []string{"threshold/KB", "avgQueue/KB", "maxQueue/KB"}}
+	thresholds := []int64{1538, 3 << 10, 6 << 10, 12 << 10, 24 << 10, 48 << 10, 96 << 10}
+	if cfg.Quick {
+		thresholds = []int64{1538, 6 << 10, 48 << 10}
+	}
+	rounds := 20
+	if cfg.Quick {
+		rounds = 6
+	}
+	for _, th := range thresholds {
+		var sampler stats.QueueSampler
+		microSustainedRun(cfg, 16, th, 200_000, rounds,
+			func(env *transport.Env, bn *netem.Port) {
+				// Sample while the per-RTT bursts keep arriving.
+				stop := sim.Time(10 * sim.Microsecond).Add(sim.Duration(rounds) * env.Net.BaseRTT)
+				var tick func()
+				tick = func() {
+					sampler.Observe(bn.Backlog().Bytes)
+					if q, ok := bn.Q.(*netem.XPassQdisc); ok {
+						if sd, ok := q.Data().(*netem.SelectiveDrop); ok {
+							sampler.ObserveMax(sd.MaxBacklogBytes())
+						}
+					}
+					if env.Eng.Now() < stop {
+						env.Eng.After(200*sim.Nanosecond, tick)
+					}
+				}
+				env.Eng.At(sim.Time(10*sim.Microsecond), tick)
+			})
+		t.Add(f1(float64(th)/1024), f2(sampler.Mean()/1024), f2(float64(sampler.Max())/1024))
+	}
+	return []Table{t}
+}
+
+// Fig16 reproduces Figure 16: average utilization of the bottleneck link in
+// the first RTT under different traffic demands (fan-in N) and selective
+// dropping thresholds. The paper's observation: a threshold of 4 packets
+// (6 KB) already achieves full first-RTT throughput at every demand.
+func Fig16(cfg Config) []Table {
+	t := Table{ID: "fig16", Title: "First-RTT bottleneck utilization vs fan-in and threshold",
+		Columns: []string{"fanin", "th=1.5KB", "th=3KB", "th=6KB", "th=12KB"}}
+	fanins := []int{2, 4, 8, 16, 24, 32, 40}
+	if cfg.Quick {
+		fanins = []int{2, 8, 24}
+	}
+	thresholds := []int64{1538, 3 << 10, 6 << 10, 12 << 10}
+	for _, n := range fanins {
+		row := []string{fmt.Sprint(n)}
+		for _, th := range thresholds {
+			var meter stats.UtilizationMeter
+			var util float64
+			_, _ = microIncastRun(cfg, n, th, 200_000,
+				func(env *transport.Env, bn *netem.Port) {
+					// Window: one base RTT starting when the burst's front
+					// reaches the bottleneck.
+					start := sim.Time(10*sim.Microsecond) + sim.Time(2*sim.Microsecond)
+					env.Eng.At(start, func() { meter.Start(bn.TxBytes, start) })
+					end := start.Add(env.Net.BaseRTT)
+					env.Eng.At(end, func() {
+						util = meter.Stop(bn.TxBytes, end, bn.Rate)
+					})
+				})
+			row = append(row, f3(util))
+		}
+		t.Add(row...)
+	}
+	return []Table{t}
+}
+
+// fig17Schemes are the six schemes of the heavy-incast and goodput studies.
+var fig17Schemes = []string{"xpass", "xpass+aeolus", "homa", "homa+aeolus", "ndp", "ndp+aeolus"}
+
+// Fig17 reproduces Figure 17: FCT slowdown (average and 99th percentile)
+// under N-to-1 incast for N in 32..256, on the 144-host 100G/400G fabric
+// with 500 KB buffers and 64 KB flows; Homa uses a 40 µs RTO.
+func Fig17(cfg Config) []Table {
+	avg := Table{ID: "fig17a", Title: "Incast FCT slowdown (average)",
+		Columns: []string{"scheme", "N=32", "N=64", "N=128", "N=256"}}
+	p99 := Table{ID: "fig17b", Title: "Incast FCT slowdown (99th percentile)",
+		Columns: []string{"scheme", "N=32", "N=64", "N=128", "N=256"}}
+	fanins := []int{32, 64, 128, 256}
+	if cfg.Quick {
+		fanins = []int{32, 128}
+		avg.Columns = []string{"scheme", "N=32", "N=128"}
+		p99.Columns = avg.Columns
+	}
+	for _, id := range fig17Schemes {
+		arow := []string{""}
+		prow := []string{""}
+		for _, n := range fanins {
+			spec := SchemeSpec{ID: id, Seed: cfg.Seed}
+			if id == "homa" || id == "homa+aeolus" {
+				spec.RTO = 40 * sim.Microsecond
+			}
+			r := Run(cfg, RunSpec{
+				Scheme: spec, Topo: TopoIncastFabric, Buffer: 500 << 10,
+				Incast: &workload.IncastConfig{
+					Fanin: n, Receiver: 0, MsgSize: 64_000, Seed: cfg.Seed,
+					StartAt: sim.Time(10 * sim.Microsecond),
+				},
+				Deadline: sim.Duration(1 * sim.Second),
+			})
+			arow[0], prow[0] = r.Scheme, r.Scheme
+			arow = append(arow, f1(r.All.MeanSlowdown))
+			prow = append(prow, f1(r.All.P99Slowdown))
+		}
+		avg.Add(arow...)
+		p99.Add(prow...)
+	}
+	return []Table{avg, p99}
+}
+
+// Fig18 reproduces Figure 18: goodput (normalized by capacity) across
+// varying network loads, for all six schemes, under a mix of Web Search
+// traffic and 64-to-1 incast bursts.
+func Fig18(cfg Config) []Table {
+	loads := []float64{0.3, 0.5, 0.7, 0.9}
+	if cfg.Quick {
+		loads = []float64{0.5, 0.9}
+	}
+	cols := []string{"scheme"}
+	for _, l := range loads {
+		cols = append(cols, fmt.Sprintf("load=%.1f", l))
+	}
+	t := Table{ID: "fig18", Title: "Goodput vs offered load (Web Search + 64-to-1 incast mix)",
+		Columns: cols}
+	sweep := cfg
+	sweep.Budget = cfg.Budget / 2
+	sweep.MinFlows = maxI(cfg.MinFlows, 500) // steady state needs a real span
+	for _, id := range fig17Schemes {
+		row := []string{""}
+		for _, load := range loads {
+			spec := SchemeSpec{ID: id, Workload: workload.WebSearch, Seed: cfg.Seed}
+			if id == "homa" || id == "homa+aeolus" {
+				spec.RTO = 40 * sim.Microsecond
+			}
+			r := Run(sweep, RunSpec{
+				Scheme: spec, Topo: TopoIncastFabric, Buffer: 500 << 10,
+				Workload: workload.WebSearch, CoreLoad: load,
+				Incast: &workload.IncastConfig{
+					Fanin: 64, Receiver: 0, MsgSize: 64_000, Seed: cfg.Seed,
+					StartAt: sim.Time(100 * sim.Microsecond),
+				},
+			})
+			row[0] = r.Scheme
+			row = append(row, f3(r.WindowGoodput))
+		}
+		t.Add(row...)
+	}
+	return []Table{t}
+}

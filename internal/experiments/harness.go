@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/aeolus-transport/aeolus/internal/core"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/stats"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+	"github.com/aeolus-transport/aeolus/internal/transport/expresspass"
+	"github.com/aeolus-transport/aeolus/internal/transport/homa"
+	"github.com/aeolus-transport/aeolus/internal/transport/ndp"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// Config scales the experiments. The defaults run each experiment in
+// seconds; raise Budget for a fuller reproduction.
+type Config struct {
+	// Budget is the approximate number of payload bytes offered per
+	// simulation run; flow counts are derived from it and the workload's
+	// mean flow size.
+	Budget int64
+
+	// MinFlows / MaxFlows clamp the derived flow count.
+	MinFlows, MaxFlows int
+
+	// Seed drives all randomness.
+	Seed uint64
+
+	// Quick trims parameter sweeps (fewer load points, fewer fan-ins) for
+	// fast regression runs.
+	Quick bool
+}
+
+// DefaultConfig returns a configuration sized for single-core bench runs.
+func DefaultConfig() Config {
+	return Config{Budget: 150 << 20, MinFlows: 100, MaxFlows: 20000, Seed: 1}
+}
+
+// flowsFor derives the flow count for a workload under the byte budget.
+func (c Config) flowsFor(wl *workload.CDF) int {
+	n := int(float64(c.Budget) / wl.Mean())
+	if n < c.MinFlows {
+		n = c.MinFlows
+	}
+	if n > c.MaxFlows {
+		n = c.MaxFlows
+	}
+	return n
+}
+
+// Topology identifiers.
+const (
+	TopoFatTree      = "fattree"      // 8 spine/16 leaf/32 ToR/192 hosts, 100G, RTT≈52µs (ExpressPass paper)
+	TopoLeafSpine    = "leafspine"    // 8 spine/8 leaf/64 hosts, 100G, RTT≈4.5µs (Homa/NDP papers)
+	TopoSingleSwitch = "single"       // 8 hosts, 10G, RTT≈14µs (hardware testbed)
+	TopoIncastFabric = "incastfabric" // 4 spine/9 leaf/144 hosts, 100G/400G (Fig. 17/18)
+	TopoMicro        = "micro"        // 24 hosts on one 100G switch (Fig. 15/16, Table 5)
+)
+
+// buildTopo constructs the named topology with the scheme's qdisc factory.
+func buildTopo(topo string, qf netem.QdiscFactory) *netem.Network {
+	eng := sim.NewEngine()
+	switch topo {
+	case TopoFatTree:
+		return netem.BuildFatTree3(eng, netem.ExpressPassShape, netem.TopoConfig{
+			HostRate: 100 * sim.Gbps, LinkDelay: 4 * sim.Microsecond,
+			HostDelay: sim.Microsecond, MakeQdisc: qf,
+		})
+	case TopoLeafSpine:
+		return netem.BuildLeafSpine(eng, 8, 8, 8, netem.TopoConfig{
+			HostRate: 100 * sim.Gbps, LinkDelay: 500 * sim.Nanosecond, MakeQdisc: qf,
+		})
+	case TopoSingleSwitch:
+		return netem.BuildSingleSwitch(eng, 8, netem.TopoConfig{
+			HostRate: 10 * sim.Gbps, LinkDelay: 3 * sim.Microsecond, MakeQdisc: qf,
+		})
+	case TopoIncastFabric:
+		return netem.BuildLeafSpine(eng, 4, 9, 16, netem.TopoConfig{
+			HostRate: 100 * sim.Gbps, CoreRate: 400 * sim.Gbps,
+			LinkDelay: 200 * sim.Nanosecond, SwitchPipe: 250 * sim.Nanosecond,
+			MakeQdisc: qf,
+		})
+	case TopoMicro:
+		return netem.BuildSingleSwitch(eng, 24, netem.TopoConfig{
+			HostRate: 100 * sim.Gbps, LinkDelay: sim.Microsecond, MakeQdisc: qf,
+		})
+	default:
+		panic("experiments: unknown topology " + topo)
+	}
+}
+
+// edgeLoadFor converts the paper's quoted core load into the edge load the
+// Poisson generator targets, accounting for topology oversubscription and
+// the fraction of traffic that crosses the core.
+func edgeLoadFor(topo string, coreLoad float64) float64 {
+	switch topo {
+	case TopoFatTree:
+		// 3:1 oversubscribed ToRs; ~97% of random pairs cross the ToR.
+		return coreLoad / (3.0 * 186.0 / 191.0)
+	case TopoLeafSpine:
+		// Non-blocking; 7/8 of random pairs cross the core.
+		return coreLoad / (7.0 / 8.0)
+	case TopoIncastFabric:
+		// 16x100G hosts per leaf against 4x400G uplinks: non-blocking; only
+		// the cross-leaf fraction of traffic exercises the core.
+		return coreLoad / (128.0 / 143.0)
+	default:
+		return coreLoad
+	}
+}
+
+// hostsIn returns the host count of a topology.
+func hostsIn(topo string) int {
+	switch topo {
+	case TopoFatTree:
+		return 192
+	case TopoLeafSpine:
+		return 64
+	case TopoSingleSwitch:
+		return 8
+	case TopoIncastFabric:
+		return 144
+	case TopoMicro:
+		return 24
+	default:
+		return 0
+	}
+}
+
+// Scheme is one transport configuration under test: a display name, the
+// fabric discipline it programs, the MSS it uses, and its constructor.
+type Scheme struct {
+	Name    string
+	MSS     int
+	Factory func(buffer int64) netem.QdiscFactory
+	New     func(env *transport.Env) transport.Protocol
+}
+
+// SchemeSpec selects and parameterizes a scheme by ID.
+type SchemeSpec struct {
+	ID        string        // see Schemes() for the catalogue
+	Workload  *workload.CDF // Homa unscheduled priority cutoffs
+	RTO       sim.Duration  // 0 keeps the scheme's paper default
+	Threshold int64         // selective dropping threshold; 0 = paper default
+	Seed      uint64
+}
+
+// MakeScheme builds a Scheme from a spec. The catalogue:
+//
+//	xpass             ExpressPass (waits for credits in the first RTT)
+//	xpass+aeolus      ExpressPass with the Aeolus building block
+//	xpass+oracle      hypothetical ExpressPass (idealized pre-credit, §2.3)
+//	xpass+prio        ExpressPass + two shared-buffer priority queues with
+//	                  RTO-only recovery (§5.5; set RTO to 10ms or 20µs)
+//	homa              Homa over 8 priority queues (RTO 10ms default)
+//	homa+aeolus       Homa with Aeolus (single selective-dropping queue)
+//	homa+oracle       hypothetical Homa (no unscheduled interference, §2.3)
+//	homa-eager        Homa with an aggressive 20µs RTO (Table 1)
+//	ndp               NDP with switch trimming and per-packet spraying
+//	ndp+aeolus        NDP with selective dropping instead of trimming
+func MakeScheme(spec SchemeSpec) Scheme {
+	thresh := spec.Threshold
+	if thresh <= 0 {
+		thresh = core.DefaultThreshold
+	}
+	switch spec.ID {
+	case "xpass", "xpass+aeolus", "xpass+oracle", "xpass+prio":
+		opts := expresspass.DefaultOptions()
+		opts.Seed = spec.Seed
+		if spec.RTO > 0 {
+			opts.RTO = spec.RTO
+		}
+		name := "ExpressPass"
+		switch spec.ID {
+		case "xpass+aeolus":
+			opts.Aeolus = core.DefaultOptions()
+			opts.Aeolus.ThresholdBytes = thresh
+			name = "ExpressPass+Aeolus"
+		case "xpass+oracle":
+			opts.Aeolus = core.DefaultOptions()
+			name = "ExpressPass+IdealPreCredit"
+		case "xpass+prio":
+			opts.Aeolus = core.DefaultOptions()
+			opts.RTOOnly = true
+			name = fmt.Sprintf("ExpressPass+PrioQueue(RTO=%v)", opts.RTO)
+		}
+		factory := func(buffer int64) netem.QdiscFactory {
+			inner := expresspass.QdiscFactory(opts, buffer)
+			switch spec.ID {
+			case "xpass+oracle":
+				return wrapXPassData(func(sim.Rate) netem.Qdisc { return core.NewOraclePrio() })
+			case "xpass+prio":
+				return wrapXPassData(func(sim.Rate) netem.Qdisc { return core.NewBoundedPrio(buffer) })
+			default:
+				return inner
+			}
+		}
+		return Scheme{
+			Name: name, MSS: netem.MaxPayload, Factory: factory,
+			New: func(env *transport.Env) transport.Protocol {
+				return expresspass.New(env, opts)
+			},
+		}
+	case "homa", "homa+aeolus", "homa+oracle", "homa-eager":
+		opts := homa.DefaultOptions()
+		opts.Workload = spec.Workload
+		if spec.RTO > 0 {
+			opts.RTO = spec.RTO
+		}
+		name := "Homa"
+		switch spec.ID {
+		case "homa+aeolus":
+			opts.Aeolus = core.DefaultOptions()
+			opts.Aeolus.ThresholdBytes = thresh
+			name = "Homa+Aeolus"
+		case "homa+oracle":
+			name = "Homa+IdealFirstRTT"
+		case "homa-eager":
+			opts.RTO = 20 * sim.Microsecond
+			if spec.RTO > 0 {
+				opts.RTO = spec.RTO
+			}
+			name = "EagerHoma"
+		}
+		factory := func(buffer int64) netem.QdiscFactory {
+			if spec.ID == "homa+oracle" {
+				// The hypothetical Homa of §2.3: scheduled packets are never
+				// queued or dropped for lack of buffer. Homa's own priority
+				// structure with unbounded buffers realizes it — exactly the
+				// infinite-buffer assumption the paper notes in Homa's own
+				// simulator (§5.5).
+				return homa.QdiscFactory(opts, 0)
+			}
+			return homa.QdiscFactory(opts, buffer)
+		}
+		return Scheme{
+			Name: name, MSS: netem.MaxPayload, Factory: factory,
+			New: func(env *transport.Env) transport.Protocol {
+				return homa.New(env, opts)
+			},
+		}
+	case "ndp", "ndp+aeolus":
+		opts := ndp.DefaultOptions()
+		opts.Seed = spec.Seed
+		if spec.RTO > 0 {
+			opts.RTO = spec.RTO
+		}
+		name := "NDP"
+		if spec.ID == "ndp+aeolus" {
+			opts.Aeolus = core.DefaultOptions()
+			// Jumbo frames need a proportionally larger threshold: the
+			// paper's 4-packet intuition at NDP's 9 KB MTU.
+			if spec.Threshold > 0 {
+				opts.Aeolus.ThresholdBytes = spec.Threshold
+			} else {
+				opts.Aeolus.ThresholdBytes = 4 * netem.JumboMTU
+			}
+			name = "NDP+Aeolus"
+		}
+		return Scheme{
+			Name: name, MSS: ndp.MSS,
+			Factory: func(buffer int64) netem.QdiscFactory {
+				return ndp.QdiscFactory(opts, buffer)
+			},
+			New: func(env *transport.Env) transport.Protocol {
+				return ndp.New(env, opts)
+			},
+		}
+	default:
+		panic("experiments: unknown scheme " + spec.ID)
+	}
+}
+
+// wrapXPassData builds an ExpressPass fabric whose per-port data queue is
+// produced by mk (credit shaping is always retained; host NICs get the
+// scheduled-first unbounded queue).
+func wrapXPassData(mk func(sim.Rate) netem.Qdisc) netem.QdiscFactory {
+	return func(kind netem.PortKind, rate sim.Rate) netem.Qdisc {
+		var data netem.Qdisc
+		if kind == netem.HostNIC {
+			data = core.NewOraclePrio()
+		} else {
+			data = mk(rate)
+		}
+		return netem.NewXPassQdisc(netem.XPassQdiscConfig{
+			CreditRate: netem.CreditRateFor(rate),
+			Data:       data,
+		})
+	}
+}
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	Scheme   SchemeSpec
+	Topo     string
+	Buffer   int64 // per-port buffer; 0 = 200 KB paper default
+	Workload *workload.CDF
+	CoreLoad float64
+	Flows    int // 0 = derive from Config.Budget
+	Incast   *workload.IncastConfig
+	Deadline sim.Duration // extra simulated time after the last arrival
+
+	// TraceFlow, when nonzero, prints every port/host event of that flow to
+	// stderr — the packet-level debugging view.
+	TraceFlow uint64
+}
+
+// RunResult aggregates the metrics every experiment consumes.
+type RunResult struct {
+	Scheme    string
+	Total     int
+	Completed int
+
+	Small stats.Summary // flows < 100 KB
+	All   stats.Summary
+
+	// FirstRTTFrac is the fraction of small flows finishing within the base
+	// RTT (the paper's "complete within the first RTT").
+	FirstRTTFrac float64
+
+	Efficiency float64
+
+	// Goodput is the delivered rate over the whole run (arrival through
+	// drain) normalized by aggregate host capacity; WindowGoodput measures
+	// only the steady-state middle half of the arrival span, the Fig. 18
+	// metric.
+	Goodput       float64
+	WindowGoodput float64
+	TimeoutFlows  int
+	Drops         [4]uint64 // switch drops by netem.DropReason
+	SmallCDF      [][2]float64
+
+	records []stats.FlowRecord
+	baseRTT sim.Duration
+}
+
+// Records exposes the raw flow records of the run.
+func (r *RunResult) Records() []stats.FlowRecord { return r.records }
+
+// Run executes one simulation and collects the metrics.
+func Run(cfg Config, spec RunSpec) RunResult {
+	scheme := MakeScheme(spec.Scheme)
+	buffer := spec.Buffer
+	if buffer <= 0 {
+		buffer = netem.DefaultBuffer
+	}
+	net := buildTopo(spec.Topo, scheme.Factory(buffer))
+	env := transport.NewEnv(net, scheme.MSS)
+	proto := scheme.New(env)
+	if spec.TraceFlow != 0 {
+		tr := &netem.WriterTracer{W: os.Stderr,
+			Filter: func(p *netem.Packet) bool { return p.Flow == spec.TraceFlow }}
+		netem.InstrumentPorts(net.AllPorts(), tr)
+		netem.InstrumentHosts(net.Hosts, tr)
+	}
+
+	var trace []workload.FlowSpec
+	if spec.Workload != nil {
+		flows := spec.Flows
+		if flows <= 0 {
+			flows = cfg.flowsFor(spec.Workload)
+		}
+		pc := workload.PoissonConfig{
+			CDF: spec.Workload, Hosts: hostsIn(spec.Topo),
+			HostRate: net.HostRate,
+			Load:     edgeLoadFor(spec.Topo, spec.CoreLoad),
+			Flows:    flows, Seed: cfg.Seed ^ spec.Scheme.Seed,
+			StartAt: sim.Time(10 * sim.Microsecond),
+		}
+		trace = pc.Generate()
+	}
+	if spec.Incast != nil {
+		ic := *spec.Incast
+		ic.Hosts = hostsIn(spec.Topo)
+		ic.BaseID = uint64(len(trace)) + 1000000
+		trace = workload.Merge(trace, ic.Generate())
+	}
+	deadline := spec.Deadline
+	if deadline <= 0 {
+		deadline = 500 * sim.Millisecond
+	}
+	var first, last sim.Time
+	if len(trace) > 0 {
+		first = trace[0].Start
+		for _, f := range trace {
+			if f.Start > last {
+				last = f.Start
+			}
+		}
+	}
+	// Steady-state goodput window: the middle half of the arrival span.
+	var d1, d2 int64
+	t1 := first.Add(sim.Duration(last-first) / 4)
+	t2 := first.Add(3 * sim.Duration(last-first) / 4)
+	if t2 > t1 {
+		env.Eng.At(t1, func() { d1 = env.Meter.DeliveredPayload })
+		env.Eng.At(t2, func() { d2 = env.Meter.DeliveredPayload })
+	}
+	start := env.Eng.Now()
+	transport.Runner(env, proto, trace, last.Add(deadline))
+	elapsed := env.Eng.Now().Sub(start)
+
+	res := RunResult{
+		Scheme:    scheme.Name,
+		Total:     len(trace),
+		Completed: env.Completed(),
+		baseRTT:   net.BaseRTT,
+		records:   env.FCT.Records(),
+	}
+	small := env.FCT.Filter(0, 100_000)
+	res.Small = stats.Summarize(small)
+	res.All = stats.Summarize(env.FCT.Records())
+	if len(small) > 0 {
+		n := 0
+		for _, r := range small {
+			if r.FCT() <= net.BaseRTT {
+				n++
+			}
+		}
+		res.FirstRTTFrac = float64(n) / float64(len(small))
+	}
+	res.Efficiency = env.Meter.Efficiency()
+	capacity := sim.Rate(int64(net.HostRate) * int64(len(net.Hosts)))
+	res.Goodput = env.Meter.Goodput(elapsed, capacity)
+	if t2 > t1 && d2 > d1 {
+		// Steady-state goodput over the middle half of the arrival span.
+		res.WindowGoodput = float64(d2-d1) * 8 / sim.Duration(t2-t1).Seconds() / float64(capacity)
+	}
+	res.TimeoutFlows = env.FCT.TimeoutFlows()
+	res.Drops = netem.DropTotals(net.SwitchPorts())
+	res.SmallCDF = stats.FCTCDF(small)
+	return res
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/stats"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// Fig4 reproduces Figure 4: FCT of 0-100KB flows under original Homa and
+// the hypothetical Homa with the idealized first RTT (no interference
+// between scheduled and unscheduled packets), on Cache Follower and Web
+// Server over the two-tier 100G fabric.
+func Fig4(cfg Config) []Table {
+	cfg.MinFlows = maxI(cfg.MinFlows, 400)
+	t := Table{ID: "fig4", Title: "Homa vs hypothetical Homa, 0-100KB flows (leaf-spine, 40% core)",
+		Columns: fctCols}
+	for _, wl := range []*workload.CDF{workload.CacheFollower, workload.WebServer} {
+		for _, id := range []string{"homa", "homa+oracle"} {
+			r := Run(cfg, RunSpec{
+				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
+				Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.4,
+			})
+			addFCTRow(&t, wl.Name(), r)
+		}
+	}
+	return []Table{t}
+}
+
+// Table1 reproduces Table 1: tail FCT (0-100KB), transfer efficiency and
+// average FCT (all flows) under hypothetical Homa, eager Homa (20 µs RTO)
+// and original Homa (10 ms RTO), on Cache Follower at 54% core load.
+func Table1(cfg Config) []Table {
+	cfg.MinFlows = maxI(cfg.MinFlows, 400) // tails need samples and collisions
+	wl := workload.CacheFollower
+	t := Table{ID: "table1", Title: "Hypothetical vs eager vs original Homa (Cache Follower)",
+		Columns: []string{"scheme", "tailFCT(0-100KB)/us", "efficiency", "avgFCT(all)/us"}}
+	for _, id := range []string{"homa+oracle", "homa-eager", "homa"} {
+		r := Run(cfg, RunSpec{
+			Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
+			Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.54,
+		})
+		t.Add(r.Scheme, stats.FormatDur(r.Small.P999), f2(r.Efficiency),
+			stats.FormatDur(r.All.Mean))
+	}
+	return []Table{t}
+}
+
+// Fig11 reproduces Figure 11: message completion times of a 7-to-1 incast
+// on the 10G testbed topology, Homa with and without Aeolus.
+func Fig11(cfg Config) []Table {
+	return incastMCT(cfg, "fig11", "homa", "homa+aeolus")
+}
+
+// Fig12 reproduces Figure 12: FCT of 0-100KB flows under Homa with and
+// without Aeolus across the four workloads, on the two-tier 100G fabric at
+// 54% core load (the maximum sustainable Homa load per §5.3).
+func Fig12(cfg Config) []Table {
+	cfg.MinFlows = maxI(cfg.MinFlows, 400)
+	t := Table{ID: "fig12", Title: "Homa ± Aeolus, 0-100KB flows (leaf-spine, 54% core)",
+		Columns: fctCols}
+	for _, wl := range workload.All {
+		for _, id := range []string{"homa", "homa+aeolus"} {
+			r := Run(cfg, RunSpec{
+				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
+				Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.54,
+			})
+			addFCTRow(&t, wl.Name(), r)
+		}
+	}
+	return []Table{t}
+}
+
+// Fig13 reproduces Figure 13: the number of flows suffering at least one
+// retransmission timeout as the load varies, Homa with and without Aeolus,
+// across the four workloads.
+func Fig13(cfg Config) []Table {
+	loads := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	if cfg.Quick {
+		loads = []float64{0.2, 0.5, 0.8}
+	}
+	sweep := cfg
+	sweep.Budget = cfg.Budget / 4
+	t := Table{ID: "fig13", Title: "Flows suffering timeouts vs load (Homa ± Aeolus)",
+		Columns: []string{"workload", "load", "flows", "Homa", "Homa+Aeolus"}}
+	for _, wl := range workload.All {
+		for _, load := range loads {
+			var timeouts [2]int
+			var flows int
+			for i, id := range []string{"homa", "homa+aeolus"} {
+				r := Run(sweep, RunSpec{
+					Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
+					Topo:   TopoLeafSpine, Workload: wl, CoreLoad: load,
+				})
+				timeouts[i] = r.TimeoutFlows
+				flows = r.Total
+			}
+			t.Add(wl.Name(), f2(load), fmt.Sprint(flows),
+				fmt.Sprint(timeouts[0]), fmt.Sprint(timeouts[1]))
+		}
+	}
+	return []Table{t}
+}
+
+// Table3 reproduces Table 3: average FCT of all flows under eager Homa
+// (20 µs RTO) and Homa+Aeolus across the four workloads at 54% core load.
+func Table3(cfg Config) []Table {
+	cfg.MinFlows = maxI(cfg.MinFlows, 400)
+	t := Table{ID: "table3", Title: "Avg FCT of all flows: eager Homa vs Homa+Aeolus (54% core)",
+		Columns: []string{"workload", "EagerHoma/us", "Homa+Aeolus/us", "reduction", "effEager", "effAeolus"}}
+	for _, wl := range workload.All {
+		var mean [2]float64
+		var eff [2]float64
+		for i, id := range []string{"homa-eager", "homa+aeolus"} {
+			r := Run(cfg, RunSpec{
+				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
+				Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.54,
+			})
+			mean[i] = r.All.Mean.Microseconds()
+			eff[i] = r.Efficiency
+		}
+		red := 0.0
+		if mean[0] > 0 {
+			red = 1 - mean[1]/mean[0]
+		}
+		t.Add(wl.Name(), f2(mean[0]), f2(mean[1]), f3(red), f2(eff[0]), f2(eff[1]))
+	}
+	return []Table{t}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// Fig14 reproduces Figure 14: FCT of 0-100KB flows under NDP with cutting
+// payload and NDP+Aeolus (selective dropping, no switch modification)
+// across the four workloads, on the two-tier 100G fabric at 40% core load.
+// The paper's claim: the two CDFs nearly coincide.
+func Fig14(cfg Config) []Table {
+	t := Table{ID: "fig14", Title: "NDP ± Aeolus, 0-100KB flows (leaf-spine, 40% core)",
+		Columns: fctCols}
+	for _, wl := range workload.All {
+		for _, id := range []string{"ndp", "ndp+aeolus"} {
+			r := Run(cfg, RunSpec{
+				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
+				Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.4,
+			})
+			addFCTRow(&t, wl.Name(), r)
+		}
+	}
+	return []Table{t}
+}

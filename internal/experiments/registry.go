@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment binds an ID to the function regenerating that table/figure.
+type Experiment struct {
+	ID    string
+	Paper string // what the paper shows
+	Fn    func(Config) []Table
+}
+
+// Registry lists every reproduced table and figure in paper order.
+var Registry = []Experiment{
+	{"fig1", "Gap between proactive baselines and ideal pre-credit handling", Fig1},
+	{"fig2", "Fraction of flows/bytes finishable in the first RTT vs link speed", Fig2},
+	{"fig3", "ExpressPass vs hypothetical ExpressPass, small-flow FCT", Fig3},
+	{"fig4", "Homa vs hypothetical Homa, small-flow FCT", Fig4},
+	{"table1", "Hypothetical vs eager vs original Homa", Table1},
+	{"fig8", "Testbed 7-to-1 incast MCT, ExpressPass ± Aeolus", Fig8},
+	{"fig9", "ExpressPass ± Aeolus small-flow FCT, four workloads", Fig9},
+	{"fig10", "ExpressPass ± Aeolus avg small-flow FCT vs load", Fig10},
+	{"fig11", "Testbed 7-to-1 incast MCT, Homa ± Aeolus", Fig11},
+	{"fig12", "Homa ± Aeolus small-flow FCT, four workloads", Fig12},
+	{"fig13", "Flows suffering timeouts vs load, Homa ± Aeolus", Fig13},
+	{"table3", "Avg FCT of all flows, eager Homa vs Homa+Aeolus", Table3},
+	{"fig14", "NDP ± Aeolus small-flow FCT, four workloads", Fig14},
+	{"fig15", "Queue length vs selective dropping threshold", Fig15},
+	{"fig16", "First-RTT utilization vs fan-in and threshold", Fig16},
+	{"table4", "Aeolus vs priority queueing: ambiguity", Table4},
+	{"table5", "Aeolus vs priority queueing: shared-buffer incast", Table5},
+	{"fig17", "Heavy-incast FCT slowdown, six schemes", Fig17},
+	{"fig18", "Goodput vs offered load, six schemes", Fig18},
+	{"ablation", "Design-choice ablation: threshold sweep, probe vs RTO-only recovery", Ablation},
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(Registry))
+	for _, e := range Registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("unknown experiment %q (have: %v)", id, ids)
+}

@@ -1,0 +1,79 @@
+// Package experiments reproduces every table and figure of the Aeolus
+// paper's evaluation (§2 microbenchmarks and §5): one function per
+// experiment, each building the paper's topology, workload and schemes,
+// running the simulator, and returning printable result tables whose rows
+// mirror the series the paper plots.
+//
+// Flow counts scale with Config.Budget (bytes of offered traffic per run) so
+// the same experiments serve fast regression tests, benchmarks and full
+// reproductions.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one result table: the rows a figure plots or a table prints.
+type Table struct {
+	ID      string // experiment ID, e.g. "fig9"
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row; it panics on column-count mismatch so experiments fail
+// loudly rather than emit misaligned tables.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: table %s row has %d cells, want %d",
+			t.ID, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV renders the table as comma-separated values (header included).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// f2 formats a float with 2 decimals; f3 with 3; f1 with 1.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

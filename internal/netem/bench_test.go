@@ -1,0 +1,78 @@
+package netem
+
+import (
+	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// BenchmarkSelectiveDrop measures the Aeolus switch queue's hot path.
+func BenchmarkSelectiveDrop(b *testing.B) {
+	q := NewSelectiveDrop(6<<10, DefaultBuffer)
+	p := dataPkt(1, 1538, false)
+	s := dataPkt(2, 1538, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p, 0)
+		q.Enqueue(s, 0)
+		q.Dequeue(0)
+		q.Dequeue(0)
+	}
+}
+
+// BenchmarkPrioQdisc measures the 8-band strict-priority queue.
+func BenchmarkPrioQdisc(b *testing.B) {
+	q := NewPrioQdisc(8, DefaultBuffer)
+	pkts := make([]*Packet, 8)
+	for i := range pkts {
+		pkts[i] = dataPkt(uint64(i), 1538, false)
+		pkts[i].Prio = uint8(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(pkts[i%8], 0)
+		q.Dequeue(0)
+	}
+}
+
+// BenchmarkXPassQdisc measures the shaped credit queue plus data path.
+func BenchmarkXPassQdisc(b *testing.B) {
+	q := NewXPassQdisc(XPassQdiscConfig{CreditRate: CreditRateFor(100 * sim.Gbps)})
+	credit := &Packet{Type: Credit, WireSize: CreditSize}
+	data := dataPkt(1, 1538, true)
+	b.ReportAllocs()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(credit, now)
+		q.Enqueue(data, now)
+		q.Dequeue(now)
+		q.Dequeue(now)
+		now += sim.Time(200 * sim.Nanosecond)
+	}
+}
+
+// BenchmarkFabricForwarding measures end-to-end packet cost across the
+// two-tier fabric: host -> leaf -> spine -> leaf -> host.
+func BenchmarkFabricForwarding(b *testing.B) {
+	eng := sim.NewEngine()
+	net := BuildLeafSpine(eng, 2, 2, 2, TopoConfig{
+		HostRate: 100 * sim.Gbps, LinkDelay: 500 * sim.Nanosecond,
+	})
+	for _, h := range net.Hosts {
+		h.EP = nopEndpoint{}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := dataPkt(uint64(i), 1538, true)
+		p.Src, p.Dst, p.PathID = 0, 3, uint32(i)
+		net.Hosts[0].Send(p)
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+type nopEndpoint struct{}
+
+func (nopEndpoint) Receive(*Packet) {}

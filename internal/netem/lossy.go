@@ -1,0 +1,44 @@
+package netem
+
+import (
+	"math/rand/v2"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// LossyQdisc wraps a discipline with random packet loss, for failure
+// injection: it exercises the recovery paths that a healthy fabric never
+// triggers (lost probes, lost ACKs, lost scheduled packets). Matching is
+// configurable so tests can target exactly one packet class.
+type LossyQdisc struct {
+	Qdisc
+
+	// Rate is the drop probability in [0,1] for matching packets.
+	Rate float64
+
+	// Match selects which packets may be dropped; nil matches everything.
+	Match func(p *Packet) bool
+
+	// Rng drives the loss process; must be non-nil.
+	Rng *rand.Rand
+
+	// Injected counts packets discarded by the wrapper.
+	Injected uint64
+}
+
+// NewLossyQdisc wraps inner with seeded random loss.
+func NewLossyQdisc(inner Qdisc, rate float64, seed uint64, match func(p *Packet) bool) *LossyQdisc {
+	return &LossyQdisc{
+		Qdisc: inner, Rate: rate, Match: match,
+		Rng: sim.NewRand(seed, 0x105e),
+	}
+}
+
+// Enqueue implements Qdisc.
+func (q *LossyQdisc) Enqueue(p *Packet, now sim.Time) bool {
+	if (q.Match == nil || q.Match(p)) && q.Rng.Float64() < q.Rate {
+		q.Injected++
+		return false
+	}
+	return q.Qdisc.Enqueue(p, now)
+}

@@ -1,0 +1,163 @@
+package netem
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// Endpoint is the transport attachment point of a host: every packet whose
+// destination is the host is handed to its endpoint.
+type Endpoint interface {
+	Receive(p *Packet)
+}
+
+// Host is an end system: a NIC output port toward its top-of-rack switch and
+// a transport endpoint. The configured HostDelay models end-host stack
+// latency and is applied on the receive path.
+type Host struct {
+	ID        NodeID
+	Eng       *sim.Engine
+	NIC       *Port
+	EP        Endpoint
+	HostDelay sim.Duration
+
+	RxPackets uint64
+	RxBytes   int64
+}
+
+// Receive implements Node: deliver to the endpoint after the host stack delay.
+func (h *Host) Receive(p *Packet) {
+	h.RxPackets++
+	h.RxBytes += int64(p.WireSize)
+	if h.EP == nil {
+		return
+	}
+	if h.HostDelay > 0 {
+		h.Eng.After(h.HostDelay, func() { h.EP.Receive(p) })
+		return
+	}
+	h.EP.Receive(p)
+}
+
+// Send stamps the packet's send time (if unset) and offers it to the NIC.
+func (h *Host) Send(p *Packet) {
+	if p.SendTime == 0 {
+		p.SendTime = h.Eng.Now()
+	}
+	h.NIC.Send(p)
+}
+
+// Switch is an output-queued switch: packets are routed to an output port by
+// destination host ID, with ECMP among equal-cost ports selected by the
+// packet's PathID. PipeDelay models the switching pipeline latency.
+type Switch struct {
+	ID        NodeID
+	Eng       *sim.Engine
+	Ports     []*Port
+	Table     [][]int32 // dst host ID -> eligible output port indices
+	PipeDelay sim.Duration
+	Label     string
+}
+
+// Receive implements Node.
+func (s *Switch) Receive(p *Packet) {
+	if s.PipeDelay > 0 {
+		s.Eng.After(s.PipeDelay, func() { s.forward(p) })
+		return
+	}
+	s.forward(p)
+}
+
+func (s *Switch) forward(p *Packet) {
+	if int(p.Dst) >= len(s.Table) || len(s.Table[p.Dst]) == 0 {
+		panic(fmt.Sprintf("netem: switch %s has no route to host %d for %v", s.Label, p.Dst, p))
+	}
+	choices := s.Table[p.Dst]
+	idx := choices[int(p.PathID)%len(choices)]
+	s.Ports[idx].Send(p)
+}
+
+// Network is a built topology: the engine, all hosts and switches, and the
+// derived timing constants transports need (base RTT, BDP).
+type Network struct {
+	Eng      *sim.Engine
+	Hosts    []*Host
+	Switches []*Switch
+
+	// HostRate is the edge link rate (hosts' NIC rate).
+	HostRate sim.Rate
+
+	// BaseRTT is the zero-load round-trip time between the farthest pair of
+	// hosts, including serialization of one full-size frame on each hop and
+	// a minimum-size reply. Transports size their first-RTT window from it.
+	BaseRTT sim.Duration
+}
+
+// BDPBytes returns the bandwidth-delay product of the edge rate and base RTT:
+// the number of bytes a new flow may burst in its pre-credit phase.
+func (n *Network) BDPBytes() int64 {
+	return sim.BytesIn(n.BaseRTT, n.HostRate)
+}
+
+// Host returns the host with the given ID.
+func (n *Network) Host(id NodeID) *Host { return n.Hosts[id] }
+
+// SwitchPorts returns every switch output port (host NICs excluded).
+func (n *Network) SwitchPorts() []*Port {
+	var ps []*Port
+	for _, s := range n.Switches {
+		ps = append(ps, s.Ports...)
+	}
+	return ps
+}
+
+// AllPorts returns every port in the network, NICs included.
+func (n *Network) AllPorts() []*Port {
+	ps := n.SwitchPorts()
+	for _, h := range n.Hosts {
+		ps = append(ps, h.NIC)
+	}
+	return ps
+}
+
+// DropTotals aggregates qdisc drop counters across the given ports.
+func DropTotals(ports []*Port) [4]uint64 {
+	var tot [4]uint64
+	for _, pt := range ports {
+		if dc, ok := dropCounterOf(pt.Q); ok {
+			for i, v := range dc.Drops {
+				tot[i] += v
+			}
+		}
+	}
+	return tot
+}
+
+// dropCounterOf extracts the embedded DropCounter of known qdisc types.
+func dropCounterOf(q Qdisc) (*DropCounter, bool) {
+	switch v := q.(type) {
+	case *FIFO:
+		return &v.DropCounter, true
+	case *SelectiveDrop:
+		return &v.DropCounter, true
+	case *PrioQdisc:
+		return &v.DropCounter, true
+	case *NDPQueue:
+		return &v.DropCounter, true
+	case *XPassQdisc:
+		// Includes the inner data qdisc's counter too.
+		var sum DropCounter
+		for i, n := range v.Drops {
+			sum.Drops[i] += n
+		}
+		if inner, ok := dropCounterOf(v.cfg.Data); ok {
+			for i, n := range inner.Drops {
+				sum.Drops[i] += n
+			}
+		}
+		return &sum, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,83 @@
+package netem
+
+import "github.com/aeolus-transport/aeolus/internal/sim"
+
+// Node is anything a port can deliver packets to: a host or a switch.
+type Node interface {
+	Receive(p *Packet)
+}
+
+// Port is a unidirectional output port: a queueing discipline feeding a
+// serializer at the link rate, followed by a fixed propagation delay to the
+// destination node. Ports never reorder what their qdisc hands them.
+type Port struct {
+	Eng   *sim.Engine
+	Q     Qdisc
+	Rate  sim.Rate
+	Delay sim.Duration
+	Dst   Node
+	Label string // e.g. "leaf3->spine1", for diagnostics
+
+	busy bool
+	wake *sim.Event
+
+	// Counters.
+	TxPackets uint64
+	TxBytes   int64
+}
+
+// NewPort constructs a port. The qdisc, rate and destination must be set.
+func NewPort(eng *sim.Engine, q Qdisc, rate sim.Rate, delay sim.Duration, dst Node, label string) *Port {
+	return &Port{Eng: eng, Q: q, Rate: rate, Delay: delay, Dst: dst, Label: label}
+}
+
+// Send offers a packet to the port. The qdisc may drop it.
+func (pt *Port) Send(p *Packet) {
+	if pt.Q.Enqueue(p, pt.Eng.Now()) {
+		pt.kick()
+	}
+}
+
+// kick starts the serializer if it is idle and a packet is eligible. If the
+// qdisc is holding shaped packets, a wake-up is scheduled instead.
+func (pt *Port) kick() {
+	if pt.busy {
+		return
+	}
+	now := pt.Eng.Now()
+	p := pt.Q.Dequeue(now)
+	if p == nil {
+		w := pt.Q.NextWake(now)
+		if w == sim.MaxTime {
+			return
+		}
+		if pt.wake != nil && !pt.wake.Canceled() && pt.wake.Time() <= w && pt.wake.Time() > now {
+			return // an earlier or equal wake-up is already pending
+		}
+		if pt.wake != nil {
+			pt.wake.Cancel()
+		}
+		if w <= now {
+			w = now + 1 // defensive: never busy-loop at the same instant
+		}
+		pt.wake = pt.Eng.At(w, func() {
+			pt.wake = nil
+			pt.kick()
+		})
+		return
+	}
+	pt.busy = true
+	pt.TxPackets++
+	pt.TxBytes += int64(p.WireSize)
+	tx := sim.TxTime(p.WireSize, pt.Rate)
+	pt.Eng.After(tx, func() {
+		pt.busy = false
+		pt.kick()
+	})
+	pt.Eng.After(tx+pt.Delay, func() {
+		pt.Dst.Receive(p)
+	})
+}
+
+// Backlog reports the qdisc occupancy.
+func (pt *Port) Backlog() Backlog { return pt.Q.Backlog() }

@@ -1,0 +1,278 @@
+package netem
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// PortKind tells a QdiscFactory where a port sits, so transports can install
+// different disciplines at host NICs and at switch ports.
+type PortKind int
+
+// Port kinds.
+const (
+	HostNIC        PortKind = iota // host to first-hop switch
+	SwitchToHost                   // last-hop switch down to a host
+	SwitchToSwitch                 // fabric link
+)
+
+// QdiscFactory builds the queueing discipline for a port of the given kind
+// and rate. Transports provide one when building a topology.
+type QdiscFactory func(kind PortKind, rate sim.Rate) Qdisc
+
+// TopoConfig carries the knobs shared by all topology builders.
+type TopoConfig struct {
+	HostRate   sim.Rate     // edge link rate
+	CoreRate   sim.Rate     // fabric link rate; 0 means same as HostRate
+	LinkDelay  sim.Duration // per-link propagation delay
+	HostDelay  sim.Duration // end-host stack latency (applied at receive)
+	SwitchPipe sim.Duration // switching pipeline latency
+	MakeQdisc  QdiscFactory
+}
+
+func (c *TopoConfig) core() sim.Rate {
+	if c.CoreRate > 0 {
+		return c.CoreRate
+	}
+	return c.HostRate
+}
+
+func (c *TopoConfig) qdisc(kind PortKind, rate sim.Rate) Qdisc {
+	if c.MakeQdisc == nil {
+		return NewFIFO(DefaultBuffer)
+	}
+	return c.MakeQdisc(kind, rate)
+}
+
+// baseRTT estimates the zero-load RTT across a path of the given link rates:
+// propagation both ways, one full-frame serialization per hop forward, one
+// minimum-frame serialization per hop back, switch pipelines both ways and
+// the host stack delay both ways.
+func baseRTT(cfg *TopoConfig, linkRates []sim.Rate, nSwitches int) sim.Duration {
+	var rtt sim.Duration
+	for _, r := range linkRates {
+		rtt += 2*cfg.LinkDelay + sim.TxTime(WireSizeFor(MaxPayload), r) + sim.TxTime(HeaderSize, r)
+	}
+	rtt += 2 * sim.Duration(nSwitches) * cfg.SwitchPipe
+	rtt += 2 * cfg.HostDelay
+	return rtt
+}
+
+func newHost(eng *sim.Engine, id NodeID, cfg *TopoConfig) *Host {
+	return &Host{ID: id, Eng: eng, HostDelay: cfg.HostDelay}
+}
+
+// BuildSingleSwitch wires n hosts to one switch — the shape of the paper's
+// hardware testbed (8 servers on a Mellanox SN2000 at 10 Gbps, §5.1).
+func BuildSingleSwitch(eng *sim.Engine, n int, cfg TopoConfig) *Network {
+	sw := &Switch{ID: NodeID(1000), Eng: eng, PipeDelay: cfg.SwitchPipe, Label: "sw0"}
+	net := &Network{Eng: eng, Switches: []*Switch{sw}, HostRate: cfg.HostRate}
+	sw.Table = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		h := newHost(eng, NodeID(i), &cfg)
+		h.NIC = NewPort(eng, cfg.qdisc(HostNIC, cfg.HostRate), cfg.HostRate, cfg.LinkDelay, sw,
+			fmt.Sprintf("h%d->sw0", i))
+		down := NewPort(eng, cfg.qdisc(SwitchToHost, cfg.HostRate), cfg.HostRate, cfg.LinkDelay, h,
+			fmt.Sprintf("sw0->h%d", i))
+		sw.Ports = append(sw.Ports, down)
+		sw.Table[i] = []int32{int32(len(sw.Ports) - 1)}
+		net.Hosts = append(net.Hosts, h)
+	}
+	net.BaseRTT = baseRTT(&cfg, []sim.Rate{cfg.HostRate, cfg.HostRate}, 1)
+	return net
+}
+
+// BuildLeafSpine wires a two-tier Clos: nLeaf leaf switches each with
+// hostsPerLeaf hosts, fully meshed to nSpine spine switches. This is the
+// Homa/NDP evaluation topology (8 spines, 8 leaves, 64 hosts at 100 Gbps,
+// base RTT 4.5 µs) and, with CoreRate set, the Fig. 17 heavy-incast fabric
+// (4 spines, 9 leaves, 144 hosts, 100G edge / 400G core).
+func BuildLeafSpine(eng *sim.Engine, nSpine, nLeaf, hostsPerLeaf int, cfg TopoConfig) *Network {
+	nHosts := nLeaf * hostsPerLeaf
+	core := cfg.core()
+	net := &Network{Eng: eng, HostRate: cfg.HostRate}
+
+	leaves := make([]*Switch, nLeaf)
+	spines := make([]*Switch, nSpine)
+	for l := 0; l < nLeaf; l++ {
+		leaves[l] = &Switch{ID: NodeID(1000 + l), Eng: eng, PipeDelay: cfg.SwitchPipe,
+			Label: fmt.Sprintf("leaf%d", l), Table: make([][]int32, nHosts)}
+	}
+	for s := 0; s < nSpine; s++ {
+		spines[s] = &Switch{ID: NodeID(2000 + s), Eng: eng, PipeDelay: cfg.SwitchPipe,
+			Label: fmt.Sprintf("spine%d", s), Table: make([][]int32, nHosts)}
+	}
+
+	// Hosts and leaf down-ports.
+	for l := 0; l < nLeaf; l++ {
+		for k := 0; k < hostsPerLeaf; k++ {
+			id := NodeID(l*hostsPerLeaf + k)
+			h := newHost(eng, id, &cfg)
+			h.NIC = NewPort(eng, cfg.qdisc(HostNIC, cfg.HostRate), cfg.HostRate, cfg.LinkDelay,
+				leaves[l], fmt.Sprintf("h%d->leaf%d", id, l))
+			down := NewPort(eng, cfg.qdisc(SwitchToHost, cfg.HostRate), cfg.HostRate, cfg.LinkDelay,
+				h, fmt.Sprintf("leaf%d->h%d", l, id))
+			leaves[l].Ports = append(leaves[l].Ports, down)
+			leaves[l].Table[id] = []int32{int32(len(leaves[l].Ports) - 1)}
+			net.Hosts = append(net.Hosts, h)
+		}
+	}
+
+	// Leaf-spine mesh. Uplink port order is by spine index on every leaf and
+	// down-port order is by leaf index on every spine, so forward and reverse
+	// ECMP choices with the same PathID traverse the same spine.
+	for l := 0; l < nLeaf; l++ {
+		var uplinks []int32
+		for s := 0; s < nSpine; s++ {
+			up := NewPort(eng, cfg.qdisc(SwitchToSwitch, core), core, cfg.LinkDelay,
+				spines[s], fmt.Sprintf("leaf%d->spine%d", l, s))
+			leaves[l].Ports = append(leaves[l].Ports, up)
+			uplinks = append(uplinks, int32(len(leaves[l].Ports)-1))
+		}
+		for id := 0; id < nHosts; id++ {
+			if id/hostsPerLeaf != l {
+				leaves[l].Table[id] = uplinks
+			}
+		}
+	}
+	for s := 0; s < nSpine; s++ {
+		for l := 0; l < nLeaf; l++ {
+			down := NewPort(eng, cfg.qdisc(SwitchToSwitch, core), core, cfg.LinkDelay,
+				leaves[l], fmt.Sprintf("spine%d->leaf%d", s, l))
+			spines[s].Ports = append(spines[s].Ports, down)
+			for k := 0; k < hostsPerLeaf; k++ {
+				spines[s].Table[l*hostsPerLeaf+k] = []int32{int32(len(spines[s].Ports) - 1)}
+			}
+		}
+	}
+
+	net.Switches = append(net.Switches, leaves...)
+	net.Switches = append(net.Switches, spines...)
+	net.BaseRTT = baseRTT(&cfg, []sim.Rate{cfg.HostRate, core, core, cfg.HostRate}, 3)
+	return net
+}
+
+// FatTreeShape sizes a three-tier oversubscribed fabric.
+type FatTreeShape struct {
+	Spines      int // spine switches
+	Leaves      int // leaf (aggregation) switches
+	ToRs        int // top-of-rack switches
+	HostsPerToR int
+	ToRUplinks  int // parallel links from each ToR to its parent leaf
+}
+
+// ExpressPassShape is the topology of the ExpressPass evaluation reused by
+// the Aeolus paper (§5.1): 8 spines, 16 leaves, 32 ToRs, 192 servers, with a
+// 3:1 oversubscription at the ToR (6 host links down, 2 uplinks).
+var ExpressPassShape = FatTreeShape{Spines: 8, Leaves: 16, ToRs: 32, HostsPerToR: 6, ToRUplinks: 2}
+
+// BuildFatTree3 wires a three-tier fabric: hosts–ToR–leaf–spine, with
+// ToRs/Leaves ToRs under each leaf and every leaf meshed to all spines.
+func BuildFatTree3(eng *sim.Engine, shape FatTreeShape, cfg TopoConfig) *Network {
+	if shape.ToRs%shape.Leaves != 0 {
+		panic("netem: ToR count must divide evenly among leaves")
+	}
+	torsPerLeaf := shape.ToRs / shape.Leaves
+	nHosts := shape.ToRs * shape.HostsPerToR
+	core := cfg.core()
+	net := &Network{Eng: eng, HostRate: cfg.HostRate}
+
+	tors := make([]*Switch, shape.ToRs)
+	leaves := make([]*Switch, shape.Leaves)
+	spines := make([]*Switch, shape.Spines)
+	for t := range tors {
+		tors[t] = &Switch{ID: NodeID(1000 + t), Eng: eng, PipeDelay: cfg.SwitchPipe,
+			Label: fmt.Sprintf("tor%d", t), Table: make([][]int32, nHosts)}
+	}
+	for l := range leaves {
+		leaves[l] = &Switch{ID: NodeID(2000 + l), Eng: eng, PipeDelay: cfg.SwitchPipe,
+			Label: fmt.Sprintf("leaf%d", l), Table: make([][]int32, nHosts)}
+	}
+	for s := range spines {
+		spines[s] = &Switch{ID: NodeID(3000 + s), Eng: eng, PipeDelay: cfg.SwitchPipe,
+			Label: fmt.Sprintf("spine%d", s), Table: make([][]int32, nHosts)}
+	}
+
+	// Hosts and ToR down-ports.
+	for t := 0; t < shape.ToRs; t++ {
+		for k := 0; k < shape.HostsPerToR; k++ {
+			id := NodeID(t*shape.HostsPerToR + k)
+			h := newHost(eng, id, &cfg)
+			h.NIC = NewPort(eng, cfg.qdisc(HostNIC, cfg.HostRate), cfg.HostRate, cfg.LinkDelay,
+				tors[t], fmt.Sprintf("h%d->tor%d", id, t))
+			down := NewPort(eng, cfg.qdisc(SwitchToHost, cfg.HostRate), cfg.HostRate, cfg.LinkDelay,
+				h, fmt.Sprintf("tor%d->h%d", t, id))
+			tors[t].Ports = append(tors[t].Ports, down)
+			tors[t].Table[id] = []int32{int32(len(tors[t].Ports) - 1)}
+			net.Hosts = append(net.Hosts, h)
+		}
+	}
+
+	// ToR uplinks: parallel links to the parent leaf.
+	for t := 0; t < shape.ToRs; t++ {
+		parent := leaves[t/torsPerLeaf]
+		var uplinks []int32
+		for u := 0; u < shape.ToRUplinks; u++ {
+			up := NewPort(eng, cfg.qdisc(SwitchToSwitch, core), core, cfg.LinkDelay,
+				parent, fmt.Sprintf("tor%d->leaf%d.%d", t, t/torsPerLeaf, u))
+			tors[t].Ports = append(tors[t].Ports, up)
+			uplinks = append(uplinks, int32(len(tors[t].Ports)-1))
+		}
+		for id := 0; id < nHosts; id++ {
+			if id/shape.HostsPerToR != t {
+				tors[t].Table[id] = uplinks
+			}
+		}
+	}
+
+	// Leaf down-ports (parallel, mirroring ToR uplinks) and leaf-spine mesh.
+	for l := 0; l < shape.Leaves; l++ {
+		for ti := 0; ti < torsPerLeaf; ti++ {
+			t := l*torsPerLeaf + ti
+			var downs []int32
+			for u := 0; u < shape.ToRUplinks; u++ {
+				down := NewPort(eng, cfg.qdisc(SwitchToSwitch, core), core, cfg.LinkDelay,
+					tors[t], fmt.Sprintf("leaf%d->tor%d.%d", l, t, u))
+				leaves[l].Ports = append(leaves[l].Ports, down)
+				downs = append(downs, int32(len(leaves[l].Ports)-1))
+			}
+			for k := 0; k < shape.HostsPerToR; k++ {
+				leaves[l].Table[t*shape.HostsPerToR+k] = downs
+			}
+		}
+		var uplinks []int32
+		for s := 0; s < shape.Spines; s++ {
+			up := NewPort(eng, cfg.qdisc(SwitchToSwitch, core), core, cfg.LinkDelay,
+				spines[s], fmt.Sprintf("leaf%d->spine%d", l, s))
+			leaves[l].Ports = append(leaves[l].Ports, up)
+			uplinks = append(uplinks, int32(len(leaves[l].Ports)-1))
+		}
+		for id := 0; id < nHosts; id++ {
+			if id/(shape.HostsPerToR*torsPerLeaf) != l {
+				leaves[l].Table[id] = uplinks
+			}
+		}
+	}
+
+	// Spine down-ports.
+	for s := 0; s < shape.Spines; s++ {
+		for l := 0; l < shape.Leaves; l++ {
+			down := NewPort(eng, cfg.qdisc(SwitchToSwitch, core), core, cfg.LinkDelay,
+				leaves[l], fmt.Sprintf("spine%d->leaf%d", s, l))
+			spines[s].Ports = append(spines[s].Ports, down)
+			for id := 0; id < nHosts; id++ {
+				if id/(shape.HostsPerToR*torsPerLeaf) == l {
+					spines[s].Table[id] = append(spines[s].Table[id], int32(len(spines[s].Ports)-1))
+				}
+			}
+		}
+	}
+
+	net.Switches = append(net.Switches, tors...)
+	net.Switches = append(net.Switches, leaves...)
+	net.Switches = append(net.Switches, spines...)
+	net.BaseRTT = baseRTT(&cfg,
+		[]sim.Rate{cfg.HostRate, core, core, core, core, cfg.HostRate}, 5)
+	return net
+}

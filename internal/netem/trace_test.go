@@ -1,0 +1,136 @@
+package netem
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+func TestWriterTracerFormatsAndFilters(t *testing.T) {
+	var sb strings.Builder
+	tr := &WriterTracer{W: &sb, Filter: func(p *Packet) bool { return p.Flow == 1 }}
+	tr.Trace(sim.Time(sim.Microsecond), TraceEnqueue, "sw0->h1", dataPkt(1, 1538, true))
+	tr.Trace(sim.Time(sim.Microsecond), TraceDrop, "sw0->h1", dataPkt(2, 1538, false))
+	if tr.Events != 1 {
+		t.Fatalf("events = %d, want 1 (filter)", tr.Events)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ENQ") || !strings.Contains(out, "sw0->h1") {
+		t.Fatalf("trace line: %q", out)
+	}
+}
+
+func TestCountingTracer(t *testing.T) {
+	tr := NewCountingTracer()
+	tr.Trace(0, TraceDeliver, "host1", dataPkt(1, 1538, true))
+	tr.Trace(0, TraceDeliver, "host1", dataPkt(2, 1538, true))
+	tr.Trace(0, TraceDrop, "sw", &Packet{Type: Probe, WireSize: 64})
+	if tr.Total(TraceDeliver, Data) != 2 {
+		t.Fatalf("deliver/data = %d", tr.Total(TraceDeliver, Data))
+	}
+	if tr.Total(TraceDrop, Probe) != 1 {
+		t.Fatalf("drop/probe = %d", tr.Total(TraceDrop, Probe))
+	}
+	if tr.Total(TraceTrim, Data) != 0 {
+		t.Fatal("phantom trim count")
+	}
+}
+
+func TestInstrumentedPortsAndHosts(t *testing.T) {
+	eng := sim.NewEngine()
+	net := BuildSingleSwitch(eng, 3, TopoConfig{
+		HostRate: 10 * sim.Gbps, LinkDelay: sim.Microsecond,
+		MakeQdisc: func(PortKind, sim.Rate) Qdisc { return NewSelectiveDrop(6000, DefaultBuffer) },
+	})
+	attachCollectors(net)
+	tr := NewCountingTracer()
+	InstrumentPorts(net.AllPorts(), tr)
+	InstrumentHosts(net.Hosts, tr)
+
+	// Two senders overload one downlink: enqueues, drops and deliveries
+	// must all be observed.
+	for i := 0; i < 30; i++ {
+		for s := NodeID(0); s < 2; s++ {
+			p := dataPkt(uint64(s)*100+uint64(i), 1538, false)
+			p.Src, p.Dst = s, 2
+			net.Hosts[s].Send(p)
+		}
+	}
+	eng.Run()
+	if tr.Total(TraceEnqueue, Data) == 0 {
+		t.Fatal("no enqueues traced")
+	}
+	if tr.Total(TraceDrop, Data) == 0 {
+		t.Fatal("no drops traced under 2:1 overload")
+	}
+	if tr.Total(TraceDeliver, Data) == 0 {
+		t.Fatal("no deliveries traced")
+	}
+	// Conservation: delivered = enqueued at the last hop − nothing (no loss
+	// after acceptance); total sent = delivered + dropped at the switch.
+	sent := uint64(60)
+	if tr.Total(TraceDeliver, Data)+tr.Total(TraceDrop, Data) != sent {
+		t.Fatalf("deliver %d + drop %d != sent %d",
+			tr.Total(TraceDeliver, Data), tr.Total(TraceDrop, Data), sent)
+	}
+}
+
+func TestTraceTrimEvent(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewCountingTracer()
+	q := NewNDPQueue(NDPQueueConfig{Trim: true, DataLimitBytes: 2 * 9000})
+	traced := &tracedQdisc{Qdisc: q, tracer: tr, eng: eng, where: "t"}
+	for i := 0; i < 2; i++ {
+		if !traced.Enqueue(dataPkt(uint64(i), 9000, false), 0) {
+			t.Fatal("fill dropped")
+		}
+	}
+	over := dataPkt(9, 9000, false)
+	if !traced.Enqueue(over, 0) {
+		t.Fatal("overflow should trim, not drop")
+	}
+	if tr.Total(TraceTrim, Data) != 1 {
+		t.Fatalf("trim events = %d, want 1", tr.Total(TraceTrim, Data))
+	}
+	if tr.Total(TraceEnqueue, Data) != 2 {
+		t.Fatalf("enqueue events = %d, want 2", tr.Total(TraceEnqueue, Data))
+	}
+}
+
+func TestLossyQdiscTargetedLoss(t *testing.T) {
+	inner := NewFIFO(0)
+	// Drop every matching packet (rate 1) but only probes.
+	q := NewLossyQdisc(inner, 1.0, 7, func(p *Packet) bool { return p.Type == Probe })
+	if q.Enqueue(&Packet{Type: Probe, WireSize: 64}, 0) {
+		t.Fatal("probe survived rate-1 loss")
+	}
+	if !q.Enqueue(dataPkt(1, 1538, true), 0) {
+		t.Fatal("non-matching packet dropped")
+	}
+	if q.Injected != 1 {
+		t.Fatalf("injected = %d", q.Injected)
+	}
+}
+
+func TestLossyQdiscStatisticalRate(t *testing.T) {
+	inner := NewFIFO(0)
+	q := NewLossyQdisc(inner, 0.3, 11, nil)
+	dropped := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if !q.Enqueue(dataPkt(uint64(i), 100, false), 0) {
+			dropped++
+		}
+	}
+	got := float64(dropped) / n
+	if got < 0.27 || got > 0.33 {
+		t.Fatalf("empirical loss %0.3f, want ≈0.30", got)
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	if TraceEnqueue.String() != "ENQ" || TraceEvent(99).String() != "?" {
+		t.Fatal("TraceEvent.String mismatch")
+	}
+}

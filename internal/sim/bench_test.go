@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures raw event throughput: schedule + fire.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+Time(i%1000), func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineTimerChurn measures the cancel-heavy pattern transports
+// use for retransmission timers.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	var pending *Event
+	for i := 0; i < b.N; i++ {
+		if pending != nil {
+			pending.Cancel()
+		}
+		pending = e.At(e.Now()+1000, func() {})
+		if i%256 == 255 {
+			e.RunUntil(e.Now() + 10)
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkTxTime measures the serialization-delay helper on the hot path.
+func BenchmarkTxTime(b *testing.B) {
+	var sink Duration
+	for i := 0; i < b.N; i++ {
+		sink += TxTime(1538, 100*Gbps)
+	}
+	_ = sink
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Holding the pointer returned by At/After
+// allows the caller to Cancel the event before it fires (a timer).
+type Event struct {
+	time     Time
+	seq      uint64
+	fn       func()
+	index    int // position in the heap, -1 once fired or canceled
+	canceled bool
+}
+
+// Time returns the instant the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.time }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// eventHeap is a min-heap ordered by (time, seq); seq breaks ties in
+// scheduling order, which makes runs deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. It is not safe for concurrent use;
+// the whole simulation runs on one goroutine.
+type Engine struct {
+	heap    eventHeap
+	now     Time
+	nextSeq uint64
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events waiting to fire (including canceled
+// events not yet drained).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics —
+// that is always a logic error in a simulation.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{time: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. A negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Stop makes the current Run call return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or Stop is
+// called. It returns the final simulated time.
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps ≤ deadline, then sets the clock to
+// the deadline (or to the last event time if the queue drained earlier and the
+// deadline is MaxTime). It returns the final simulated time.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		next := e.heap[0]
+		if next.time > deadline {
+			break
+		}
+		heap.Pop(&e.heap)
+		if next.canceled {
+			continue
+		}
+		e.now = next.time
+		next.fn()
+		e.fired++
+	}
+	if deadline != MaxTime && e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return e.now
+}

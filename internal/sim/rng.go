@@ -1,0 +1,19 @@
+package sim
+
+import "math/rand/v2"
+
+// NewRand returns a deterministic PCG-backed random source derived from the
+// given seed and stream. Components of a simulation each take their own
+// stream so that adding randomness to one component does not perturb another.
+func NewRand(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, stream^0x9e3779b97f4a7c15))
+}
+
+// Exp samples an exponentially distributed duration with the given mean.
+// It is the inter-arrival sampler for Poisson processes.
+func Exp(r *rand.Rand, mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return Duration(r.ExpFloat64() * float64(mean))
+}

@@ -1,0 +1,134 @@
+// Package sim provides the discrete-event simulation engine used by every
+// other package in this repository: a picosecond-resolution virtual clock, a
+// deterministic event scheduler with cancelable timers, and seeded random
+// number sources.
+//
+// The engine is intentionally single-threaded. Determinism is a design goal:
+// two events scheduled for the same instant fire in the order they were
+// scheduled, and all randomness flows from explicit seeds, so a simulation is
+// a pure function of its configuration.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an absolute simulation timestamp in picoseconds since the start of
+// the run. Picosecond resolution keeps the serialization time of even a
+// 64-byte probe on a 100 Gbps link (5120 ps) integer-exact.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration int64
+
+// Duration units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable timestamp. It is used as an "infinitely
+// far in the future" sentinel.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Microseconds converts t to floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String renders the timestamp with an adaptive unit, e.g. "12.345us".
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds converts d to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds converts d to floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Nanoseconds converts d to floating-point nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// String renders the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Nanosecond:
+		return fmt.Sprintf("%dps", int64(d))
+	case d < Microsecond:
+		return fmt.Sprintf("%.3fns", d.Nanoseconds())
+	case d < Millisecond:
+		return fmt.Sprintf("%.3fus", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Rate is a link or drain rate in bits per second.
+type Rate int64
+
+// Rate units.
+const (
+	BitPerSecond Rate = 1
+	Kbps              = 1000 * BitPerSecond
+	Mbps              = 1000 * Kbps
+	Gbps              = 1000 * Mbps
+)
+
+// String renders the rate with an adaptive unit, e.g. "100Gbps".
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Mbps && r%Mbps == 0:
+		return fmt.Sprintf("%dMbps", r/Mbps)
+	case r >= Kbps && r%Kbps == 0:
+		return fmt.Sprintf("%dKbps", r/Kbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// TxTime returns the serialization delay of a packet of the given size at
+// rate r, rounded up to the next picosecond so that back-to-back packets
+// never overlap. It panics on a non-positive rate.
+func TxTime(sizeBytes int, r Rate) Duration {
+	if r <= 0 {
+		panic(fmt.Sprintf("sim: TxTime with non-positive rate %d", r))
+	}
+	bits := int64(sizeBytes) * 8
+	// bits is at most ~10^5 for any realistic packet; bits*Second fits int64
+	// comfortably (10^5 * 10^12 = 10^17 < 2^63).
+	ps := bits * int64(Second)
+	d := ps / int64(r)
+	if ps%int64(r) != 0 {
+		d++
+	}
+	return Duration(d)
+}
+
+// BytesIn returns how many whole bytes rate r can transfer in duration d.
+func BytesIn(d Duration, r Rate) int64 {
+	if d <= 0 || r <= 0 {
+		return 0
+	}
+	// Avoid overflow: bits = d * r / Second computed via float for very large
+	// d, exactly for the common case.
+	if int64(d) <= (math.MaxInt64 / int64(r)) {
+		return int64(d) * int64(r) / int64(Second) / 8
+	}
+	return int64(float64(d) / float64(Second) * float64(r) / 8)
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+func rec(id uint64, size int64, start, finish sim.Time, ideal sim.Duration) FlowRecord {
+	return FlowRecord{ID: id, Size: size, Start: start, Finish: finish, IdealFCT: ideal}
+}
+
+func TestFlowRecordBasics(t *testing.T) {
+	r := rec(1, 1000, sim.Time(10*sim.Microsecond), sim.Time(30*sim.Microsecond), 10*sim.Microsecond)
+	if r.FCT() != 20*sim.Microsecond {
+		t.Fatalf("FCT = %v, want 20us", r.FCT())
+	}
+	if r.Slowdown() != 2 {
+		t.Fatalf("Slowdown = %v, want 2", r.Slowdown())
+	}
+	r.IdealFCT = 0
+	if r.Slowdown() != 1 {
+		t.Fatalf("Slowdown with zero ideal = %v, want 1", r.Slowdown())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := &FCTCollector{}
+	for i := 1; i <= 100; i++ {
+		c.Add(rec(uint64(i), 1000, 0, sim.Time(i)*sim.Time(sim.Microsecond), sim.Microsecond))
+	}
+	s := Summarize(c.Records())
+	if s.N != 100 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.P50 != 50*sim.Microsecond {
+		t.Fatalf("P50 = %v, want 50us", s.P50)
+	}
+	if s.P99 != 99*sim.Microsecond {
+		t.Fatalf("P99 = %v, want 99us", s.P99)
+	}
+	if s.Max != 100*sim.Microsecond {
+		t.Fatalf("Max = %v, want 100us", s.Max)
+	}
+	if s.Mean != sim.Duration(50.5*float64(sim.Microsecond)) {
+		t.Fatalf("Mean = %v, want 50.5us", s.Mean)
+	}
+	if s.P99Slowdown != 99 {
+		t.Fatalf("P99Slowdown = %v, want 99", s.P99Slowdown)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	c := &FCTCollector{}
+	sizes := []int64{50, 100e3, 500e3, 2e6}
+	for i, sz := range sizes {
+		c.Add(rec(uint64(i), sz, 0, sim.Time(sim.Microsecond), sim.Microsecond))
+	}
+	if got := len(c.Filter(0, 100e3)); got != 1 {
+		t.Fatalf("small bucket = %d, want 1", got)
+	}
+	if got := len(c.Filter(100e3, 1e6)); got != 2 {
+		t.Fatalf("mid bucket = %d, want 2", got)
+	}
+	if got := len(c.Filter(1e6, 0)); got != 1 {
+		t.Fatalf("large bucket = %d, want 1", got)
+	}
+}
+
+func TestTimeoutFlows(t *testing.T) {
+	c := &FCTCollector{}
+	r := rec(1, 10, 0, 1, 1)
+	r.Timeouts = 2
+	c.Add(r)
+	c.Add(rec(2, 10, 0, 1, 1))
+	if got := c.TimeoutFlows(); got != 1 {
+		t.Fatalf("TimeoutFlows = %d, want 1", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuantileProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		fcts := make([]sim.Duration, len(raw))
+		for i, v := range raw {
+			fcts[i] = sim.Duration(math.Abs(float64(v))) + 1
+		}
+		sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+		last := sim.Duration(0)
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+			q := quantileDur(fcts, p)
+			if q < last || q < fcts[0] || q > fcts[len(fcts)-1] {
+				return false
+			}
+			last = q
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCTCDF(t *testing.T) {
+	recs := []FlowRecord{
+		rec(1, 10, 0, sim.Time(2*sim.Microsecond), 1),
+		rec(2, 10, 0, sim.Time(sim.Microsecond), 1),
+	}
+	cdf := FCTCDF(recs)
+	if len(cdf) != 2 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	if cdf[0][0] != 1 || cdf[0][1] != 0.5 {
+		t.Fatalf("first point = %v", cdf[0])
+	}
+	if cdf[1][0] != 2 || cdf[1][1] != 1 {
+		t.Fatalf("second point = %v", cdf[1])
+	}
+}
+
+func TestByteMeter(t *testing.T) {
+	m := &ByteMeter{}
+	if m.Efficiency() != 1 {
+		t.Fatal("empty meter efficiency should be 1")
+	}
+	m.SentPayload = 1000
+	m.DeliveredPayload = 900
+	if m.Efficiency() != 0.9 {
+		t.Fatalf("efficiency = %v", m.Efficiency())
+	}
+	// 900 bytes over 1 µs at 10 Gbps: 7200 bits / 10000 bits = 0.72.
+	if g := m.Goodput(sim.Microsecond, 10*sim.Gbps); math.Abs(g-0.72) > 1e-9 {
+		t.Fatalf("goodput = %v, want 0.72", g)
+	}
+	if m.Goodput(0, 10*sim.Gbps) != 0 {
+		t.Fatal("zero-span goodput should be 0")
+	}
+}
+
+func TestQueueSampler(t *testing.T) {
+	var s QueueSampler
+	if s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("zero sampler not zero")
+	}
+	s.Observe(100)
+	s.Observe(300)
+	if s.Mean() != 200 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Max() != 300 {
+		t.Fatalf("max = %v", s.Max())
+	}
+	s.ObserveMax(500)
+	if s.Max() != 500 {
+		t.Fatalf("max after high-water = %v", s.Max())
+	}
+}
+
+func TestUtilizationMeter(t *testing.T) {
+	var u UtilizationMeter
+	u.Start(1000, sim.Time(0))
+	// 1250 bytes in 1 µs at 10 Gbps = 10000 bits / 10000 = 1.0.
+	got := u.Stop(2250, sim.Time(sim.Microsecond), 10*sim.Gbps)
+	if math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("utilization = %v, want 1.0", got)
+	}
+	if u.Stop(2250, sim.Time(0), 10*sim.Gbps) != 0 {
+		t.Fatal("zero-span utilization should be 0")
+	}
+}
+
+func TestFormatDur(t *testing.T) {
+	if got := FormatDur(1500 * sim.Nanosecond); got != "1.50" {
+		t.Fatalf("FormatDur = %q", got)
+	}
+}

@@ -1,0 +1,492 @@
+// Package expresspass implements the ExpressPass proactive transport
+// [Cho, Jang, Han, SIGCOMM'17] on the netem fabric, with an optional Aeolus
+// layer (§5.2 of the Aeolus paper).
+//
+// ExpressPass is receiver-driven: a sender asks for credits; the receiver
+// paces 84-byte credit packets toward the sender; each arriving credit
+// authorizes one maximum-size (1538 B) scheduled data frame. Credits are
+// rate-limited at every port by the fabric (netem.XPassQdisc), so the data
+// they trigger can never oversubscribe a link; credits dropped by the
+// shaper feed the receiver's credit feedback control, which adjusts the
+// per-flow credit rate between 1/16 and 1.0 of the link.
+//
+// Vanilla ExpressPass sends no payload in the first RTT ("waiting credits",
+// Fig. 1a). With Aeolus enabled, the sender bursts one BDP of unscheduled
+// packets at line rate alongside the credit request, a probe trails the
+// burst, the receiver ACKs each unscheduled arrival, and first-RTT losses
+// are retransmitted through subsequent credits in the §3.3 priority order.
+package expresspass
+
+import (
+	"math/rand/v2"
+
+	"github.com/aeolus-transport/aeolus/internal/core"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+)
+
+// Options configures ExpressPass.
+type Options struct {
+	// Aeolus enables and configures the pre-credit building block.
+	Aeolus core.Options
+
+	// InitRate is the initial per-flow credit rate as a fraction of the
+	// edge link (paper default 1/16).
+	InitRate float64
+
+	// Aggressiveness is the feedback-control aggressiveness factor ω
+	// (paper default 1/16).
+	Aggressiveness float64
+
+	// TargetLoss is the credit-loss target of the feedback loop.
+	TargetLoss float64
+
+	// RTO is the receiver-driven retransmission timeout recovering lost
+	// scheduled packets (rare in ExpressPass; essential for the Table 4/5
+	// priority-queueing comparisons). Zero disables it.
+	RTO sim.Duration
+
+	// RTOOnly disables the Aeolus probe/per-packet-ACK loss detection while
+	// keeping the pre-credit burst: first-RTT losses are then recovered
+	// solely by the RTO. This models the priority-queueing alternative of
+	// §5.5/Table 4, whose trapped-vs-lost ambiguity forces exactly this
+	// timeout-based recovery.
+	RTOOnly bool
+
+	// Seed randomizes credit pacing jitter.
+	Seed uint64
+}
+
+// DefaultOptions returns the paper's §5.1 defaults (Aeolus disabled).
+func DefaultOptions() Options {
+	return Options{
+		InitRate:       1.0 / 16,
+		Aggressiveness: 1.0 / 16,
+		TargetLoss:     0.125,
+		RTO:            10 * sim.Millisecond,
+	}
+}
+
+// QdiscFactory returns the fabric discipline for an ExpressPass network:
+// per-port shaped credit queues, plus either plain FIFOs (vanilla) or
+// selective-dropping data queues (Aeolus). Host NICs always get a shaped
+// credit queue over a scheduled-first data queue so pre-credit bursts never
+// block a sender's own scheduled packets or outgoing credits.
+func QdiscFactory(opts Options, bufferBytes int64) netem.QdiscFactory {
+	return func(kind netem.PortKind, rate sim.Rate) netem.Qdisc {
+		var data netem.Qdisc
+		switch {
+		case kind == netem.HostNIC:
+			data = core.NewOraclePrio()
+		case opts.Aeolus.Enabled:
+			data = netem.NewSelectiveDrop(opts.Aeolus.ThresholdBytes, bufferBytes)
+		default:
+			data = netem.NewFIFO(bufferBytes)
+		}
+		return netem.NewXPassQdisc(netem.XPassQdiscConfig{
+			CreditRate: netem.CreditRateFor(rate),
+			Data:       data,
+		})
+	}
+}
+
+// Protocol is the ExpressPass implementation. One instance drives all hosts.
+type Protocol struct {
+	env  *transport.Env
+	opts Options
+	rng  *rand.Rand
+
+	flows     map[uint64]*transport.Flow
+	senders   map[uint64]*sender
+	receivers map[uint64]*receiver
+
+	// WastedCredits counts credits that arrived at a sender with nothing
+	// left to send.
+	WastedCredits uint64
+}
+
+// New builds the protocol and attaches it to every host of the environment.
+func New(env *transport.Env, opts Options) *Protocol {
+	p := &Protocol{
+		env: env, opts: opts,
+		rng:       sim.NewRand(opts.Seed, 0xE9),
+		flows:     make(map[uint64]*transport.Flow),
+		senders:   make(map[uint64]*sender),
+		receivers: make(map[uint64]*receiver),
+	}
+	for _, h := range env.Net.Hosts {
+		h.EP = &endpoint{p: p}
+	}
+	return p
+}
+
+// Name implements transport.Protocol.
+func (p *Protocol) Name() string {
+	if p.opts.Aeolus.Enabled {
+		return "ExpressPass+Aeolus"
+	}
+	return "ExpressPass"
+}
+
+// Start implements transport.Protocol.
+func (p *Protocol) Start(f *transport.Flow) {
+	p.flows[f.ID] = f
+	s := newSender(p, f)
+	p.senders[f.ID] = s
+	s.start()
+}
+
+// endpoint demultiplexes packets at a host to the per-flow state machines.
+type endpoint struct{ p *Protocol }
+
+// Receive implements netem.Endpoint.
+func (ep *endpoint) Receive(pkt *netem.Packet) {
+	p := ep.p
+	switch pkt.Type {
+	case netem.CreditReq, netem.Data, netem.Probe, netem.CtrlOther:
+		r := p.receivers[pkt.Flow]
+		if r == nil {
+			r = newReceiver(p, pkt.Flow)
+			p.receivers[pkt.Flow] = r
+		}
+		r.receive(pkt)
+	case netem.Credit, netem.Ack, netem.Resend:
+		if s := p.senders[pkt.Flow]; s != nil {
+			s.receive(pkt)
+		}
+	}
+}
+
+// sender is the per-flow sender state.
+type sender struct {
+	p  *Protocol
+	f  *transport.Flow
+	pc *core.PreCredit
+
+	stopSent bool
+}
+
+func newSender(p *Protocol, f *transport.Flow) *sender {
+	s := &sender{p: p, f: f}
+	s.pc = core.NewPreCredit(p.env, f, p.opts.Aeolus, p.env.Net.BDPBytes())
+	s.pc.SendSeg = s.sendSeg
+	if p.opts.RTOOnly {
+		// No probe, no selective ACKs: the burst is presumed delivered and
+		// losses surface only through receiver RTO resend requests.
+		s.pc.SendProbe = func() {}
+		s.pc.DisableUnackedSweep()
+	} else {
+		s.pc.SendProbe = s.sendProbe
+	}
+	return s
+}
+
+func (s *sender) host() *netem.Host { return s.p.env.Net.Host(s.f.Src) }
+
+func (s *sender) start() {
+	// Credit request first (in-order fabric: it precedes the burst).
+	s.host().Send(&netem.Packet{
+		Type: netem.CreditReq, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
+		WireSize: netem.HeaderSize, Scheduled: true, PathID: s.f.PathID,
+		Meta: s.f.Size,
+	})
+	s.pc.Start()
+}
+
+func (s *sender) sendSeg(seg int, scheduled bool) {
+	payload := s.pc.Seg.SegLen(seg)
+	s.p.env.CountSent(payload)
+	s.host().Send(&netem.Packet{
+		Type: netem.Data, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
+		Seq: s.pc.Seg.Offset(seg), PayloadLen: payload,
+		WireSize: netem.WireSizeFor(payload), Scheduled: scheduled,
+		PathID: s.f.PathID,
+	})
+}
+
+func (s *sender) sendProbe() { s.host().Send(s.pc.MakeProbe()) }
+
+func (s *sender) receive(pkt *netem.Packet) {
+	switch pkt.Type {
+	case netem.Credit:
+		s.onCredit()
+	case netem.Ack:
+		if pkt.Meta == probeAckMark {
+			s.pc.OnProbeAck()
+		} else {
+			s.pc.OnAck(pkt.Seq)
+		}
+	case netem.Resend:
+		for _, seg := range pkt.SegList {
+			s.pc.ForceLost(int(seg))
+		}
+		s.stopSent = false
+	}
+}
+
+func (s *sender) onCredit() {
+	s.pc.StopBurst()
+	seg, class := s.pc.Next()
+	if class == core.ClassNone {
+		s.p.WastedCredits++
+		if !s.stopSent && s.pc.Done() {
+			s.stopSent = true
+			s.host().Send(&netem.Packet{
+				Type: netem.CtrlOther, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
+				WireSize: netem.HeaderSize, Scheduled: true, PathID: s.f.PathID,
+			})
+		}
+		return
+	}
+	s.sendSeg(seg, true)
+}
+
+// probeAckMark distinguishes a probe ACK from a per-packet data ACK.
+const probeAckMark = 1
+
+// receiver is the per-flow receiver state: reassembly, credit pacing with
+// feedback control, per-packet ACKs for unscheduled data, and RTO-based
+// resend requests.
+type receiver struct {
+	p      *Protocol
+	flowID uint64
+	f      *transport.Flow
+
+	tracker *transport.RxTracker
+	pending []int64 // data that arrived before the flow size was known
+
+	crediting  bool
+	creditSeq  int64
+	rate       float64 // credit rate as a fraction of the edge link
+	w          float64 // feedback aggressiveness
+	creditsIn  int     // credits sent in the current feedback window
+	prevSent   int     // credits sent in the previous window (lag compensation)
+	dataIn     int     // scheduled data received in the current window
+	creditEv   *sim.Event
+	feedbackEv *sim.Event
+	rtoEv      *sim.Event
+	lastData   sim.Time
+	done       bool
+}
+
+func newReceiver(p *Protocol, flowID uint64) *receiver {
+	return &receiver{
+		p: p, flowID: flowID,
+		rate: p.opts.InitRate, w: p.opts.Aggressiveness,
+	}
+}
+
+func (r *receiver) hostID() netem.NodeID { return r.f.Dst }
+
+func (r *receiver) host() *netem.Host { return r.p.env.Net.Host(r.f.Dst) }
+
+func (r *receiver) receive(pkt *netem.Packet) {
+	switch pkt.Type {
+	case netem.CreditReq:
+		r.establish(pkt.Meta)
+		r.startCrediting()
+	case netem.Probe:
+		r.establish(pkt.Meta)
+		r.sendAck(pkt.Seq, probeAckMark)
+	case netem.Data:
+		r.onData(pkt)
+	case netem.CtrlOther:
+		// Credit stop: the sender has nothing left to send. Crediting
+		// pauses; the RTO stays armed in case a loss surfaces later.
+		r.stopCrediting()
+	}
+}
+
+// establish learns the flow size (idempotent) and replays early data.
+func (r *receiver) establish(size int64) {
+	if r.tracker != nil {
+		return
+	}
+	r.f = r.p.flows[r.flowID]
+	r.tracker = transport.NewRxTracker(size, r.p.env.MSS)
+	for _, off := range r.pending {
+		r.accept(off)
+	}
+	r.pending = nil
+	r.maybeFinish()
+}
+
+func (r *receiver) onData(pkt *netem.Packet) {
+	r.lastData = r.p.env.Eng.Now()
+	if !pkt.Scheduled && r.p.opts.Aeolus.Enabled && !r.p.opts.RTOOnly {
+		r.sendAckDeferred(pkt.Seq, 0)
+	}
+	if pkt.Scheduled {
+		r.dataIn++
+	}
+	if r.tracker == nil {
+		r.pending = append(r.pending, pkt.Seq)
+		return
+	}
+	r.accept(pkt.Seq)
+	r.maybeFinish()
+}
+
+func (r *receiver) accept(off int64) {
+	if n := r.tracker.Accept(off); n > 0 {
+		r.p.env.CountDelivered(n)
+	}
+}
+
+func (r *receiver) sendAck(seq int64, mark int64) {
+	r.host().Send(&netem.Packet{
+		Type: netem.Ack, Flow: r.flowID, Src: r.f.Dst, Dst: r.f.Src,
+		Seq: seq, WireSize: netem.HeaderSize, Scheduled: true,
+		PathID: r.f.PathID, Meta: mark,
+	})
+}
+
+// sendAckDeferred queues the ACK when flow state is not yet established
+// (data raced ahead of the request — impossible on the in-order fabric, but
+// kept for robustness).
+func (r *receiver) sendAckDeferred(seq int64, mark int64) {
+	if r.f == nil {
+		if f := r.p.flows[r.flowID]; f != nil {
+			r.f = f
+		} else {
+			return
+		}
+	}
+	r.sendAck(seq, mark)
+}
+
+func (r *receiver) maybeFinish() {
+	if r.done || r.tracker == nil || !r.tracker.Complete() {
+		return
+	}
+	r.done = true
+	r.stopCrediting()
+	if r.rtoEv != nil {
+		r.rtoEv.Cancel()
+		r.rtoEv = nil
+	}
+	r.p.env.FlowDone(r.f)
+}
+
+func (r *receiver) startCrediting() {
+	if r.crediting || r.done {
+		return
+	}
+	r.crediting = true
+	r.scheduleCredit()
+	r.scheduleFeedback()
+	r.armRTO()
+}
+
+func (r *receiver) stopCrediting() {
+	r.crediting = false
+	if r.creditEv != nil {
+		r.creditEv.Cancel()
+		r.creditEv = nil
+	}
+	if r.feedbackEv != nil {
+		r.feedbackEv.Cancel()
+		r.feedbackEv = nil
+	}
+}
+
+// creditGap returns the pacing interval at the current rate with ±10%
+// jitter (ExpressPass jitters credits to break synchronization).
+func (r *receiver) creditGap() sim.Duration {
+	rate := sim.Rate(r.rate * float64(r.p.env.Net.HostRate))
+	if rate < 1 {
+		rate = 1
+	}
+	gap := sim.TxTime(netem.WireSizeFor(r.p.env.MSS), rate)
+	jitter := 0.9 + 0.2*r.p.rng.Float64()
+	return sim.Duration(float64(gap) * jitter)
+}
+
+func (r *receiver) scheduleCredit() {
+	r.creditEv = r.p.env.Eng.After(r.creditGap(), func() {
+		if !r.crediting || r.done {
+			return
+		}
+		r.creditSeq++
+		r.creditsIn++
+		r.host().Send(&netem.Packet{
+			Type: netem.Credit, Flow: r.flowID, Src: r.f.Dst, Dst: r.f.Src,
+			Seq: r.creditSeq, WireSize: netem.CreditSize, Scheduled: true,
+			PathID: r.f.PathID,
+		})
+		r.scheduleCredit()
+	})
+}
+
+// scheduleFeedback runs the ExpressPass credit feedback control once per
+// base RTT: raise the credit rate toward line rate while credit loss stays
+// under target, multiplicatively back off otherwise.
+func (r *receiver) scheduleFeedback() {
+	r.feedbackEv = r.p.env.Eng.After(r.p.env.Net.BaseRTT, func() {
+		if !r.crediting || r.done {
+			return
+		}
+		// Scheduled data lags the credits that triggered it by one RTT, so
+		// this window's arrivals are compared against the previous window's
+		// credits.
+		if r.prevSent > 0 {
+			loss := 1 - float64(r.dataIn)/float64(r.prevSent)
+			if loss < 0 {
+				loss = 0
+			}
+			if loss <= r.p.opts.TargetLoss {
+				r.rate = (1-r.w)*r.rate + r.w*1.0
+				if loss == 0 {
+					r.w = (r.w + 0.5) / 2
+				}
+			} else {
+				r.rate = r.rate * (1 - loss) * (1 + r.p.opts.TargetLoss)
+				r.w = maxF(r.w/2, 0.01)
+				if r.rate < r.p.opts.InitRate/4 {
+					r.rate = r.p.opts.InitRate / 4
+				}
+			}
+		}
+		r.prevSent, r.creditsIn, r.dataIn = r.creditsIn, 0, 0
+		r.scheduleFeedback()
+	})
+}
+
+// armRTO arms the receiver-driven loss recovery: if the flow is incomplete
+// and no data arrived for a full RTO, request the missing segments and
+// resume crediting.
+func (r *receiver) armRTO() {
+	rto := r.p.opts.RTO
+	if rto <= 0 {
+		return
+	}
+	r.rtoEv = r.p.env.Eng.After(rto, func() {
+		r.rtoEv = nil
+		if r.done {
+			return
+		}
+		if r.p.env.Eng.Now().Sub(r.lastData) >= rto && r.tracker != nil {
+			r.f.Timeouts++
+			missing := r.tracker.Missing(r.tracker.Seg.NumSegs())
+			segs := make([]int32, 0, len(missing))
+			for _, m := range missing {
+				segs = append(segs, int32(m))
+			}
+			r.host().Send(&netem.Packet{
+				Type: netem.Resend, Flow: r.flowID, Src: r.f.Dst, Dst: r.f.Src,
+				WireSize: netem.HeaderSize, Scheduled: true, PathID: r.f.PathID,
+				SegList: segs,
+			})
+			r.startCrediting()
+		}
+		r.armRTO()
+	})
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

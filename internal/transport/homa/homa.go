@@ -1,0 +1,537 @@
+// Package homa implements the Homa proactive transport [Montazeri, Li,
+// Alizadeh, Ousterhout, SIGCOMM'18] on the netem fabric, with an optional
+// Aeolus layer (§5.3 of the Aeolus paper).
+//
+// Homa is message-based and receiver-driven: a sender blindly transmits the
+// first RTTbytes of a message as unscheduled packets, at a priority chosen
+// from workload-derived cutoffs; the receiver then paces the remainder with
+// grants, keeping at most Overcommit messages granted concurrently and one
+// RTTbytes of grants outstanding per message, at dynamically assigned
+// scheduled priorities. Original Homa runs over 8 strict priority queues
+// and prioritizes unscheduled packets *over* scheduled ones; loss recovery
+// is a receiver-side retransmission timeout.
+//
+// With Aeolus enabled, the priority queues remain but every port applies
+// selective dropping at port granularity (the paper's "per-port ECN/RED"
+// testbed configuration): unscheduled packets burst at line rate but are
+// dropped once the port's backlog passes the threshold, scheduled packets
+// are protected, per-packet ACKs plus the end-of-burst probe locate
+// first-RTT losses, and grants retransmit them as scheduled packets in the
+// §3.3 priority order.
+package homa
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"github.com/aeolus-transport/aeolus/internal/core"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// Options configures Homa.
+type Options struct {
+	// Aeolus enables and configures the pre-credit building block.
+	Aeolus core.Options
+
+	// Overcommit is the receiver's degree of overcommitment: how many
+	// messages may hold outstanding grants at once (paper default 6).
+	Overcommit int
+
+	// NumPrios is the number of fabric priority levels (paper default 8).
+	NumPrios int
+
+	// UnschedPrios is how many of the highest levels serve unscheduled
+	// packets (Homa's default split: 4 unscheduled over 4 scheduled).
+	UnschedPrios int
+
+	// RTTBytes is the unscheduled first-window per message; 0 derives it
+	// from the network BDP.
+	RTTBytes int64
+
+	// RTO is the receiver-side retransmission timeout (10 ms for original
+	// Homa in the paper's experiments; 20 µs for "eager" Homa; 40 µs in the
+	// Fig. 17 incast study). Zero disables timeout recovery.
+	RTO sim.Duration
+
+	// Spray enables per-packet multipath spraying for data packets. Homa's
+	// evaluations assume a congestion-free, load-balanced core (§6 of the
+	// Aeolus paper); per-flow ECMP would instead create core hot spots that
+	// drop scheduled packets. Default true via DefaultOptions.
+	Spray bool
+
+	// Seed randomizes spraying.
+	Seed uint64
+
+	// Workload sets the size distribution used to derive unscheduled
+	// priority cutoffs. Nil falls back to even log-spaced cutoffs.
+	Workload *workload.CDF
+}
+
+// DefaultOptions returns the paper's §5.1 Homa defaults (Aeolus disabled).
+func DefaultOptions() Options {
+	return Options{
+		Overcommit:   6,
+		NumPrios:     8,
+		UnschedPrios: 4,
+		RTO:          10 * sim.Millisecond,
+		Spray:        true,
+	}
+}
+
+// QdiscFactory returns the fabric discipline: 8 strict priorities with a
+// shared buffer for original Homa, a single selective-dropping FIFO for
+// Homa+Aeolus. Host NICs get an unbounded variant of the same policy so
+// local ordering matches the fabric's.
+func QdiscFactory(opts Options, bufferBytes int64) netem.QdiscFactory {
+	return func(kind netem.PortKind, rate sim.Rate) netem.Qdisc {
+		if kind == netem.HostNIC {
+			return netem.NewPrioQdisc(opts.NumPrios, 0) // unbounded host queue
+		}
+		if opts.Aeolus.Enabled {
+			// The paper's Homa+Aeolus switch configuration: keep Homa's
+			// priority queues, apply selective dropping per port ("for
+			// Homa, we configure per-port ECN/RED", §5.1).
+			return netem.NewPrioSelective(opts.NumPrios, opts.Aeolus.ThresholdBytes, bufferBytes)
+		}
+		return netem.NewPrioQdisc(opts.NumPrios, bufferBytes)
+	}
+}
+
+// Protocol is the Homa implementation. One instance drives all hosts.
+type Protocol struct {
+	env  *transport.Env
+	opts Options
+	rng  *rand.Rand
+
+	rttBytes int64
+	cutoffs  []int64
+
+	flows   map[uint64]*transport.Flow
+	senders map[uint64]*sender
+	rxHosts map[netem.NodeID]*rxHost
+}
+
+// New builds the protocol and attaches it to every host of the environment.
+func New(env *transport.Env, opts Options) *Protocol {
+	if opts.Overcommit <= 0 {
+		opts.Overcommit = 6
+	}
+	if opts.NumPrios <= 0 {
+		opts.NumPrios = 8
+	}
+	if opts.UnschedPrios <= 0 || opts.UnschedPrios >= opts.NumPrios {
+		opts.UnschedPrios = opts.NumPrios / 2
+	}
+	p := &Protocol{
+		env: env, opts: opts,
+		rng:      sim.NewRand(opts.Seed, 0x40a1),
+		rttBytes: opts.RTTBytes,
+		flows:    make(map[uint64]*transport.Flow),
+		senders:  make(map[uint64]*sender),
+		rxHosts:  make(map[netem.NodeID]*rxHost),
+	}
+	if p.rttBytes <= 0 {
+		p.rttBytes = env.Net.BDPBytes()
+	}
+	if opts.Workload != nil {
+		p.cutoffs = UnschedCutoffs(opts.Workload, p.rttBytes, opts.UnschedPrios)
+	} else {
+		// Log-spaced fallback cutoffs.
+		p.cutoffs = make([]int64, opts.UnschedPrios)
+		c := p.rttBytes / 8
+		for i := range p.cutoffs {
+			p.cutoffs[i] = c
+			c *= 8
+		}
+		p.cutoffs[opts.UnschedPrios-1] = 1 << 62
+	}
+	for _, h := range env.Net.Hosts {
+		h.EP = &endpoint{p: p, host: h.ID}
+	}
+	return p
+}
+
+// Name implements transport.Protocol.
+func (p *Protocol) Name() string {
+	if p.opts.Aeolus.Enabled {
+		return "Homa+Aeolus"
+	}
+	return "Homa"
+}
+
+// Start implements transport.Protocol.
+func (p *Protocol) Start(f *transport.Flow) {
+	p.flows[f.ID] = f
+	s := newSender(p, f)
+	p.senders[f.ID] = s
+	s.start()
+}
+
+type endpoint struct {
+	p    *Protocol
+	host netem.NodeID
+}
+
+// Receive implements netem.Endpoint.
+func (ep *endpoint) Receive(pkt *netem.Packet) {
+	switch pkt.Type {
+	case netem.Data, netem.Probe:
+		ep.p.rx(ep.host).receive(pkt)
+	case netem.Grant, netem.Ack, netem.Resend:
+		if s := ep.p.senders[pkt.Flow]; s != nil {
+			s.receive(pkt)
+		}
+	}
+}
+
+// pathID draws a spraying path for one packet (or the flow hash when
+// spraying is off).
+func (p *Protocol) pathID(f *transport.Flow) uint32 {
+	if p.opts.Spray {
+		return p.rng.Uint32()
+	}
+	return f.PathID
+}
+
+func (p *Protocol) rx(host netem.NodeID) *rxHost {
+	r := p.rxHosts[host]
+	if r == nil {
+		r = &rxHost{p: p, host: host, msgs: make(map[uint64]*rxMsg)}
+		p.rxHosts[host] = r
+	}
+	return r
+}
+
+// sender is the per-message sender state.
+type sender struct {
+	p  *Protocol
+	f  *transport.Flow
+	pc *core.PreCredit
+
+	unschedPrio uint8
+	quota       int64 // granted bytes not yet spent
+	grantPrio   uint8
+	maxGrant    int64 // highest grant offset accounted so far
+	grantBased  bool  // maxGrant baselined to the end of the burst
+}
+
+func newSender(p *Protocol, f *transport.Flow) *sender {
+	s := &sender{p: p, f: f, unschedPrio: PrioFor(p.cutoffs, f.Size)}
+	// The pre-credit burst is Homa's own unscheduled first window, so it is
+	// active in both modes; the probe/ACK machinery only with Aeolus.
+	opts := p.opts.Aeolus
+	opts.Enabled = true
+	s.pc = core.NewPreCredit(p.env, f, opts, p.rttBytes)
+	s.pc.SendSeg = s.sendSeg
+	if p.opts.Aeolus.Enabled {
+		s.pc.SendProbe = s.sendProbe
+	} else {
+		// Original Homa has no probe and no per-packet ACKs: the burst is
+		// presumed delivered and losses surface only via the receiver RTO.
+		s.pc.SendProbe = func() {}
+		s.pc.DisableUnackedSweep()
+	}
+	return s
+}
+
+func (s *sender) host() *netem.Host { return s.p.env.Net.Host(s.f.Src) }
+
+func (s *sender) start() { s.pc.Start() }
+
+func (s *sender) sendSeg(seg int, scheduled bool) {
+	payload := s.pc.Seg.SegLen(seg)
+	s.p.env.CountSent(payload)
+	prio := s.unschedPrio
+	if scheduled {
+		prio = s.grantPrio
+	}
+	s.host().Send(&netem.Packet{
+		Type: netem.Data, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
+		Seq: s.pc.Seg.Offset(seg), PayloadLen: payload,
+		WireSize: netem.WireSizeFor(payload), Scheduled: scheduled,
+		Prio: prio, PathID: s.p.pathID(s.f), Meta: s.f.Size,
+	})
+}
+
+func (s *sender) sendProbe() {
+	pr := s.pc.MakeProbe()
+	pr.Prio = 0
+	pr.PathID = s.p.pathID(s.f)
+	s.host().Send(pr)
+}
+
+func (s *sender) receive(pkt *netem.Packet) {
+	switch pkt.Type {
+	case netem.Grant:
+		s.onGrant(pkt.Seq, uint8(pkt.Meta))
+	case netem.Ack:
+		if pkt.Meta == probeAckMark {
+			s.pc.OnProbeAck()
+			s.drainQuota()
+		} else {
+			s.pc.OnAck(pkt.Seq)
+		}
+	case netem.Resend:
+		for _, seg := range pkt.SegList {
+			s.pc.ForceLost(int(seg))
+		}
+		// Homa retransmits resend-requested packets immediately at the
+		// granted priority, without waiting for fresh grants.
+		for {
+			seg, ok := s.pc.NextLost()
+			if !ok {
+				break
+			}
+			s.sendSeg(seg, true)
+		}
+	}
+}
+
+func (s *sender) onGrant(offset int64, prio uint8) {
+	s.pc.StopBurst()
+	s.grantPrio = prio
+	if !s.grantBased {
+		// Grants are absolute offsets; the unscheduled burst already
+		// covered everything below its end, so quota starts there.
+		s.grantBased = true
+		s.maxGrant = s.pc.ProbeSeq()
+	}
+	if offset > s.maxGrant {
+		s.quota += offset - s.maxGrant
+		s.maxGrant = offset
+	}
+	s.drainQuota()
+}
+
+// drainQuota spends granted bytes on the next transmissions in the §3.3
+// priority order (Aeolus) or on unsent payload (original Homa, where the
+// ClassUnacked sweep is disabled so only ClassUnsent and forced losses
+// fire). Retransmissions consume grant quota like any scheduled packet —
+// that is what keeps them paced and loss-free; the receiver extends its
+// grant cap beyond the message size to cover the holes it observes below
+// the burst end once the probe arrives.
+func (s *sender) drainQuota() {
+	for s.quota > 0 {
+		seg, class := s.pc.Next()
+		if class == core.ClassNone {
+			return
+		}
+		s.quota -= int64(s.pc.Seg.SegLen(seg))
+		s.sendSeg(seg, true)
+	}
+}
+
+// probeAckMark distinguishes a probe ACK from a per-packet data ACK.
+const probeAckMark = 1
+
+// rxMsg is the receiver-side state of one incoming message.
+type rxMsg struct {
+	f          *transport.Flow
+	tracker    *transport.RxTracker
+	granted    int64 // highest grant offset sent
+	burstEnd   int64 // estimated end of the sender's unscheduled burst
+	probeSeen  bool  // burstEnd finalized by the probe
+	lostBytes  int64 // burst bytes lost, latched once when the probe arrives
+	schedBytes int64 // unique bytes delivered by scheduled packets
+	last       sim.Time
+	done       bool
+	rtoEv      *sim.Event
+}
+
+func (m *rxMsg) remaining() int64 { return m.f.Size - m.tracker.Bytes() }
+
+// wantGrant computes the receiver's grant offset for this message. Grants
+// are self-clocked by *scheduled* progress: the sender may have one RTTbytes
+// of scheduled data outstanding beyond its burst end, and the total
+// scheduled demand is the payload past the burst plus the retransmission of
+// every hole the receiver observes below it (known exactly once the probe
+// arrives). This keeps retransmissions paced — and therefore protected —
+// without ever stalling on losses.
+func (m *rxMsg) wantGrant(rttBytes int64) int64 {
+	need := m.f.Size - m.burstEnd
+	if need < 0 {
+		need = 0
+	}
+	// The retransmission demand is latched once at probe arrival: holes are
+	// filled by scheduled packets, which also advance schedBytes, so
+	// recomputing the holes here would let every retransmission cancel its
+	// own grant and strand the tail of the message.
+	need += m.lostBytes
+	window := m.schedBytes + rttBytes
+	if window > need {
+		window = need
+	}
+	return m.burstEnd + window
+}
+
+// rxHost is the per-receiving-host message scheduler: it tracks all incoming
+// messages and runs the SRPT grant policy with overcommitment.
+type rxHost struct {
+	p    *Protocol
+	host netem.NodeID
+	msgs map[uint64]*rxMsg
+}
+
+func (r *rxHost) hostNode() *netem.Host { return r.p.env.Net.Host(r.host) }
+
+func (r *rxHost) receive(pkt *netem.Packet) {
+	m := r.msgs[pkt.Flow]
+	if m == nil {
+		f := r.p.flows[pkt.Flow]
+		if f == nil {
+			return
+		}
+		m = &rxMsg{f: f, tracker: transport.NewRxTracker(f.Size, r.p.env.MSS)}
+		r.msgs[pkt.Flow] = m
+		r.armRTO(m)
+	}
+	if m.done {
+		return
+	}
+	m.last = r.p.env.Eng.Now()
+	switch pkt.Type {
+	case netem.Probe:
+		m.burstEnd = pkt.Seq
+		if !m.probeSeen {
+			m.probeSeen = true
+			// The fabric is in-order per flow, so every unscheduled packet
+			// that survived has arrived before its trailing probe: the holes
+			// below the burst end are exactly the selective-dropping losses.
+			if m.burstEnd > 0 {
+				seg := m.tracker.Seg
+				last := seg.SegOf(m.burstEnd - 1)
+				for _, i := range m.tracker.Missing(last + 1) {
+					m.lostBytes += int64(seg.SegLen(i))
+				}
+			}
+		}
+		r.sendAck(m, pkt.Seq, probeAckMark)
+	case netem.Data:
+		if !pkt.Scheduled && r.p.opts.Aeolus.Enabled {
+			r.sendAck(m, pkt.Seq, 0)
+		}
+		if !pkt.Scheduled && !m.probeSeen {
+			// Track the burst extent until the probe pins it exactly.
+			if end := pkt.Seq + int64(pkt.PayloadLen); end > m.burstEnd {
+				m.burstEnd = end
+			}
+		}
+		if n := m.tracker.Accept(pkt.Seq); n > 0 {
+			r.p.env.CountDelivered(n)
+			if pkt.Scheduled {
+				m.schedBytes += int64(n)
+			}
+		}
+		if m.tracker.Complete() {
+			// Mark done but keep the entry: a late duplicate (a spurious
+			// retransmission still in flight) must find the tombstone, not
+			// recreate the message and arm a ghost RTO.
+			m.done = true
+			if m.rtoEv != nil {
+				m.rtoEv.Cancel()
+				m.rtoEv = nil
+			}
+			r.p.env.FlowDone(m.f)
+		}
+	}
+	r.schedule()
+}
+
+func (r *rxHost) sendAck(m *rxMsg, seq int64, mark int64) {
+	r.hostNode().Send(&netem.Packet{
+		Type: netem.Ack, Flow: m.f.ID, Src: r.host, Dst: m.f.Src,
+		Seq: seq, WireSize: netem.HeaderSize, Scheduled: true,
+		PathID: m.f.PathID, Meta: mark,
+	})
+}
+
+// schedule runs Homa's grant policy: the Overcommit messages with the least
+// remaining bytes hold grants; each is granted up to received + RTTbytes;
+// the k-th ranked granted message transmits at the k-th scheduled priority.
+func (r *rxHost) schedule() {
+	var active []*rxMsg
+	for _, m := range r.msgs {
+		// Messages longer than the unscheduled window need grants; shorter
+		// ones join the granted set only once a probe reveals holes that
+		// must be retransmitted through scheduled packets.
+		if !m.done && (m.f.Size > r.p.rttBytes || m.burstEnd > 0) {
+			active = append(active, m)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	sort.Slice(active, func(i, j int) bool {
+		if active[i].remaining() != active[j].remaining() {
+			return active[i].remaining() < active[j].remaining()
+		}
+		return active[i].f.ID < active[j].f.ID
+	})
+	k := r.p.opts.Overcommit
+	if k > len(active) {
+		k = len(active)
+	}
+	for rank := 0; rank < k; rank++ {
+		m := active[rank]
+		// The rank-th granted message transmits at the rank-th scheduled
+		// priority level (shorter remaining → higher priority).
+		prio := r.p.opts.UnschedPrios + rank
+		if prio >= r.p.opts.NumPrios {
+			prio = r.p.opts.NumPrios - 1
+		}
+		want := m.wantGrant(r.p.rttBytes)
+		if want > m.granted {
+			m.granted = want
+			r.hostNode().Send(&netem.Packet{
+				Type: netem.Grant, Flow: m.f.ID, Src: r.host, Dst: m.f.Src,
+				Seq: want, WireSize: netem.HeaderSize, Scheduled: true,
+				PathID: m.f.PathID, Meta: int64(prio),
+			})
+		}
+	}
+}
+
+// armRTO starts the receiver-side timeout loop for a message: if no packet
+// arrived for a full RTO and the message is incomplete, request the missing
+// segments (counting a timeout against the flow).
+func (r *rxHost) armRTO(m *rxMsg) {
+	rto := r.p.opts.RTO
+	if rto <= 0 {
+		return
+	}
+	m.rtoEv = r.p.env.Eng.After(rto, func() {
+		m.rtoEv = nil
+		if m.done {
+			return
+		}
+		if r.p.env.Eng.Now().Sub(m.last) >= rto {
+			m.f.Timeouts++
+			// Request every missing segment below the highest expectation:
+			// the unscheduled window plus whatever was granted.
+			expect := r.p.rttBytes
+			if m.granted > expect {
+				expect = m.granted
+			}
+			if expect > m.f.Size {
+				expect = m.f.Size
+			}
+			n := m.tracker.Seg.SegOf(expect - 1)
+			missing := m.tracker.Missing(n + 1)
+			if len(missing) > 0 {
+				segs := make([]int32, 0, len(missing))
+				for _, s := range missing {
+					segs = append(segs, int32(s))
+				}
+				r.hostNode().Send(&netem.Packet{
+					Type: netem.Resend, Flow: m.f.ID, Src: r.host, Dst: m.f.Src,
+					WireSize: netem.HeaderSize, Scheduled: true,
+					PathID: m.f.PathID, SegList: segs,
+				})
+			}
+		}
+		r.armRTO(m)
+	})
+}

@@ -1,0 +1,66 @@
+package homa
+
+import "github.com/aeolus-transport/aeolus/internal/workload"
+
+// UnschedCutoffs computes the message-size cutoffs that split unscheduled
+// traffic across nPrios priority levels so each level carries roughly the
+// same number of unscheduled bytes, as Homa's receivers do from their
+// observed workload. A message of size s sends its unscheduled (first
+// RTTbytes) packets at the priority of the first cutoff ≥ s; smaller
+// messages get higher priority.
+func UnschedCutoffs(cdf *workload.CDF, rttBytes int64, nPrios int) []int64 {
+	if nPrios < 1 {
+		return nil
+	}
+	// Numerically integrate unscheduled bytes u(s) = min(s, rttBytes) over
+	// the size distribution, then find the quantile sizes that split the
+	// integral into nPrios equal shares.
+	const steps = 4096
+	type pt struct {
+		size float64
+		cum  float64 // cumulative unscheduled bytes up to this size
+	}
+	pts := make([]pt, 0, steps)
+	var cum float64
+	prevP := 0.0
+	prevS := cdf.Quantile(0)
+	for i := 1; i <= steps; i++ {
+		p := float64(i) / steps
+		s := cdf.Quantile(p)
+		u := (minF(prevS, float64(rttBytes)) + minF(s, float64(rttBytes))) / 2
+		cum += u * (p - prevP)
+		pts = append(pts, pt{size: s, cum: cum})
+		prevP, prevS = p, s
+	}
+	total := cum
+	cutoffs := make([]int64, nPrios)
+	j := 0
+	for k := 1; k <= nPrios; k++ {
+		target := total * float64(k) / float64(nPrios)
+		for j < len(pts)-1 && pts[j].cum < target {
+			j++
+		}
+		cutoffs[k-1] = int64(pts[j].size)
+	}
+	// The last cutoff must cover every message.
+	cutoffs[nPrios-1] = int64(cdf.Quantile(1)) + 1
+	return cutoffs
+}
+
+// PrioFor returns the unscheduled priority band (0 = highest) for a message
+// of the given size under the cutoffs.
+func PrioFor(cutoffs []int64, size int64) uint8 {
+	for i, c := range cutoffs {
+		if size <= c {
+			return uint8(i)
+		}
+	}
+	return uint8(len(cutoffs) - 1)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package homa
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// TestUnschedCutoffsEqualByteMass verifies the defining property of Homa's
+// unscheduled priority cutoffs: each priority level carries approximately
+// the same number of unscheduled bytes under the workload.
+func TestUnschedCutoffsEqualByteMass(t *testing.T) {
+	const rttBytes = 56_000
+	const nPrios = 4
+	for _, wl := range workload.All {
+		cut := UnschedCutoffs(wl, rttBytes, nPrios)
+		// Monte-Carlo the unscheduled byte mass per band.
+		r := rand.New(rand.NewPCG(5, 6))
+		mass := make([]float64, nPrios)
+		var total float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			size := wl.Sample(r)
+			u := float64(size)
+			if u > rttBytes {
+				u = rttBytes
+			}
+			mass[PrioFor(cut, size)] += u
+			total += u
+		}
+		for band, m := range mass {
+			share := m / total
+			// Within a factor of ~2 of the fair share: the CDFs are coarse
+			// piecewise distributions, so exact splits are impossible.
+			if share < 0.5/nPrios || share > 2.0/nPrios {
+				t.Errorf("%s band %d carries %.3f of unscheduled bytes, want ≈%.3f",
+					wl.Name(), band, share, 1.0/nPrios)
+			}
+		}
+	}
+}
+
+// Property: PrioFor is monotone — larger messages never get a strictly
+// higher (numerically lower) priority band than smaller ones.
+func TestPrioForMonotoneProperty(t *testing.T) {
+	cut := UnschedCutoffs(workload.WebSearch, 56_000, 4)
+	prop := func(a, b uint32) bool {
+		sa, sb := int64(a), int64(b)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		return PrioFor(cut, sa) <= PrioFor(cut, sb)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCutoffsCoverEverything: the top cutoff must exceed the distribution's
+// maximum so no message is unmappable.
+func TestCutoffsCoverEverything(t *testing.T) {
+	for _, wl := range workload.All {
+		cut := UnschedCutoffs(wl, 56_000, 8)
+		if got := PrioFor(cut, int64(wl.Quantile(1))); got != 7 {
+			t.Errorf("%s: largest message maps to band %d, want 7", wl.Name(), got)
+		}
+	}
+}

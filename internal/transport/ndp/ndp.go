@@ -1,0 +1,406 @@
+// Package ndp implements the NDP proactive transport [Handley et al.,
+// SIGCOMM'17] on the netem fabric, with an optional Aeolus layer (§5.4 of
+// the Aeolus paper).
+//
+// NDP senders blast the first bandwidth-delay product of a flow at line
+// rate; switches keep very short data queues (8 packets) and *trim* the
+// payload of overflowing packets, so the 64-byte headers still reach the
+// receiver at high priority. The receiver NACKs trimmed packets and paces
+// all further transmission with PULL packets clocked at the link rate; every
+// data packet is sprayed independently across the fabric's equal-cost paths.
+//
+// With Aeolus enabled, trimming — which commodity switching ASICs do not
+// support — is replaced by selective dropping: first-window packets are
+// unscheduled and dropped beyond the threshold, pulled/retransmitted packets
+// are scheduled and protected, and the probe/per-packet-ACK machinery
+// locates first-window losses that now produce no NACK (§5.4: Aeolus works
+// as an alternative to cutting payload, deployable on commodity switches).
+package ndp
+
+import (
+	"math/rand/v2"
+
+	"github.com/aeolus-transport/aeolus/internal/core"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+)
+
+// Options configures NDP.
+type Options struct {
+	// Aeolus enables and configures the pre-credit building block (and
+	// disables switch trimming).
+	Aeolus core.Options
+
+	// TrimThresholdPkts is the data-queue bound in packets before trimming
+	// (paper default 8 packets = 72 KB of jumbo frames).
+	TrimThresholdPkts int
+
+	// Spray enables per-packet multipath spraying (NDP default true).
+	Spray bool
+
+	// RTO is a sender-side safety timeout: an incomplete, idle flow re-sends
+	// its oldest unacknowledged segment. Zero disables it.
+	RTO sim.Duration
+
+	// Seed randomizes spraying.
+	Seed uint64
+}
+
+// DefaultOptions returns the paper's NDP defaults (Aeolus disabled).
+func DefaultOptions() Options {
+	return Options{
+		TrimThresholdPkts: 8,
+		Spray:             true,
+		RTO:               sim.Millisecond,
+	}
+}
+
+// MSS is NDP's jumbo-frame payload (the paper sets NDP's MTU to 9 KB).
+const MSS = netem.JumboPayload
+
+// QdiscFactory returns the fabric discipline: trimming two-queue ports for
+// original NDP, selective-dropping two-queue ports for NDP+Aeolus. Host
+// NICs get an unbounded scheduled-first queue (retransmissions and control
+// ahead of the blind first window).
+func QdiscFactory(opts Options, bufferBytes int64) netem.QdiscFactory {
+	trim := opts.TrimThresholdPkts
+	if trim <= 0 {
+		trim = 8
+	}
+	return func(kind netem.PortKind, rate sim.Rate) netem.Qdisc {
+		if kind == netem.HostNIC {
+			return core.NewOraclePrio()
+		}
+		if opts.Aeolus.Enabled {
+			return netem.NewNDPQueue(netem.NDPQueueConfig{
+				SelectiveThresholdBytes: opts.Aeolus.ThresholdBytes,
+				DataLimitBytes:          bufferBytes,
+				CtrlLimitBytes:          bufferBytes,
+			})
+		}
+		return netem.NewNDPQueue(netem.NDPQueueConfig{
+			Trim:           true,
+			DataLimitBytes: int64(trim) * netem.JumboMTU,
+			CtrlLimitBytes: bufferBytes,
+		})
+	}
+}
+
+// Protocol is the NDP implementation. One instance drives all hosts.
+type Protocol struct {
+	env  *transport.Env
+	opts Options
+	rng  *rand.Rand
+
+	flows   map[uint64]*transport.Flow
+	senders map[uint64]*sender
+	rxHosts map[netem.NodeID]*rxHost
+}
+
+// New builds the protocol and attaches it to every host of the environment.
+// The environment's MSS should be ndp.MSS (jumbo frames).
+func New(env *transport.Env, opts Options) *Protocol {
+	p := &Protocol{
+		env: env, opts: opts,
+		rng:     sim.NewRand(opts.Seed, 0xfd9),
+		flows:   make(map[uint64]*transport.Flow),
+		senders: make(map[uint64]*sender),
+		rxHosts: make(map[netem.NodeID]*rxHost),
+	}
+	for _, h := range env.Net.Hosts {
+		h.EP = &endpoint{p: p, host: h.ID}
+	}
+	return p
+}
+
+// Name implements transport.Protocol.
+func (p *Protocol) Name() string {
+	if p.opts.Aeolus.Enabled {
+		return "NDP+Aeolus"
+	}
+	return "NDP"
+}
+
+// Start implements transport.Protocol.
+func (p *Protocol) Start(f *transport.Flow) {
+	p.flows[f.ID] = f
+	s := newSender(p, f)
+	p.senders[f.ID] = s
+	s.start()
+}
+
+// pathID draws a spraying path for one packet (or the flow hash when
+// spraying is off).
+func (p *Protocol) pathID(f *transport.Flow) uint32 {
+	if p.opts.Spray {
+		return p.rng.Uint32()
+	}
+	return f.PathID
+}
+
+type endpoint struct {
+	p    *Protocol
+	host netem.NodeID
+}
+
+// Receive implements netem.Endpoint.
+func (ep *endpoint) Receive(pkt *netem.Packet) {
+	switch pkt.Type {
+	case netem.Data, netem.Probe:
+		ep.p.rx(ep.host).receive(pkt)
+	case netem.Ack, netem.Nack, netem.Pull:
+		if s := ep.p.senders[pkt.Flow]; s != nil {
+			s.receive(pkt)
+		}
+	}
+}
+
+func (p *Protocol) rx(host netem.NodeID) *rxHost {
+	r := p.rxHosts[host]
+	if r == nil {
+		r = &rxHost{p: p, host: host, flows: make(map[uint64]*rxFlow)}
+		p.rxHosts[host] = r
+	}
+	return r
+}
+
+// sender is the per-flow sender state.
+type sender struct {
+	p  *Protocol
+	f  *transport.Flow
+	pc *core.PreCredit
+
+	lastActivity sim.Time
+	rtoEv        *sim.Event
+	done         bool
+}
+
+func newSender(p *Protocol, f *transport.Flow) *sender {
+	s := &sender{p: p, f: f}
+	opts := p.opts.Aeolus
+	opts.Enabled = true // the line-rate first window is NDP's own behaviour
+	s.pc = core.NewPreCredit(p.env, f, opts, p.env.Net.BDPBytes())
+	s.pc.SendSeg = s.sendSeg
+	if p.opts.Aeolus.Enabled {
+		s.pc.SendProbe = s.sendProbe
+	} else {
+		// Original NDP: trimming turns every loss into a NACK, so no probe
+		// is needed and blind class-3 retransmissions are never useful.
+		s.pc.SendProbe = func() {}
+		s.pc.DisableUnackedSweep()
+	}
+	return s
+}
+
+func (s *sender) host() *netem.Host { return s.p.env.Net.Host(s.f.Src) }
+
+func (s *sender) start() {
+	s.pc.Start()
+	s.armRTO()
+}
+
+func (s *sender) sendSeg(seg int, scheduled bool) {
+	payload := s.pc.Seg.SegLen(seg)
+	s.p.env.CountSent(payload)
+	s.host().Send(&netem.Packet{
+		Type: netem.Data, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
+		Seq: s.pc.Seg.Offset(seg), PayloadLen: payload,
+		WireSize: netem.WireSizeFor(payload), Scheduled: scheduled,
+		PathID: s.p.pathID(s.f), Meta: s.f.Size,
+	})
+}
+
+func (s *sender) sendProbe() {
+	pr := s.pc.MakeProbe()
+	pr.PathID = s.p.pathID(s.f)
+	s.host().Send(pr)
+}
+
+func (s *sender) receive(pkt *netem.Packet) {
+	s.lastActivity = s.p.env.Eng.Now()
+	switch pkt.Type {
+	case netem.Ack:
+		if pkt.Meta == probeAckMark {
+			s.pc.OnProbeAck()
+		} else {
+			s.pc.OnAck(pkt.Seq)
+		}
+	case netem.Nack:
+		s.pc.StopBurst()
+		s.pc.ForceLost(s.pc.Seg.SegOf(pkt.Seq))
+	case netem.Pull:
+		s.pc.StopBurst()
+		if seg, class := s.pc.Next(); class != core.ClassNone {
+			s.sendSeg(seg, true)
+		}
+	}
+}
+
+// armRTO is a safety net: NDP's trimming (or Aeolus's probe) normally makes
+// timeouts unnecessary, but a lost probe ACK or trimmed-header drop under
+// extreme congestion could otherwise strand the flow.
+func (s *sender) armRTO() {
+	if s.p.opts.RTO <= 0 {
+		return
+	}
+	s.rtoEv = s.p.env.Eng.After(s.p.opts.RTO, func() {
+		s.rtoEv = nil
+		if s.done {
+			return
+		}
+		if s.p.env.Eng.Now().Sub(s.lastActivity) >= s.p.opts.RTO {
+			// Re-queue everything transmitted but never ACKed — covering
+			// losses the trimming/probe machinery left no trace of — and
+			// retransmit immediately.
+			if n := s.pc.RequeueUnacked(); n > 0 {
+				s.f.Timeouts++
+				for {
+					seg, ok := s.pc.NextLost()
+					if !ok {
+						break
+					}
+					s.sendSeg(seg, true)
+				}
+			} else if seg, class := s.pc.Next(); class != core.ClassNone {
+				s.f.Timeouts++
+				s.sendSeg(seg, true)
+			}
+		}
+		s.armRTO()
+	})
+}
+
+// probeAckMark distinguishes a probe ACK from a per-packet data ACK.
+const probeAckMark = 1
+
+// rxFlow is the receiver-side state of one flow.
+type rxFlow struct {
+	f       *transport.Flow
+	tracker *transport.RxTracker
+	done    bool
+
+	// pullDebt counts the transmissions the sender still needs a pull
+	// token for: the payload beyond its first window, plus one per trimmed
+	// packet (retransmission) and per hole the probe reveals. Pacing pulls
+	// by debt instead of by arrival keeps the pull pacer from burning slots
+	// on senders with nothing left to send.
+	pullDebt int
+}
+
+// rxHost is the per-receiving-host state: flow reassembly plus the pull
+// pacer that clocks all senders transmitting to this host.
+type rxHost struct {
+	p     *Protocol
+	host  netem.NodeID
+	flows map[uint64]*rxFlow
+
+	pullQ   []uint64 // flow IDs awaiting a pull slot
+	pacing  bool
+	pullSeq int64
+}
+
+func (r *rxHost) hostNode() *netem.Host { return r.p.env.Net.Host(r.host) }
+
+func (r *rxHost) receive(pkt *netem.Packet) {
+	fl := r.flows[pkt.Flow]
+	if fl == nil {
+		f := r.p.flows[pkt.Flow]
+		if f == nil {
+			return
+		}
+		fl = &rxFlow{f: f, tracker: transport.NewRxTracker(f.Size, r.p.env.MSS)}
+		// Initial debt: everything beyond the sender's line-rate window.
+		windowSegs := int(r.p.env.Net.BDPBytes()) / r.p.env.MSS
+		if windowSegs < 1 {
+			windowSegs = 1
+		}
+		if n := fl.tracker.Seg.NumSegs() - windowSegs; n > 0 {
+			fl.pullDebt = n
+		}
+		r.flows[pkt.Flow] = fl
+	}
+	if fl.done {
+		return
+	}
+	switch {
+	case pkt.Type == netem.Probe:
+		r.sendCtrl(fl, netem.Ack, pkt.Seq, probeAckMark)
+		// Dropped first-window packets produced no trimmed header and
+		// therefore no pull; each observed hole below the burst end adds a
+		// retransmission to the pull debt (NDP+Aeolus, §5.4).
+		if pkt.Seq > 0 {
+			last := fl.tracker.Seg.SegOf(pkt.Seq - 1)
+			fl.pullDebt += len(fl.tracker.Missing(last + 1))
+		}
+		r.servePulls(fl)
+	case pkt.Trimmed:
+		// Header of a trimmed packet: NACK triggers retransmission, which
+		// needs one more pull.
+		r.sendCtrl(fl, netem.Nack, pkt.Seq, 0)
+		fl.pullDebt++
+		r.servePulls(fl)
+	default:
+		r.sendCtrl(fl, netem.Ack, pkt.Seq, 0)
+		if n := fl.tracker.Accept(pkt.Seq); n > 0 {
+			r.p.env.CountDelivered(n)
+		}
+		if fl.tracker.Complete() {
+			// Keep the tombstoned entry so late duplicates cannot recreate
+			// the flow and restart the pull machinery.
+			fl.done = true
+			r.p.env.FlowDone(fl.f)
+			if s := r.p.senders[pkt.Flow]; s != nil {
+				s.done = true
+			}
+			return
+		}
+		r.servePulls(fl)
+	}
+}
+
+// servePulls converts outstanding pull debt into pull-queue slots.
+func (r *rxHost) servePulls(fl *rxFlow) {
+	for fl.pullDebt > 0 {
+		fl.pullDebt--
+		r.enqueuePull(fl.f.ID)
+	}
+}
+
+func (r *rxHost) sendCtrl(fl *rxFlow, typ netem.PacketType, seq, mark int64) {
+	r.hostNode().Send(&netem.Packet{
+		Type: typ, Flow: fl.f.ID, Src: r.host, Dst: fl.f.Src,
+		Seq: seq, WireSize: netem.HeaderSize, Scheduled: true,
+		PathID: r.p.pathID(fl.f), Meta: mark,
+	})
+}
+
+// enqueuePull adds a pull slot for the flow and starts the pacer.
+func (r *rxHost) enqueuePull(flow uint64) {
+	r.pullQ = append(r.pullQ, flow)
+	if !r.pacing {
+		r.pacing = true
+		r.pacePull()
+	}
+}
+
+// pacePull emits one PULL per full-MTU serialization time, so the data the
+// pulls trigger arrives at exactly the receiver's link rate.
+func (r *rxHost) pacePull() {
+	if len(r.pullQ) == 0 {
+		r.pacing = false
+		return
+	}
+	flow := r.pullQ[0]
+	r.pullQ = r.pullQ[1:]
+	if fl := r.flows[flow]; fl != nil && !fl.done {
+		r.pullSeq++
+		r.hostNode().Send(&netem.Packet{
+			Type: netem.Pull, Flow: flow, Src: r.host, Dst: fl.f.Src,
+			Seq: r.pullSeq, WireSize: netem.HeaderSize, Scheduled: true,
+			PathID: r.p.pathID(fl.f),
+		})
+	}
+	gap := sim.TxTime(netem.JumboMTU, r.p.env.Net.HostRate)
+	r.p.env.Eng.After(gap, r.pacePull)
+}

@@ -1,0 +1,238 @@
+// Package transport provides the plumbing shared by every protocol in this
+// repository: flow descriptors, payload segmentation, receiver-side
+// reassembly tracking, and the simulation environment (network, metrics,
+// completion reporting) a protocol runs in.
+//
+// The three proactive transports (ExpressPass, Homa, NDP) live in
+// subpackages and implement the Protocol interface; the Aeolus building
+// block (internal/core) plugs into each of them.
+package transport
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/stats"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// Flow is one transfer in flight: a message of Size bytes from Src to Dst.
+type Flow struct {
+	ID    uint64
+	Src   netem.NodeID
+	Dst   netem.NodeID
+	Size  int64
+	Start sim.Time
+
+	// PathID is the flow's ECMP hash for per-flow load balancing. Protocols
+	// that spray per packet (NDP) ignore it.
+	PathID uint32
+
+	// Timeouts counts retransmission timeouts suffered by the flow.
+	Timeouts int
+}
+
+// Protocol is a transport implementation driving all hosts of a network.
+// A single Protocol instance holds per-host, per-flow state keyed by host
+// ID — logically distributed state in one object, as is conventional in
+// packet-level simulators.
+type Protocol interface {
+	// Name identifies the protocol in reports, e.g. "ExpressPass+Aeolus".
+	Name() string
+
+	// Start injects a new flow at the sender. Callers must invoke it at
+	// flow.Start simulated time.
+	Start(f *Flow)
+}
+
+// Env is the environment a protocol operates in: the built network plus the
+// metric sinks. Exactly one Env exists per simulation run.
+type Env struct {
+	Net *netem.Network
+	Eng *sim.Engine
+
+	FCT   stats.FCTCollector
+	Meter stats.ByteMeter
+
+	// MSS is the maximum payload per data packet.
+	MSS int
+
+	// Done, when non-nil, is called once per completed flow.
+	Done func(f *Flow, rec stats.FlowRecord)
+
+	completed int
+}
+
+// NewEnv wires an environment around a built network.
+func NewEnv(net *netem.Network, mss int) *Env {
+	return &Env{Net: net, Eng: net.Eng, MSS: mss}
+}
+
+// Completed returns the number of flows that finished.
+func (e *Env) Completed() int { return e.completed }
+
+// IdealFCT returns the completion time of a flow of the given size alone on
+// its path: half the base RTT (the one-way latency) plus the serialization
+// of all its frames at the edge rate. This is the normalizer of the paper's
+// "FCT slowdown" metric (Fig. 17).
+func (e *Env) IdealFCT(size int64) sim.Duration {
+	nseg := (size + int64(e.MSS) - 1) / int64(e.MSS)
+	wire := size + nseg*netem.FrameOverhead
+	// TxTime would overflow int64 picoseconds for multi-hundred-MB flows;
+	// compute large serializations in floating point.
+	var tx sim.Duration
+	if wire < 1<<20 {
+		tx = sim.TxTime(int(wire), e.Net.HostRate)
+	} else {
+		tx = sim.Duration(float64(wire) * 8 / float64(e.Net.HostRate) * float64(sim.Second))
+	}
+	return e.Net.BaseRTT/2 + tx
+}
+
+// FlowDone records a completed flow. Protocols call it exactly once per
+// flow, at the instant the last payload byte reaches the receiver.
+func (e *Env) FlowDone(f *Flow) {
+	rec := stats.FlowRecord{
+		ID:       f.ID,
+		Size:     f.Size,
+		Start:    f.Start,
+		Finish:   e.Eng.Now(),
+		IdealFCT: e.IdealFCT(f.Size),
+		Timeouts: f.Timeouts,
+	}
+	e.FCT.Add(rec)
+	e.completed++
+	if e.Done != nil {
+		e.Done(f, rec)
+	}
+}
+
+// CountSent tallies a data transmission for the transfer-efficiency meter.
+func (e *Env) CountSent(payload int) { e.Meter.SentPayload += int64(payload) }
+
+// CountDelivered tallies unique delivered payload bytes.
+func (e *Env) CountDelivered(payload int) { e.Meter.DeliveredPayload += int64(payload) }
+
+// Segmenter slices a flow's payload into MSS-sized segments. Segment i
+// covers bytes [i*MSS, i*MSS+SegLen(i)).
+type Segmenter struct {
+	Size int64
+	MSS  int
+}
+
+// NumSegs returns the number of segments.
+func (s Segmenter) NumSegs() int {
+	return int((s.Size + int64(s.MSS) - 1) / int64(s.MSS))
+}
+
+// SegLen returns the payload length of segment i.
+func (s Segmenter) SegLen(i int) int {
+	if off := int64(i) * int64(s.MSS); off+int64(s.MSS) > s.Size {
+		return int(s.Size - off)
+	}
+	return s.MSS
+}
+
+// Offset returns the byte offset of segment i.
+func (s Segmenter) Offset(i int) int64 { return int64(i) * int64(s.MSS) }
+
+// SegOf returns the segment index covering byte offset off.
+func (s Segmenter) SegOf(off int64) int { return int(off / int64(s.MSS)) }
+
+// RxTracker reassembles a flow at the receiver: it deduplicates segments and
+// reports completion.
+type RxTracker struct {
+	Seg       Segmenter
+	got       []bool
+	remaining int
+	bytes     int64
+}
+
+// NewRxTracker builds a tracker for a flow of the given size.
+func NewRxTracker(size int64, mss int) *RxTracker {
+	seg := Segmenter{Size: size, MSS: mss}
+	n := seg.NumSegs()
+	return &RxTracker{Seg: seg, got: make([]bool, n), remaining: n}
+}
+
+// Accept marks the segment at the given byte offset received. It returns the
+// number of new unique payload bytes (0 for duplicates).
+func (t *RxTracker) Accept(off int64) int {
+	i := t.Seg.SegOf(off)
+	if i < 0 || i >= len(t.got) {
+		panic(fmt.Sprintf("transport: offset %d outside flow of %d bytes", off, t.Seg.Size))
+	}
+	if t.got[i] {
+		return 0
+	}
+	t.got[i] = true
+	t.remaining--
+	n := t.Seg.SegLen(i)
+	t.bytes += int64(n)
+	return n
+}
+
+// Has reports whether segment i was received.
+func (t *RxTracker) Has(i int) bool { return t.got[i] }
+
+// Complete reports whether every segment arrived.
+func (t *RxTracker) Complete() bool { return t.remaining == 0 }
+
+// Bytes returns the unique payload bytes received so far.
+func (t *RxTracker) Bytes() int64 { return t.bytes }
+
+// Missing returns the indices of segments not yet received among the first
+// n segments (n ≤ NumSegs).
+func (t *RxTracker) Missing(n int) []int {
+	if n > len(t.got) {
+		n = len(t.got)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if !t.got[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FlowHash derives a stable per-flow ECMP PathID.
+func FlowHash(id uint64) uint32 {
+	// SplitMix64 finalizer.
+	x := id + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return uint32(x ^ (x >> 31))
+}
+
+// Runner injects a flow trace into a protocol and runs the engine until all
+// flows complete or the deadline passes. It returns the number of completed
+// flows.
+func Runner(env *Env, p Protocol, trace []workload.FlowSpec, deadline sim.Time) int {
+	flows := make([]*Flow, len(trace))
+	for i, spec := range trace {
+		f := &Flow{
+			ID:     spec.ID,
+			Src:    netem.NodeID(spec.Src),
+			Dst:    netem.NodeID(spec.Dst),
+			Size:   spec.Size,
+			Start:  spec.Start,
+			PathID: FlowHash(spec.ID),
+		}
+		flows[i] = f
+		env.Eng.At(spec.Start, func() { p.Start(f) })
+	}
+	total := len(trace)
+	userDone := env.Done
+	env.Done = func(f *Flow, rec stats.FlowRecord) {
+		if userDone != nil {
+			userDone(f, rec)
+		}
+		if env.completed == total {
+			env.Eng.Stop()
+		}
+	}
+	env.Eng.RunUntil(deadline)
+	return env.completed
+}

@@ -1,0 +1,164 @@
+// Package workload reconstructs the paper's traffic: empirical flow-size
+// distributions for the four production workloads of Table 2 (Web Server,
+// Cache Follower, Web Search, Data Mining), open-loop Poisson flow
+// generation at a target load, and synchronized incast generation.
+//
+// Web Search and Data Mining use the published DCTCP and VL2 distributions.
+// The two Facebook workloads (Web Server, Cache Follower) have no published
+// CDF files, so piecewise log-linear CDFs are reconstructed and calibrated
+// against Table 2 of the Aeolus paper: the three size-bucket fractions
+// (0–100 KB, 100 KB–1 MB, >1 MB) and the average flow size. The calibration
+// is enforced by tests in this package.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Point is one point of an empirical CDF: P(size ≤ Bytes) = Prob.
+type Point struct {
+	Bytes float64
+	Prob  float64
+}
+
+// CDF is an empirical flow-size distribution with linear interpolation
+// between points. It samples by inverse transform, so quantiles are exact.
+type CDF struct {
+	name   string
+	points []Point
+}
+
+// NewCDF validates and builds a distribution. Points must be strictly
+// increasing in both size and probability, start at probability 0 and end at
+// probability 1.
+func NewCDF(name string, points []Point) (*CDF, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("workload: CDF %q needs at least 2 points", name)
+	}
+	if points[0].Prob != 0 {
+		return nil, fmt.Errorf("workload: CDF %q must start at probability 0", name)
+	}
+	if points[len(points)-1].Prob != 1 {
+		return nil, fmt.Errorf("workload: CDF %q must end at probability 1", name)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Bytes <= points[i-1].Bytes || points[i].Prob < points[i-1].Prob {
+			return nil, fmt.Errorf("workload: CDF %q not monotone at point %d", name, i)
+		}
+	}
+	return &CDF{name: name, points: points}, nil
+}
+
+// MustCDF is NewCDF for package-level distributions; it panics on error.
+func MustCDF(name string, points []Point) *CDF {
+	c, err := NewCDF(name, points)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the workload name.
+func (c *CDF) Name() string { return c.name }
+
+// Mean returns the analytic mean flow size in bytes (piecewise-linear
+// integration of the inverse CDF).
+func (c *CDF) Mean() float64 {
+	var m float64
+	for i := 1; i < len(c.points); i++ {
+		a, b := c.points[i-1], c.points[i]
+		m += (a.Bytes + b.Bytes) / 2 * (b.Prob - a.Prob)
+	}
+	return m
+}
+
+// Quantile returns the flow size at cumulative probability p ∈ [0,1].
+func (c *CDF) Quantile(p float64) float64 {
+	if p <= 0 {
+		return c.points[0].Bytes
+	}
+	if p >= 1 {
+		return c.points[len(c.points)-1].Bytes
+	}
+	i := sort.Search(len(c.points), func(i int) bool { return c.points[i].Prob >= p })
+	a, b := c.points[i-1], c.points[i]
+	if b.Prob == a.Prob {
+		return b.Bytes
+	}
+	frac := (p - a.Prob) / (b.Prob - a.Prob)
+	return a.Bytes + frac*(b.Bytes-a.Bytes)
+}
+
+// Fraction returns P(size ≤ bytes).
+func (c *CDF) Fraction(bytes float64) float64 {
+	if bytes <= c.points[0].Bytes {
+		return c.points[0].Prob
+	}
+	last := c.points[len(c.points)-1]
+	if bytes >= last.Bytes {
+		return 1
+	}
+	i := sort.Search(len(c.points), func(i int) bool { return c.points[i].Bytes >= bytes })
+	a, b := c.points[i-1], c.points[i]
+	frac := (bytes - a.Bytes) / (b.Bytes - a.Bytes)
+	return a.Prob + frac*(b.Prob-a.Prob)
+}
+
+// Sample draws one flow size in bytes (at least 1).
+func (c *CDF) Sample(r *rand.Rand) int64 {
+	s := int64(c.Quantile(r.Float64()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// The four production workloads of Table 2.
+var (
+	// WebServer reconstructs the Facebook Web Server distribution [Roy et
+	// al., SIGCOMM'15]: 81% of flows ≤100 KB, none >1 MB, mean ≈64 KB.
+	WebServer = MustCDF("WebServer", []Point{
+		{100, 0}, {1e3, 0.20}, {3e3, 0.35}, {8e3, 0.47}, {20e3, 0.58},
+		{50e3, 0.72}, {100e3, 0.81}, {250e3, 0.94}, {600e3, 0.985}, {1e6, 1},
+	})
+
+	// CacheFollower reconstructs the Facebook Cache Follower distribution
+	// [Roy et al.]: 53% ≤100 KB, 29% >1 MB, mean ≈701 KB.
+	CacheFollower = MustCDF("CacheFollower", []Point{
+		{100, 0}, {1e3, 0.10}, {5e3, 0.25}, {15e3, 0.38}, {40e3, 0.47},
+		{100e3, 0.53}, {300e3, 0.62}, {700e3, 0.69}, {1e6, 0.71},
+		{2e6, 0.88}, {3.5e6, 0.97}, {6e6, 1},
+	})
+
+	// WebSearch is the DCTCP web-search distribution [Alizadeh et al.,
+	// SIGCOMM'10]: 52% ≤100 KB, mean ≈1.6 MB.
+	WebSearch = MustCDF("WebSearch", []Point{
+		{1e3, 0}, {5e3, 0.10}, {10e3, 0.19}, {20e3, 0.33}, {50e3, 0.45},
+		{100e3, 0.52}, {250e3, 0.60}, {500e3, 0.66}, {1e6, 0.70},
+		{2e6, 0.78}, {4e6, 0.90}, {10e6, 0.96}, {20e6, 1},
+	})
+
+	// DataMining is the VL2 data-mining distribution [Greenberg et al.,
+	// SIGCOMM'09]: 83% ≤100 KB but >90% of bytes in >1 MB flows, mean
+	// ≈7.41 MB.
+	DataMining = MustCDF("DataMining", []Point{
+		{100, 0}, {180, 0.10}, {250, 0.20}, {560, 0.30}, {900, 0.40},
+		{1100, 0.50}, {1870, 0.60}, {3160, 0.70}, {10e3, 0.80},
+		{400e3, 0.90}, {3.16e6, 0.95}, {50e6, 0.98}, {600e6, 1},
+	})
+
+	// All lists the four workloads in the paper's presentation order.
+	All = []*CDF{WebServer, CacheFollower, WebSearch, DataMining}
+)
+
+// ByName returns the workload with the given name, or nil.
+func ByName(name string) *CDF {
+	for _, c := range All {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}

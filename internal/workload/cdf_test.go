@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+func TestNewCDFValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		points []Point
+		ok     bool
+	}{
+		{"valid", []Point{{1, 0}, {10, 1}}, true},
+		{"too short", []Point{{1, 0}}, false},
+		{"no zero start", []Point{{1, 0.1}, {10, 1}}, false},
+		{"no one end", []Point{{1, 0}, {10, 0.9}}, false},
+		{"non-monotone size", []Point{{10, 0}, {5, 0.5}, {20, 1}}, false},
+		{"decreasing prob", []Point{{1, 0}, {5, 0.8}, {10, 0.5}, {20, 1}}, false},
+	}
+	for _, tt := range tests {
+		_, err := NewCDF(tt.name, tt.points)
+		if (err == nil) != tt.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tt.name, err, tt.ok)
+		}
+	}
+}
+
+// TestTable2Calibration pins the reconstructed distributions to Table 2 of
+// the paper: bucket fractions within 2 points, mean within 10%.
+func TestTable2Calibration(t *testing.T) {
+	tests := []struct {
+		cdf        *CDF
+		small      float64 // P(≤100KB)
+		mid        float64 // P(100KB..1MB)
+		large      float64 // P(>1MB)
+		mean       float64
+		largeSlack float64
+	}{
+		{WebServer, 0.81, 0.19, 0.00, 64e3, 0.02},
+		{CacheFollower, 0.53, 0.18, 0.29, 701e3, 0.02},
+		// Paper's Web Search row sums to 90% (52/18/20); we normalize the
+		// remainder into the >1MB bucket and allow extra slack there.
+		{WebSearch, 0.52, 0.18, 0.30, 1.6e6, 0.11},
+		{DataMining, 0.83, 0.08, 0.09, 7.41e6, 0.02},
+	}
+	for _, tt := range tests {
+		name := tt.cdf.Name()
+		small := tt.cdf.Fraction(100e3)
+		mid := tt.cdf.Fraction(1e6) - small
+		large := 1 - tt.cdf.Fraction(1e6)
+		if math.Abs(small-tt.small) > 0.02 {
+			t.Errorf("%s: P(≤100KB) = %.3f, want %.2f±0.02", name, small, tt.small)
+		}
+		if math.Abs(mid-tt.mid) > 0.02 {
+			t.Errorf("%s: P(100KB..1MB) = %.3f, want %.2f±0.02", name, mid, tt.mid)
+		}
+		if math.Abs(large-tt.large) > tt.largeSlack {
+			t.Errorf("%s: P(>1MB) = %.3f, want %.2f±%.2f", name, large, tt.large, tt.largeSlack)
+		}
+		if m := tt.cdf.Mean(); math.Abs(m-tt.mean) > 0.10*tt.mean {
+			t.Errorf("%s: mean = %.0f, want %.0f±10%%", name, m, tt.mean)
+		}
+	}
+}
+
+func TestQuantileFractionInverse(t *testing.T) {
+	for _, c := range All {
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			size := c.Quantile(p)
+			back := c.Fraction(size)
+			if math.Abs(back-p) > 1e-9 {
+				t.Errorf("%s: Fraction(Quantile(%v)) = %v", c.Name(), p, back)
+			}
+		}
+		if c.Quantile(0) != c.points[0].Bytes || c.Quantile(1) != c.points[len(c.points)-1].Bytes {
+			t.Errorf("%s: quantile endpoints wrong", c.Name())
+		}
+	}
+}
+
+// Property: Quantile is monotone non-decreasing for every workload.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(a, b float64) bool {
+		pa, pb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		for _, c := range All {
+			if c.Quantile(pa) > c.Quantile(pb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleMeanMatchesAnalytic(t *testing.T) {
+	r := rand.New(rand.NewPCG(42, 7))
+	for _, c := range All {
+		var sum float64
+		const n = 300000
+		for i := 0; i < n; i++ {
+			sum += float64(c.Sample(r))
+		}
+		got := sum / n
+		want := c.Mean()
+		if math.Abs(got-want) > 0.03*want {
+			t.Errorf("%s: empirical mean %.0f, analytic %.0f", c.Name(), got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("WebSearch") != WebSearch {
+		t.Fatal("ByName(WebSearch) failed")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName(nope) should be nil")
+	}
+}
+
+func TestPoissonGenerator(t *testing.T) {
+	cfg := PoissonConfig{
+		CDF: WebServer, Hosts: 16, HostRate: 10 * sim.Gbps,
+		Load: 0.4, Flows: 20000, Seed: 1,
+	}
+	flows := cfg.Generate()
+	if len(flows) != cfg.Flows {
+		t.Fatalf("generated %d flows, want %d", len(flows), cfg.Flows)
+	}
+	var bytes float64
+	var last sim.Time
+	for i, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatalf("flow %d: src == dst == %d", i, f.Src)
+		}
+		if f.Src < 0 || f.Src >= 16 || f.Dst < 0 || f.Dst >= 16 {
+			t.Fatalf("flow %d: endpoint out of range", i)
+		}
+		if f.Start < last {
+			t.Fatalf("flow %d: arrivals not ordered", i)
+		}
+		if f.Size < 1 {
+			t.Fatalf("flow %d: size %d", i, f.Size)
+		}
+		last = f.Start
+		bytes += float64(f.Size)
+	}
+	// Offered load over the generation span should be close to target.
+	span := flows[len(flows)-1].Start.Seconds()
+	offered := bytes * 8 / span / float64(16*10*sim.Gbps)
+	if math.Abs(offered-0.4) > 0.05 {
+		t.Fatalf("offered edge load = %.3f, want 0.40±0.05", offered)
+	}
+}
+
+func TestPoissonDeterminism(t *testing.T) {
+	cfg := PoissonConfig{CDF: WebSearch, Hosts: 8, HostRate: 100 * sim.Gbps, Load: 0.5, Flows: 100, Seed: 9}
+	a, b := cfg.Generate(), cfg.Generate()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed traces diverge at flow %d", i)
+		}
+	}
+	cfg.Seed = 10
+	c := cfg.Generate()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestIncastGenerator(t *testing.T) {
+	cfg := IncastConfig{Fanin: 7, Receiver: 3, Hosts: 8, MsgSize: 30e3, Seed: 2, StartAt: sim.Time(sim.Millisecond)}
+	flows := cfg.Generate()
+	if len(flows) != 7 {
+		t.Fatalf("generated %d senders, want 7", len(flows))
+	}
+	seen := map[int]bool{}
+	for _, f := range flows {
+		if f.Dst != 3 {
+			t.Fatalf("flow to %d, want receiver 3", f.Dst)
+		}
+		if f.Src == 3 {
+			t.Fatal("receiver chosen as sender")
+		}
+		if seen[f.Src] {
+			t.Fatalf("sender %d repeated", f.Src)
+		}
+		seen[f.Src] = true
+		if f.Size != 30e3 || f.Start != cfg.StartAt {
+			t.Fatalf("bad spec %+v", f)
+		}
+	}
+}
+
+func TestIncastFaninBeyondHostsCycles(t *testing.T) {
+	cfg := IncastConfig{Fanin: 50, Receiver: 0, Hosts: 8, MsgSize: 1000, Seed: 3}
+	flows := cfg.Generate()
+	if len(flows) != 50 {
+		t.Fatalf("fanin beyond hosts gave %d flows, want 50", len(flows))
+	}
+	perHost := map[int]int{}
+	for _, f := range flows {
+		if f.Src == 0 {
+			t.Fatal("receiver chosen as sender")
+		}
+		perHost[f.Src]++
+	}
+	if len(perHost) != 7 {
+		t.Fatalf("used %d distinct senders, want all 7", len(perHost))
+	}
+	for h, n := range perHost {
+		if n < 7 || n > 8 {
+			t.Fatalf("host %d carries %d flows, want 7-8 (even cycling)", h, n)
+		}
+	}
+}
+
+func TestIncastJitter(t *testing.T) {
+	cfg := IncastConfig{Fanin: 20, Receiver: 0, Hosts: 64, MsgSize: 1000, Seed: 4,
+		StartAt: sim.Time(sim.Millisecond), Jitter: 10 * sim.Microsecond}
+	distinct := map[sim.Time]bool{}
+	for _, f := range cfg.Generate() {
+		if f.Start < cfg.StartAt || f.Start >= cfg.StartAt.Add(cfg.Jitter) {
+			t.Fatalf("start %v outside jitter window", f.Start)
+		}
+		distinct[f.Start] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("jitter produced identical starts")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []FlowSpec{{ID: 1, Start: 100}, {ID: 2, Start: 300}}
+	b := []FlowSpec{{ID: 10, Start: 200}}
+	m := Merge(a, b)
+	if len(m) != 3 || m[0].ID != 1 || m[1].ID != 10 || m[2].ID != 2 {
+		t.Fatalf("merge order wrong: %+v", m)
+	}
+}

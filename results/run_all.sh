@@ -1,0 +1,30 @@
+#!/bin/bash
+# Final reproduction pass: per-experiment budgets sized to the experiment's
+# cost profile (fat-tree runs are ~6x the per-byte cost of leaf-spine).
+set -u
+cd /root/repo
+BIN=/tmp/aeolusbench
+go build -o $BIN ./cmd/aeolusbench
+run() { echo "=== $1 (budget ${2}MiB) ==="; $BIN -exp "$1" -budget "$2" 2>&1; echo; }
+{
+run fig2   16
+run fig8   64
+run fig11  64
+run fig15  64
+run fig16  64
+run table5 64
+run fig17  256
+run fig4   1024
+run table1 1024
+run fig12  1024
+run table3 1024
+run fig13  512
+run fig14  512
+run fig1   512
+run fig3   512
+run fig9   512
+run fig10  256
+run table4 512
+run fig18  256
+} > /root/repo/results/full_results.txt
+echo DONE >> /root/repo/results/full_results.txt

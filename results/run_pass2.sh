@@ -1,0 +1,22 @@
+#!/bin/bash
+# Second pass: experiments touched by the Homa spraying + per-port RED +
+# tombstone fixes, plus the 100KB testbed buffer and the ablation.
+set -u
+cd /root/repo
+BIN=/tmp/aeolusbench
+go build -o $BIN ./cmd/aeolusbench
+run() { echo "=== $1 (budget ${2}MiB) ==="; $BIN -exp "$1" -budget "$2" 2>&1; echo; }
+{
+run fig8     64
+run fig11    64
+run fig4     1024
+run table1   1024
+run fig12    1024
+run table3   1024
+run fig13    512
+run fig1     512
+run fig17    256
+run fig18    256
+run ablation 512
+} > /root/repo/results/pass2_results.txt
+echo DONE >> /root/repo/results/pass2_results.txt
