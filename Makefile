@@ -1,0 +1,30 @@
+# Tier-1 gate: `make ci` must pass before every commit. It is what the
+# repository's CI runs: vet, full build, full test suite, and the race
+# detector over the concurrency-bearing packages (the parallel experiment
+# pool, the event engine it drives, and the workload parser the fuzz target
+# exercises).
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/workload
+
+# Short fuzz pass over the CDF text parser (CI smoke; raise -fuzztime locally).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzCDFParse -fuzztime=30s ./internal/workload
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -8,15 +8,21 @@
 //	aeolusbench -list
 //	aeolusbench -exp fig9
 //	aeolusbench -exp all -budget 512 -csv
+//	aeolusbench -exp all -quick -parallel 8
 //
 // The -budget flag (in MiB of offered traffic per run) trades fidelity for
-// time; -quick trims parameter sweeps for a fast pass.
+// time; -quick trims parameter sweeps for a fast pass. Independent
+// simulation runs within an experiment execute concurrently on -parallel
+// workers (default: all cores); results are byte-identical for every
+// -parallel value because each run's randomness derives only from the seed
+// and the run's parameters, never from scheduling.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/aeolus-transport/aeolus/internal/experiments"
@@ -24,12 +30,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID (fig1..fig18, table1..table5) or \"all\"")
-		list   = flag.Bool("list", false, "list available experiments")
-		budget = flag.Int64("budget", 150, "offered traffic per run, MiB")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		quick  = flag.Bool("quick", false, "trim parameter sweeps")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp      = flag.String("exp", "", "experiment ID (fig1..fig18, table1..table5) or \"all\"")
+		list     = flag.Bool("list", false, "list available experiments")
+		budget   = flag.Int64("budget", 150, "offered traffic per run, MiB")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "trim parameter sweeps")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment")
+		progress = flag.Bool("progress", stderrIsTerminal(), "report per-run progress on stderr")
 	)
 	flag.Parse()
 
@@ -48,6 +56,10 @@ func main() {
 	cfg.Budget = *budget << 20
 	cfg.Seed = *seed
 	cfg.Quick = *quick
+	cfg.Parallel = *parallel
+	if *progress {
+		cfg.Progress = experiments.ProgressPrinter(os.Stderr)
+	}
 
 	run := func(e experiments.Experiment) {
 		start := time.Now()
@@ -60,6 +72,9 @@ func main() {
 				t.Fprint(os.Stdout)
 			}
 			fmt.Println()
+		}
+		if *progress {
+			fmt.Fprint(os.Stderr, "\r                                \r")
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
@@ -76,4 +91,11 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// stderrIsTerminal reports whether stderr is an interactive terminal — the
+// default for the \r-style progress line.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }

@@ -1,4 +1,4 @@
-// Command aeolussim runs a single ad-hoc simulation from flags and prints a
+// Command aeolussim runs ad-hoc simulations from flags and prints a
 // summary: pick a topology, a scheme, a workload and a load (and/or an
 // incast), and get FCT statistics, efficiency, goodput and drop counters.
 //
@@ -6,12 +6,21 @@
 //
 //	aeolussim -topo leafspine -scheme homa+aeolus -workload WebSearch -load 0.5 -flows 2000
 //	aeolussim -topo single -scheme xpass+aeolus -incast 7 -msg 40000
+//	aeolussim -topo fattree -scheme xpass -workload my-trace.cdf -runs 8 -parallel 4
+//
+// -workload accepts either a built-in name or the path of a CDF file in the
+// "<bytes> <cumulative probability>" text format. With -runs N the same
+// experiment repeats over N consecutive seeds — executed concurrently on
+// -parallel workers — and a cross-run summary is appended; results are
+// independent of -parallel.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 
 	"github.com/aeolus-transport/aeolus/internal/experiments"
 	"github.com/aeolus-transport/aeolus/internal/sim"
@@ -23,7 +32,7 @@ func main() {
 	var (
 		topo     = flag.String("topo", "leafspine", "topology: fattree, leafspine, single, incastfabric, micro")
 		scheme   = flag.String("scheme", "xpass+aeolus", "scheme ID (see aeolusbench docs)")
-		wlName   = flag.String("workload", "", "workload: WebServer, CacheFollower, WebSearch, DataMining")
+		wlName   = flag.String("workload", "", "workload name (WebServer, CacheFollower, WebSearch, DataMining) or CDF file path")
 		load     = flag.Float64("load", 0.4, "core load for the Poisson workload")
 		flows    = flag.Int("flows", 0, "flow count (0 = derive from -budget)")
 		budget   = flag.Int64("budget", 64, "offered traffic, MiB (when -flows is 0)")
@@ -33,6 +42,8 @@ func main() {
 		thresh   = flag.Int64("threshold", 0, "selective dropping threshold bytes (0 = default)")
 		rtoUs    = flag.Int64("rto", 0, "RTO override, microseconds (0 = scheme default)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		runs     = flag.Int("runs", 1, "repeat over this many consecutive seeds")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs (with -runs > 1)")
 		deadline = flag.Int64("deadline", 500, "extra simulated time after last arrival, ms")
 		trace    = flag.Uint64("trace", 0, "print a packet trace for this flow ID")
 		cdf      = flag.Bool("cdf", false, "print the small-flow FCT CDF (the paper's figure format)")
@@ -42,40 +53,79 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Budget = *budget << 20
 	cfg.Seed = *seed
+	cfg.Parallel = *parallel
 
 	var wl *workload.CDF
 	if *wlName != "" {
-		wl = workload.ByName(*wlName)
-		if wl == nil {
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wlName)
+		var err error
+		wl, err = workload.Resolve(*wlName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
-		}
-	}
-	spec := experiments.RunSpec{
-		Scheme: experiments.SchemeSpec{
-			ID: *scheme, Workload: wl,
-			RTO:       sim.Duration(*rtoUs) * sim.Microsecond,
-			Threshold: *thresh, Seed: *seed,
-		},
-		Topo: *topo, Buffer: *buffer,
-		Workload: wl, CoreLoad: *load, Flows: *flows,
-		Deadline: sim.Duration(*deadline) * sim.Millisecond,
-	}
-	if *incast > 0 {
-		spec.Incast = &workload.IncastConfig{
-			Fanin: *incast, Receiver: 0, MsgSize: *msg, Seed: *seed,
-			StartAt: sim.Time(10 * sim.Microsecond),
 		}
 	}
 	if wl == nil && *incast == 0 {
 		fmt.Fprintln(os.Stderr, "nothing to send: give -workload and/or -incast")
 		os.Exit(2)
 	}
-
-	if *trace != 0 {
-		spec.TraceFlow = *trace
+	if *runs < 1 {
+		*runs = 1
 	}
-	r := experiments.Run(cfg, spec)
+
+	specFor := func(runSeed uint64) experiments.RunSpec {
+		spec := experiments.RunSpec{
+			Scheme: experiments.SchemeSpec{
+				ID: *scheme, Workload: wl,
+				RTO:       sim.Duration(*rtoUs) * sim.Microsecond,
+				Threshold: *thresh, Seed: runSeed,
+			},
+			Topo: *topo, Buffer: *buffer,
+			Workload: wl, CoreLoad: *load, Flows: *flows,
+			Deadline: sim.Duration(*deadline) * sim.Millisecond,
+		}
+		if *incast > 0 {
+			spec.Incast = &workload.IncastConfig{
+				Fanin: *incast, Receiver: 0, MsgSize: *msg, Seed: runSeed,
+				StartAt: sim.Time(10 * sim.Microsecond),
+			}
+		}
+		if *trace != 0 {
+			spec.TraceFlow = *trace
+		}
+		return spec
+	}
+
+	if *runs == 1 {
+		print1(experiments.Run(cfg, specFor(*seed)), *cdf)
+		return
+	}
+
+	// Seed-replicated mode: the same experiment over consecutive seeds, fanned
+	// across the pool. Each run derives everything from its own seed, so the
+	// output is identical for every -parallel value.
+	pool := experiments.NewPool(cfg)
+	for i := 0; i < *runs; i++ {
+		pool.Submit(specFor(*seed + uint64(i)))
+	}
+	results := pool.Collect()
+	var smallMeans, allMeans, effs []float64
+	for i, r := range results {
+		fmt.Printf("run %-3d seed=%-5d small mean=%sus p99=%sus | all mean=%sus max=%sus | eff=%.3f timeouts=%d\n",
+			i, *seed+uint64(i),
+			stats.FormatDur(r.Small.Mean), stats.FormatDur(r.Small.P99),
+			stats.FormatDur(r.All.Mean), stats.FormatDur(r.All.Max),
+			r.Efficiency, r.TimeoutFlows)
+		smallMeans = append(smallMeans, r.Small.Mean.Microseconds())
+		allMeans = append(allMeans, r.All.Mean.Microseconds())
+		effs = append(effs, r.Efficiency)
+	}
+	fmt.Printf("\nacross %d seeds (%s, %s):\n", *runs, results[0].Scheme, *topo)
+	fmt.Printf("  small-flow mean FCT  %.2f ± %.2f us\n", mean(smallMeans), stddev(smallMeans))
+	fmt.Printf("  all-flow mean FCT    %.2f ± %.2f us\n", mean(allMeans), stddev(allMeans))
+	fmt.Printf("  efficiency           %.3f ± %.3f\n", mean(effs), stddev(effs))
+}
+
+func print1(r experiments.RunResult, cdf bool) {
 	fmt.Printf("scheme       %s\n", r.Scheme)
 	fmt.Printf("flows        %d/%d completed\n", r.Completed, r.Total)
 	fmt.Printf("small flows  n=%d p50=%sus p99=%sus p99.9=%sus mean=%sus in1RTT=%.3f\n",
@@ -89,10 +139,30 @@ func main() {
 	fmt.Printf("timeouts     %d flows\n", r.TimeoutFlows)
 	fmt.Printf("drops        tail=%d selective=%d credit=%d trim-fail=%d\n",
 		r.Drops[0], r.Drops[1], r.Drops[2], r.Drops[3])
-	if *cdf {
+	if cdf {
 		fmt.Println("\n# small-flow FCT CDF: fct_us cumulative_fraction")
 		for _, pt := range r.SmallCDF {
 			fmt.Printf("%.2f %.4f\n", pt[0], pt[1])
 		}
 	}
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func stddev(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := mean(v)
+	var s float64
+	for _, x := range v {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(v)-1))
 }

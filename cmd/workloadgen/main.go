@@ -6,6 +6,8 @@
 //
 //	workloadgen -workload WebSearch -flows 1000 -hosts 64 -load 0.4
 //	workloadgen -workload DataMining -stats
+//	workloadgen -workload my-trace.cdf -stats
+//	workloadgen -workload WebServer -dump-cdf > webserver.cdf
 //	workloadgen -fig2
 package main
 
@@ -21,7 +23,8 @@ import (
 
 func main() {
 	var (
-		wlName = flag.String("workload", "WebSearch", "workload name")
+		wlName = flag.String("workload", "WebSearch", "workload name or CDF file path")
+		dump   = flag.Bool("dump-cdf", false, "print the workload in the CDF text format and exit")
 		flows  = flag.Int("flows", 100, "flows to sample")
 		hosts  = flag.Int("hosts", 64, "hosts to draw endpoints from")
 		load   = flag.Float64("load", 0.4, "target edge load")
@@ -40,10 +43,14 @@ func main() {
 		return
 	}
 
-	wl := workload.ByName(*wlName)
-	if wl == nil {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (have WebServer, CacheFollower, WebSearch, DataMining)\n", *wlName)
+	wl, err := workload.Resolve(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *dump {
+		fmt.Print(wl.Text())
+		return
 	}
 	if *stat {
 		fmt.Printf("workload      %s\n", wl.Name())

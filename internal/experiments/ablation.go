@@ -28,14 +28,13 @@ func Ablation(cfg Config) []Table {
 	t := Table{ID: "ablation", Title: "Aeolus design-choice ablation (ExpressPass base, Cache Follower, 40% core)",
 		Columns: []string{"variant", "p50/us", "p99/us", "mean/us", "in1RTT", "maxFCT/us", "efficiency"}}
 
+	var names []string
+	var specs []RunSpec
 	add := func(name string, spec SchemeSpec) {
-		r := Run(cfg, RunSpec{
+		names = append(names, name)
+		specs = append(specs, RunSpec{
 			Scheme: spec, Topo: TopoLeafSpine, Workload: wl, CoreLoad: 0.4,
 		})
-		t.Add(name,
-			stats.FormatDur(r.Small.P50), stats.FormatDur(r.Small.P99),
-			stats.FormatDur(r.Small.Mean), f3(r.FirstRTTFrac),
-			stats.FormatDur(r.All.Max), f3(r.Efficiency))
 	}
 
 	add("no pre-credit burst (vanilla)", SchemeSpec{ID: "xpass", Workload: wl, Seed: cfg.Seed})
@@ -56,6 +55,13 @@ func Ablation(cfg Config) []Table {
 		ID: "xpass+prio", Workload: wl, RTO: 10 * sim.Millisecond, Seed: cfg.Seed})
 	add("burst + RTO-only recovery (20us)", SchemeSpec{
 		ID: "xpass+prio", Workload: wl, RTO: 20 * sim.Microsecond, Seed: cfg.Seed})
+
+	for i, r := range runAll(cfg, specs) {
+		t.Add(names[i],
+			stats.FormatDur(r.Small.P50), stats.FormatDur(r.Small.P99),
+			stats.FormatDur(r.Small.Mean), f3(r.FirstRTTFrac),
+			stats.FormatDur(r.All.Max), f3(r.Efficiency))
+	}
 
 	return []Table{t}
 }

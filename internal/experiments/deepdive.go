@@ -75,9 +75,10 @@ func Fig15(cfg Config) []Table {
 	if cfg.Quick {
 		rounds = 6
 	}
-	for _, th := range thresholds {
-		var sampler stats.QueueSampler
-		microSustainedRun(cfg, 16, th, 200_000, rounds,
+	samplers := make([]stats.QueueSampler, len(thresholds))
+	forEachPar(cfg, len(thresholds), func(i int) {
+		sampler := &samplers[i]
+		microSustainedRun(cfg, 16, thresholds[i], 200_000, rounds,
 			func(env *transport.Env, bn *netem.Port) {
 				// Sample while the per-RTT bursts keep arriving.
 				stop := sim.Time(10 * sim.Microsecond).Add(sim.Duration(rounds) * env.Net.BaseRTT)
@@ -95,7 +96,9 @@ func Fig15(cfg Config) []Table {
 				}
 				env.Eng.At(sim.Time(10*sim.Microsecond), tick)
 			})
-		t.Add(f1(float64(th)/1024), f2(sampler.Mean()/1024), f2(float64(sampler.Max())/1024))
+	})
+	for i, th := range thresholds {
+		t.Add(f1(float64(th)/1024), f2(samplers[i].Mean()/1024), f2(float64(samplers[i].Max())/1024))
 	}
 	return []Table{t}
 }
@@ -112,23 +115,26 @@ func Fig16(cfg Config) []Table {
 		fanins = []int{2, 8, 24}
 	}
 	thresholds := []int64{1538, 3 << 10, 6 << 10, 12 << 10}
-	for _, n := range fanins {
-		row := []string{fmt.Sprint(n)}
-		for _, th := range thresholds {
-			var meter stats.UtilizationMeter
-			var util float64
-			_, _ = microIncastRun(cfg, n, th, 200_000,
-				func(env *transport.Env, bn *netem.Port) {
-					// Window: one base RTT starting when the burst's front
-					// reaches the bottleneck.
-					start := sim.Time(10*sim.Microsecond) + sim.Time(2*sim.Microsecond)
-					env.Eng.At(start, func() { meter.Start(bn.TxBytes, start) })
-					end := start.Add(env.Net.BaseRTT)
-					env.Eng.At(end, func() {
-						util = meter.Stop(bn.TxBytes, end, bn.Rate)
-					})
+	utils := make([]float64, len(fanins)*len(thresholds))
+	forEachPar(cfg, len(utils), func(i int) {
+		n, th := fanins[i/len(thresholds)], thresholds[i%len(thresholds)]
+		var meter stats.UtilizationMeter
+		_, _ = microIncastRun(cfg, n, th, 200_000,
+			func(env *transport.Env, bn *netem.Port) {
+				// Window: one base RTT starting when the burst's front
+				// reaches the bottleneck.
+				start := sim.Time(10*sim.Microsecond) + sim.Time(2*sim.Microsecond)
+				env.Eng.At(start, func() { meter.Start(bn.TxBytes, start) })
+				end := start.Add(env.Net.BaseRTT)
+				env.Eng.At(end, func() {
+					utils[i] = meter.Stop(bn.TxBytes, end, bn.Rate)
 				})
-			row = append(row, f3(util))
+			})
+	})
+	for fi, n := range fanins {
+		row := []string{fmt.Sprint(n)}
+		for ti := range thresholds {
+			row = append(row, f3(utils[fi*len(thresholds)+ti]))
 		}
 		t.Add(row...)
 	}
@@ -152,15 +158,14 @@ func Fig17(cfg Config) []Table {
 		avg.Columns = []string{"scheme", "N=32", "N=128"}
 		p99.Columns = avg.Columns
 	}
+	var specs []RunSpec
 	for _, id := range fig17Schemes {
-		arow := []string{""}
-		prow := []string{""}
 		for _, n := range fanins {
 			spec := SchemeSpec{ID: id, Seed: cfg.Seed}
 			if id == "homa" || id == "homa+aeolus" {
 				spec.RTO = 40 * sim.Microsecond
 			}
-			r := Run(cfg, RunSpec{
+			specs = append(specs, RunSpec{
 				Scheme: spec, Topo: TopoIncastFabric, Buffer: 500 << 10,
 				Incast: &workload.IncastConfig{
 					Fanin: n, Receiver: 0, MsgSize: 64_000, Seed: cfg.Seed,
@@ -168,6 +173,16 @@ func Fig17(cfg Config) []Table {
 				},
 				Deadline: sim.Duration(1 * sim.Second),
 			})
+		}
+	}
+	res := runAll(cfg, specs)
+	i := 0
+	for range fig17Schemes {
+		arow := []string{""}
+		prow := []string{""}
+		for range fanins {
+			r := res[i]
+			i++
 			arow[0], prow[0] = r.Scheme, r.Scheme
 			arow = append(arow, f1(r.All.MeanSlowdown))
 			prow = append(prow, f1(r.All.P99Slowdown))
@@ -195,14 +210,14 @@ func Fig18(cfg Config) []Table {
 	sweep := cfg
 	sweep.Budget = cfg.Budget / 2
 	sweep.MinFlows = maxI(cfg.MinFlows, 500) // steady state needs a real span
+	var specs []RunSpec
 	for _, id := range fig17Schemes {
-		row := []string{""}
 		for _, load := range loads {
 			spec := SchemeSpec{ID: id, Workload: workload.WebSearch, Seed: cfg.Seed}
 			if id == "homa" || id == "homa+aeolus" {
 				spec.RTO = 40 * sim.Microsecond
 			}
-			r := Run(sweep, RunSpec{
+			specs = append(specs, RunSpec{
 				Scheme: spec, Topo: TopoIncastFabric, Buffer: 500 << 10,
 				Workload: workload.WebSearch, CoreLoad: load,
 				Incast: &workload.IncastConfig{
@@ -210,8 +225,16 @@ func Fig18(cfg Config) []Table {
 					StartAt: sim.Time(100 * sim.Microsecond),
 				},
 			})
-			row[0] = r.Scheme
-			row = append(row, f3(r.WindowGoodput))
+		}
+	}
+	res := runAll(sweep, specs)
+	i := 0
+	for range fig17Schemes {
+		row := []string{""}
+		for range loads {
+			row[0] = res[i].Scheme
+			row = append(row, f3(res[i].WindowGoodput))
+			i++
 		}
 		t.Add(row...)
 	}

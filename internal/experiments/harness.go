@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"os"
+	"io"
 
 	"github.com/aeolus-transport/aeolus/internal/core"
 	"github.com/aeolus-transport/aeolus/internal/netem"
@@ -32,6 +32,16 @@ type Config struct {
 	// Quick trims parameter sweeps (fewer load points, fewer fan-ins) for
 	// fast regression runs.
 	Quick bool
+
+	// Parallel is the number of simulation runs executed concurrently by
+	// the experiment pool; 0 means runtime.GOMAXPROCS(0). Results are
+	// independent of this value: every run derives its randomness from
+	// (Seed, RunSpec) alone, never from scheduling order.
+	Parallel int
+
+	// Progress, when non-nil, is invoked after every completed run. It must
+	// tolerate concurrent calls; see ProgressPrinter.
+	Progress ProgressFunc
 }
 
 // DefaultConfig returns a configuration sized for single-core bench runs.
@@ -303,9 +313,11 @@ type RunSpec struct {
 	Incast   *workload.IncastConfig
 	Deadline sim.Duration // extra simulated time after the last arrival
 
-	// TraceFlow, when nonzero, prints every port/host event of that flow to
-	// stderr — the packet-level debugging view.
+	// TraceFlow, when nonzero, prints every port/host event of that flow —
+	// the packet-level debugging view. Output goes to TraceTo, or to a
+	// mutex-guarded os.Stderr so traced runs stay legible under a Pool.
 	TraceFlow uint64
+	TraceTo   io.Writer
 }
 
 // RunResult aggregates the metrics every experiment consumes.
@@ -351,7 +363,11 @@ func Run(cfg Config, spec RunSpec) RunResult {
 	env := transport.NewEnv(net, scheme.MSS)
 	proto := scheme.New(env)
 	if spec.TraceFlow != 0 {
-		tr := &netem.WriterTracer{W: os.Stderr,
+		w := spec.TraceTo
+		if w == nil {
+			w = stderrLocked
+		}
+		tr := &netem.WriterTracer{W: w,
 			Filter: func(p *netem.Packet) bool { return p.Flow == spec.TraceFlow }}
 		netem.InstrumentPorts(net.AllPorts(), tr)
 		netem.InstrumentHosts(net.Hosts, tr)

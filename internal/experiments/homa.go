@@ -15,15 +15,8 @@ func Fig4(cfg Config) []Table {
 	cfg.MinFlows = maxI(cfg.MinFlows, 400)
 	t := Table{ID: "fig4", Title: "Homa vs hypothetical Homa, 0-100KB flows (leaf-spine, 40% core)",
 		Columns: fctCols}
-	for _, wl := range []*workload.CDF{workload.CacheFollower, workload.WebServer} {
-		for _, id := range []string{"homa", "homa+oracle"} {
-			r := Run(cfg, RunSpec{
-				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-				Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.4,
-			})
-			addFCTRow(&t, wl.Name(), r)
-		}
-	}
+	fctSweep(cfg, &t, []*workload.CDF{workload.CacheFollower, workload.WebServer},
+		[]string{"homa", "homa+oracle"}, TopoLeafSpine, 0.4)
 	return []Table{t}
 }
 
@@ -35,11 +28,14 @@ func Table1(cfg Config) []Table {
 	wl := workload.CacheFollower
 	t := Table{ID: "table1", Title: "Hypothetical vs eager vs original Homa (Cache Follower)",
 		Columns: []string{"scheme", "tailFCT(0-100KB)/us", "efficiency", "avgFCT(all)/us"}}
+	var specs []RunSpec
 	for _, id := range []string{"homa+oracle", "homa-eager", "homa"} {
-		r := Run(cfg, RunSpec{
+		specs = append(specs, RunSpec{
 			Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
 			Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.54,
 		})
+	}
+	for _, r := range runAll(cfg, specs) {
 		t.Add(r.Scheme, stats.FormatDur(r.Small.P999), f2(r.Efficiency),
 			stats.FormatDur(r.All.Mean))
 	}
@@ -59,15 +55,7 @@ func Fig12(cfg Config) []Table {
 	cfg.MinFlows = maxI(cfg.MinFlows, 400)
 	t := Table{ID: "fig12", Title: "Homa ± Aeolus, 0-100KB flows (leaf-spine, 54% core)",
 		Columns: fctCols}
-	for _, wl := range workload.All {
-		for _, id := range []string{"homa", "homa+aeolus"} {
-			r := Run(cfg, RunSpec{
-				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-				Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.54,
-			})
-			addFCTRow(&t, wl.Name(), r)
-		}
-	}
+	fctSweep(cfg, &t, workload.All, []string{"homa", "homa+aeolus"}, TopoLeafSpine, 0.54)
 	return []Table{t}
 }
 
@@ -83,20 +71,24 @@ func Fig13(cfg Config) []Table {
 	sweep.Budget = cfg.Budget / 4
 	t := Table{ID: "fig13", Title: "Flows suffering timeouts vs load (Homa ± Aeolus)",
 		Columns: []string{"workload", "load", "flows", "Homa", "Homa+Aeolus"}}
+	var specs []RunSpec
 	for _, wl := range workload.All {
 		for _, load := range loads {
-			var timeouts [2]int
-			var flows int
-			for i, id := range []string{"homa", "homa+aeolus"} {
-				r := Run(sweep, RunSpec{
+			for _, id := range []string{"homa", "homa+aeolus"} {
+				specs = append(specs, RunSpec{
 					Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
 					Topo:   TopoLeafSpine, Workload: wl, CoreLoad: load,
 				})
-				timeouts[i] = r.TimeoutFlows
-				flows = r.Total
 			}
-			t.Add(wl.Name(), f2(load), fmt.Sprint(flows),
-				fmt.Sprint(timeouts[0]), fmt.Sprint(timeouts[1]))
+		}
+	}
+	res := runAll(sweep, specs)
+	i := 0
+	for _, wl := range workload.All {
+		for _, load := range loads {
+			t.Add(wl.Name(), f2(load), fmt.Sprint(res[i].Total),
+				fmt.Sprint(res[i].TimeoutFlows), fmt.Sprint(res[i+1].TimeoutFlows))
+			i += 2
 		}
 	}
 	return []Table{t}
@@ -108,22 +100,25 @@ func Table3(cfg Config) []Table {
 	cfg.MinFlows = maxI(cfg.MinFlows, 400)
 	t := Table{ID: "table3", Title: "Avg FCT of all flows: eager Homa vs Homa+Aeolus (54% core)",
 		Columns: []string{"workload", "EagerHoma/us", "Homa+Aeolus/us", "reduction", "effEager", "effAeolus"}}
+	var specs []RunSpec
 	for _, wl := range workload.All {
-		var mean [2]float64
-		var eff [2]float64
-		for i, id := range []string{"homa-eager", "homa+aeolus"} {
-			r := Run(cfg, RunSpec{
+		for _, id := range []string{"homa-eager", "homa+aeolus"} {
+			specs = append(specs, RunSpec{
 				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
 				Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.54,
 			})
-			mean[i] = r.All.Mean.Microseconds()
-			eff[i] = r.Efficiency
 		}
+	}
+	res := runAll(cfg, specs)
+	for i, wl := range workload.All {
+		eager, aeolus := res[2*i], res[2*i+1]
+		mean := [2]float64{eager.All.Mean.Microseconds(), aeolus.All.Mean.Microseconds()}
 		red := 0.0
 		if mean[0] > 0 {
 			red = 1 - mean[1]/mean[0]
 		}
-		t.Add(wl.Name(), f2(mean[0]), f2(mean[1]), f3(red), f2(eff[0]), f2(eff[1]))
+		t.Add(wl.Name(), f2(mean[0]), f2(mean[1]), f3(red),
+			f2(eager.Efficiency), f2(aeolus.Efficiency))
 	}
 	return []Table{t}
 }

@@ -11,14 +11,6 @@ import (
 func Fig14(cfg Config) []Table {
 	t := Table{ID: "fig14", Title: "NDP ± Aeolus, 0-100KB flows (leaf-spine, 40% core)",
 		Columns: fctCols}
-	for _, wl := range workload.All {
-		for _, id := range []string{"ndp", "ndp+aeolus"} {
-			r := Run(cfg, RunSpec{
-				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-				Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.4,
-			})
-			addFCTRow(&t, wl.Name(), r)
-		}
-	}
+	fctSweep(cfg, &t, workload.All, []string{"ndp", "ndp+aeolus"}, TopoLeafSpine, 0.4)
 	return []Table{t}
 }

@@ -54,22 +54,22 @@ func Fig1(cfg Config) []Table {
 	wl := workload.CacheFollower
 	a := Table{ID: "fig1a", Title: "Waiting credits in the pre-credit phase (ExpressPass vs ideal)",
 		Columns: fctCols}
-	for _, id := range []string{"xpass", "xpass+oracle"} {
-		r := Run(cfg, RunSpec{
-			Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-			Topo:   TopoFatTree, Workload: wl, CoreLoad: 0.4,
-		})
-		addFCTRow(&a, wl.Name(), r)
-	}
 	b := Table{ID: "fig1b", Title: "Blind burst in the pre-credit phase (Homa vs ideal)",
 		Columns: fctCols}
-	for _, id := range []string{"homa", "homa+oracle"} {
-		r := Run(cfg, RunSpec{
-			Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-			Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.4,
-		})
-		addFCTRow(&b, wl.Name(), r)
-	}
+	res := runAll(cfg, []RunSpec{
+		{Scheme: SchemeSpec{ID: "xpass", Workload: wl, Seed: cfg.Seed},
+			Topo: TopoFatTree, Workload: wl, CoreLoad: 0.4},
+		{Scheme: SchemeSpec{ID: "xpass+oracle", Workload: wl, Seed: cfg.Seed},
+			Topo: TopoFatTree, Workload: wl, CoreLoad: 0.4},
+		{Scheme: SchemeSpec{ID: "homa", Workload: wl, Seed: cfg.Seed},
+			Topo: TopoLeafSpine, Workload: wl, CoreLoad: 0.4},
+		{Scheme: SchemeSpec{ID: "homa+oracle", Workload: wl, Seed: cfg.Seed},
+			Topo: TopoLeafSpine, Workload: wl, CoreLoad: 0.4},
+	})
+	addFCTRow(&a, wl.Name(), res[0])
+	addFCTRow(&a, wl.Name(), res[1])
+	addFCTRow(&b, wl.Name(), res[2])
+	addFCTRow(&b, wl.Name(), res[3])
 	return []Table{a, b}
 }
 
@@ -79,16 +79,29 @@ func Fig1(cfg Config) []Table {
 func Fig3(cfg Config) []Table {
 	t := Table{ID: "fig3", Title: "ExpressPass vs hypothetical ExpressPass, 0-100KB flows (fat-tree, 40% core)",
 		Columns: fctCols}
-	for _, wl := range []*workload.CDF{workload.CacheFollower, workload.WebServer} {
-		for _, id := range []string{"xpass", "xpass+oracle"} {
-			r := Run(cfg, RunSpec{
+	fctSweep(cfg, &t, []*workload.CDF{workload.CacheFollower, workload.WebServer},
+		[]string{"xpass", "xpass+oracle"}, TopoFatTree, 0.4)
+	return []Table{t}
+}
+
+// fctSweep runs one simulation per (workload, scheme) pair — all cells in
+// parallel through a Pool — and tabulates the small-flow FCT rows in the
+// same nested order a serial double loop would produce.
+func fctSweep(cfg Config, t *Table, wls []*workload.CDF, ids []string, topo string, load float64) {
+	var specs []RunSpec
+	var names []string
+	for _, wl := range wls {
+		for _, id := range ids {
+			specs = append(specs, RunSpec{
 				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-				Topo:   TopoFatTree, Workload: wl, CoreLoad: 0.4,
+				Topo:   topo, Workload: wl, CoreLoad: load,
 			})
-			addFCTRow(&t, wl.Name(), r)
+			names = append(names, wl.Name())
 		}
 	}
-	return []Table{t}
+	for i, r := range runAll(cfg, specs) {
+		addFCTRow(t, names[i], r)
+	}
 }
 
 // Fig8 reproduces Figure 8: message completion times of a 7-to-1 incast on
@@ -111,12 +124,11 @@ func incastMCT(cfg Config, id, base, aeolus string) []Table {
 	if cfg.Quick {
 		sizes = []int64{30_000, 50_000}
 	}
+	var specs []RunSpec
 	for _, schemeID := range []string{base, aeolus} {
 		for _, size := range sizes {
-			var recs []stats.FlowRecord
-			var scheme string
 			for round := 0; round < rounds; round++ {
-				r := Run(cfg, RunSpec{
+				specs = append(specs, RunSpec{
 					Scheme: SchemeSpec{ID: schemeID, Seed: cfg.Seed + uint64(round)},
 					Topo:   TopoSingleSwitch,
 					// The testbed switch shares its buffer dynamically
@@ -130,8 +142,19 @@ func incastMCT(cfg Config, id, base, aeolus string) []Table {
 						StartAt: sim.Time(10 * sim.Microsecond),
 					},
 				})
-				scheme = r.Scheme
-				recs = append(recs, r.records...)
+			}
+		}
+	}
+	res := runAll(cfg, specs)
+	i := 0
+	for range []string{base, aeolus} {
+		for _, size := range sizes {
+			var recs []stats.FlowRecord
+			var scheme string
+			for round := 0; round < rounds; round++ {
+				scheme = res[i].Scheme
+				recs = append(recs, res[i].records...)
+				i++
 			}
 			s := stats.Summarize(recs)
 			t.Add(scheme, fmt.Sprint(size/1000), fmt.Sprint(rounds),
@@ -148,15 +171,7 @@ func incastMCT(cfg Config, id, base, aeolus string) []Table {
 func Fig9(cfg Config) []Table {
 	t := Table{ID: "fig9", Title: "ExpressPass ± Aeolus, 0-100KB flows (fat-tree, 40% core)",
 		Columns: fctCols}
-	for _, wl := range workload.All {
-		for _, id := range []string{"xpass", "xpass+aeolus"} {
-			r := Run(cfg, RunSpec{
-				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-				Topo:   TopoFatTree, Workload: wl, CoreLoad: 0.4,
-			})
-			addFCTRow(&t, wl.Name(), r)
-		}
-	}
+	fctSweep(cfg, &t, workload.All, []string{"xpass", "xpass+aeolus"}, TopoFatTree, 0.4)
 	return []Table{t}
 }
 
@@ -172,16 +187,23 @@ func Fig10(cfg Config) []Table {
 	sweep.Budget = cfg.Budget / 4 // many runs; keep each lighter
 	t := Table{ID: "fig10", Title: "Avg FCT of 0-100KB flows vs load (ExpressPass ± Aeolus)",
 		Columns: []string{"workload", "load", "ExpressPass/us", "ExpressPass+Aeolus/us", "improvement"}}
+	var specs []RunSpec
 	for _, wl := range workload.All {
 		for _, load := range loads {
-			var mean [2]float64
-			for i, id := range []string{"xpass", "xpass+aeolus"} {
-				r := Run(sweep, RunSpec{
+			for _, id := range []string{"xpass", "xpass+aeolus"} {
+				specs = append(specs, RunSpec{
 					Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
 					Topo:   TopoFatTree, Workload: wl, CoreLoad: load,
 				})
-				mean[i] = r.Small.Mean.Microseconds()
 			}
+		}
+	}
+	res := runAll(sweep, specs)
+	i := 0
+	for _, wl := range workload.All {
+		for _, load := range loads {
+			mean := [2]float64{res[i].Small.Mean.Microseconds(), res[i+1].Small.Mean.Microseconds()}
+			i += 2
 			impr := 0.0
 			if mean[0] > 0 {
 				impr = 1 - mean[1]/mean[0]
@@ -206,10 +228,11 @@ func Table4(cfg Config) []Table {
 		{ID: "xpass+prio", Workload: wl, RTO: 10 * sim.Millisecond, Seed: cfg.Seed},
 		{ID: "xpass+prio", Workload: wl, RTO: 20 * sim.Microsecond, Seed: cfg.Seed},
 	}
-	for _, spec := range specs {
-		r := Run(cfg, RunSpec{
-			Scheme: spec, Topo: TopoFatTree, Workload: wl, CoreLoad: 0.4,
-		})
+	runs := make([]RunSpec, len(specs))
+	for i, spec := range specs {
+		runs[i] = RunSpec{Scheme: spec, Topo: TopoFatTree, Workload: wl, CoreLoad: 0.4}
+	}
+	for _, r := range runAll(cfg, runs) {
 		t.Add(r.Scheme, stats.FormatDur(r.All.Max), f2(r.Efficiency))
 	}
 	return []Table{t}
@@ -226,14 +249,17 @@ func Table5(cfg Config) []Table {
 		{ID: "xpass+aeolus", Seed: cfg.Seed},
 		{ID: "xpass+prio", RTO: 10 * sim.Millisecond, Seed: cfg.Seed},
 	}
-	for _, spec := range specs {
-		r := Run(cfg, RunSpec{
+	runs := make([]RunSpec, len(specs))
+	for i, spec := range specs {
+		runs[i] = RunSpec{
 			Scheme: spec, Topo: TopoMicro,
 			Incast: &workload.IncastConfig{
 				Fanin: 20, Receiver: 0, MsgSize: 400_000, Seed: cfg.Seed,
 				StartAt: sim.Time(10 * sim.Microsecond),
 			},
-		})
+		}
+	}
+	for _, r := range runAll(cfg, runs) {
 		t.Add(r.Scheme, stats.FormatDur(r.All.Mean), stats.FormatDur(r.All.Max))
 	}
 	return []Table{t}

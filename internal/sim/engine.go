@@ -11,6 +11,7 @@ type Event struct {
 	time     Time
 	seq      uint64
 	fn       func()
+	eng      *Engine
 	index    int // position in the heap, -1 once fired or canceled
 	canceled bool
 }
@@ -22,8 +23,18 @@ func (e *Event) Time() Time { return e.time }
 func (e *Event) Canceled() bool { return e.canceled }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// already-canceled event is a no-op. The event stays in the scheduling heap
+// until its timestamp is reached (canceling is O(1), not a heap removal),
+// but Pending no longer counts it.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 && e.eng != nil {
+		e.eng.canceledLive++
+	}
+}
 
 // eventHeap is a min-heap ordered by (time, seq); seq breaks ties in
 // scheduling order, which makes runs deterministic.
@@ -64,6 +75,10 @@ type Engine struct {
 	nextSeq uint64
 	fired   uint64
 	stopped bool
+
+	// canceledLive counts canceled events still sitting in the heap, so
+	// Pending can report live events without draining the heap.
+	canceledLive int
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -72,9 +87,10 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of events waiting to fire (including canceled
-// events not yet drained).
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of live events waiting to fire. Canceled
+// events that have not yet been drained from the heap are excluded — a
+// simulation with Pending() == 0 will fire nothing more.
+func (e *Engine) Pending() int { return len(e.heap) - e.canceledLive }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -85,7 +101,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{time: t, seq: e.nextSeq, fn: fn}
+	ev := &Event{time: t, seq: e.nextSeq, fn: fn, eng: e}
 	e.nextSeq++
 	heap.Push(&e.heap, ev)
 	return ev
@@ -115,6 +131,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		}
 		heap.Pop(&e.heap)
 		if next.canceled {
+			e.canceledLive--
 			continue
 		}
 		e.now = next.time

@@ -154,6 +154,42 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+// Pending must count live events only: a canceled event still occupies the
+// heap until its timestamp is drained, but it will never fire and must not
+// inflate the count.
+func TestEnginePendingExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	evA := e.At(10, func() {})
+	evB := e.At(20, func() {})
+	e.At(30, func() {})
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d, want 3", got)
+	}
+	evB.Cancel()
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending() after cancel = %d, want 2 (canceled event still undrained)", got)
+	}
+	evB.Cancel() // double cancel must not double-count
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending() after double cancel = %d, want 2", got)
+	}
+	e.RunUntil(25) // fires A, drains canceled B
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() after RunUntil(25) = %d, want 1", got)
+	}
+	evA.Cancel() // cancel after fire is a no-op for the count
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() after canceling fired event = %d, want 1", got)
+	}
+	e.Run()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() after drain = %d, want 0", got)
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", e.Fired())
+	}
+}
+
 func TestEngineRunUntil(t *testing.T) {
 	e := NewEngine()
 	var fired []Time

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// This file implements the plain-text CDF exchange format used by the
+// public Homa/HPCC/NDP simulator distributions, so custom workloads can be
+// dropped in as files next to the four built-in ones:
+//
+//	# optional comments
+//	<size_bytes> <cumulative_probability>
+//	...
+//
+// Sizes must be strictly increasing positive numbers; probabilities must be
+// non-decreasing, starting at 0 and ending at 1. The parser rejects
+// malformed input with an error — it never panics — which the package fuzz
+// test enforces.
+
+// ParseCDF reads the text format from r and builds a validated CDF named
+// name. It returns an error (with a line number) for malformed lines,
+// non-finite or non-positive sizes, out-of-range probabilities, and any
+// non-monotone sequence.
+func ParseCDF(name string, r io.Reader) (*CDF, error) {
+	var points []Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: %s:%d: want \"<bytes> <prob>\", got %d fields", name, lineNo, len(fields))
+		}
+		bytes, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s:%d: bad size %q: %v", name, lineNo, fields[0], err)
+		}
+		prob, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s:%d: bad probability %q: %v", name, lineNo, fields[1], err)
+		}
+		if !isFinite(bytes) || bytes <= 0 {
+			return nil, fmt.Errorf("workload: %s:%d: size must be a positive finite number, got %v", name, lineNo, bytes)
+		}
+		if !isFinite(prob) || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("workload: %s:%d: probability must be in [0,1], got %v", name, lineNo, prob)
+		}
+		if n := len(points); n > 0 {
+			if bytes <= points[n-1].Bytes {
+				return nil, fmt.Errorf("workload: %s:%d: sizes must be strictly increasing (%v after %v)", name, lineNo, bytes, points[n-1].Bytes)
+			}
+			if prob < points[n-1].Prob {
+				return nil, fmt.Errorf("workload: %s:%d: percentiles must be non-decreasing (%v after %v)", name, lineNo, prob, points[n-1].Prob)
+			}
+		}
+		points = append(points, Point{Bytes: bytes, Prob: prob})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %s: %v", name, err)
+	}
+	return NewCDF(name, points)
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// LoadCDF reads a CDF file; the workload takes its name from the file's
+// base name without extension.
+func LoadCDF(path string) (*CDF, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return ParseCDF(name, f)
+}
+
+// Text marshals the CDF into the text format ParseCDF reads; the round trip
+// is lossless (sizes and probabilities keep full float64 precision).
+func (c *CDF) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s: %d points, mean %.0f bytes\n", c.name, len(c.points), c.Mean())
+	for _, p := range c.points {
+		sb.WriteString(strconv.FormatFloat(p.Bytes, 'g', -1, 64))
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatFloat(p.Prob, 'g', -1, 64))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Resolve returns the named built-in workload, or — when name is not a
+// built-in — loads it as a CDF file path. This is what the CLIs pass
+// -workload values through.
+func Resolve(name string) (*CDF, error) {
+	if c := ByName(name); c != nil {
+		return c, nil
+	}
+	if _, err := os.Stat(name); err == nil {
+		return LoadCDF(name)
+	}
+	names := make([]string, len(All))
+	for i, c := range All {
+		names[i] = c.name
+	}
+	return nil, fmt.Errorf("workload: %q is neither a built-in (%s) nor a CDF file", name, strings.Join(names, ", "))
+}

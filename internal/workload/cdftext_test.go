@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseCDFRoundTripsBuiltins(t *testing.T) {
+	for _, wl := range All {
+		got, err := ParseCDF(wl.Name(), strings.NewReader(wl.Text()))
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v", wl.Name(), err)
+		}
+		if len(got.points) != len(wl.points) {
+			t.Fatalf("%s: %d points after round trip, want %d", wl.Name(), len(got.points), len(wl.points))
+		}
+		for i := range got.points {
+			if got.points[i] != wl.points[i] {
+				t.Fatalf("%s: point %d = %+v, want %+v", wl.Name(), i, got.points[i], wl.points[i])
+			}
+		}
+	}
+}
+
+func TestParseCDFRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		want string // substring of the error
+	}{
+		{"empty", "", "at least 2"},
+		{"comment only", "# nothing\n", "at least 2"},
+		{"one field", "100\n1000 1\n", "fields"},
+		{"three fields", "100 0 7\n1000 1\n", "fields"},
+		{"unparsable size", "abc 0\n1000 1\n", "bad size"},
+		{"unparsable prob", "100 x\n1000 1\n", "bad probability"},
+		{"zero size", "0 0\n1000 1\n", "positive"},
+		{"negative size", "-5 0\n1000 1\n", "positive"},
+		{"nan size", "NaN 0\n1000 1\n", "positive finite"},
+		{"inf size", "+Inf 0\n1000 1\n", "positive finite"},
+		{"prob above one", "100 0\n1000 1.5\n", "[0,1]"},
+		{"negative prob", "100 -0.1\n1000 1\n", "[0,1]"},
+		{"nan prob", "100 NaN\n1000 1\n", "[0,1]"},
+		{"non-monotone size", "100 0\n50 0.5\n1000 1\n", "strictly increasing"},
+		{"repeated size", "100 0\n100 0.5\n1000 1\n", "strictly increasing"},
+		{"non-monotone prob", "100 0\n500 0.8\n700 0.4\n1000 1\n", "non-decreasing"},
+		{"no zero start", "100 0.2\n1000 1\n", "probability 0"},
+		{"no one end", "100 0\n1000 0.9\n", "probability 1"},
+	}
+	for _, tt := range tests {
+		_, err := ParseCDF(tt.name, strings.NewReader(tt.text))
+		if err == nil {
+			t.Errorf("%s: ParseCDF accepted malformed input", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: error %q does not mention %q", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestParseCDFCommentsAndBlanks(t *testing.T) {
+	text := "# header\n\n  100 0  # inline comment\n\t1000 0.5\n2000 1\n"
+	c, err := ParseCDF("commented", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.points) != 3 || c.points[1].Prob != 0.5 {
+		t.Fatalf("parsed %+v", c.points)
+	}
+}
+
+func TestLoadCDFAndResolve(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.cdf")
+	if err := os.WriteFile(path, []byte(WebSearch.Text()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCDF(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "custom" {
+		t.Fatalf("loaded name %q, want custom (base name sans extension)", c.Name())
+	}
+	if got, want := c.Mean(), WebSearch.Mean(); got != want {
+		t.Fatalf("loaded mean %v, want %v", got, want)
+	}
+
+	if r, err := Resolve("WebSearch"); err != nil || r != WebSearch {
+		t.Fatalf("Resolve(WebSearch) = %v, %v", r, err)
+	}
+	if r, err := Resolve(path); err != nil || r.Name() != "custom" {
+		t.Fatalf("Resolve(path) = %v, %v", r, err)
+	}
+	if _, err := Resolve("no-such-workload"); err == nil {
+		t.Fatal("Resolve of unknown name should fail")
+	}
+}
+
+// FuzzCDFParse feeds arbitrary bytes through the text parser. The contract:
+// malformed input returns an error — never a panic — and accepted input
+// yields a CDF whose sampling invariants hold and whose Text() form parses
+// back to the same distribution.
+func FuzzCDFParse(f *testing.F) {
+	for _, wl := range All {
+		f.Add([]byte(wl.Text()))
+	}
+	f.Add([]byte("100 0\n1e6 1\n"))
+	f.Add([]byte("100 0\n500 0.5\n500 0.7\n1e6 1\n"))
+	f.Add([]byte("0 0\n-3 1\n"))
+	f.Add([]byte("NaN NaN\n"))
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte("9e307 0\n1e308 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseCDF("fuzz", strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		// Accepted input: the distribution must be usable.
+		r := rand.New(rand.NewPCG(1, 2))
+		for i := 0; i < 16; i++ {
+			if s := c.Sample(r); s < 1 {
+				t.Fatalf("Sample returned %d < 1", s)
+			}
+		}
+		prev := c.Quantile(0)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			q := c.Quantile(p)
+			if q < prev {
+				t.Fatalf("Quantile not monotone: Quantile(%v)=%v < %v", p, q, prev)
+			}
+			prev = q
+		}
+		// Round trip: Text must reproduce the exact distribution.
+		c2, err := ParseCDF("fuzz", strings.NewReader(c.Text()))
+		if err != nil {
+			t.Fatalf("Text() of accepted CDF failed to reparse: %v", err)
+		}
+		if len(c2.points) != len(c.points) {
+			t.Fatalf("round trip changed point count %d -> %d", len(c.points), len(c2.points))
+		}
+		for i := range c.points {
+			if c.points[i] != c2.points[i] {
+				t.Fatalf("round trip changed point %d: %+v -> %+v", i, c.points[i], c2.points[i])
+			}
+		}
+	})
+}
