@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench
+.PHONY: ci vet build test race audit fuzz bench
 
-ci: vet build test race
+ci: vet build test race audit
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/experiments ./internal/sim ./internal/workload
+
+# Packet-conservation audit sweep: every scheme in the catalogue runs under
+# the internal/audit invariant checker and must produce a clean report.
+audit:
+	$(GO) test -run 'TestAudit' ./internal/audit ./internal/experiments
 
 # Short fuzz pass over the CDF text parser (CI smoke; raise -fuzztime locally).
 fuzz:

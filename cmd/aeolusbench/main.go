@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
+	"github.com/aeolus-transport/aeolus/internal/audit"
 	"github.com/aeolus-transport/aeolus/internal/experiments"
 )
 
@@ -38,6 +40,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment")
 		progress = flag.Bool("progress", stderrIsTerminal(), "report per-run progress on stderr")
+		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
 	)
 	flag.Parse()
 
@@ -60,6 +63,21 @@ func main() {
 	if *progress {
 		cfg.Progress = experiments.ProgressPrinter(os.Stderr)
 	}
+	var auditMu sync.Mutex
+	var violated int
+	if *auditOn {
+		cfg.Audit = true
+		// Runs execute concurrently under the experiment pool; serialize both
+		// the tally and the stderr reporting.
+		cfg.OnAudit = func(spec experiments.RunSpec, rep *audit.Report) {
+			auditMu.Lock()
+			defer auditMu.Unlock()
+			if !rep.Ok() {
+				violated++
+				fmt.Fprintf(os.Stderr, "audit (%s on %s): %v\n", spec.Scheme.ID, spec.Topo, rep.Err())
+			}
+		}
+	}
 
 	run := func(e experiments.Experiment) {
 		start := time.Now()
@@ -79,10 +97,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 
+	finish := func() {
+		if violated > 0 {
+			fmt.Fprintf(os.Stderr, "audit: %d run(s) violated conservation invariants\n", violated)
+			os.Exit(1)
+		}
+	}
 	if *exp == "all" {
 		for _, e := range experiments.Registry {
 			run(e)
 		}
+		finish()
 		return
 	}
 	e, err := experiments.ByID(*exp)
@@ -91,6 +116,7 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+	finish()
 }
 
 // stderrIsTerminal reports whether stderr is an interactive terminal — the

@@ -47,6 +47,7 @@ func main() {
 		deadline = flag.Int64("deadline", 500, "extra simulated time after last arrival, ms")
 		trace    = flag.Uint64("trace", 0, "print a packet trace for this flow ID")
 		cdf      = flag.Bool("cdf", false, "print the small-flow FCT CDF (the paper's figure format)")
+		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 	cfg.Budget = *budget << 20
 	cfg.Seed = *seed
 	cfg.Parallel = *parallel
+	cfg.Audit = *auditOn
 
 	var wl *workload.CDF
 	if *wlName != "" {
@@ -96,7 +98,9 @@ func main() {
 	}
 
 	if *runs == 1 {
-		print1(experiments.Run(cfg, specFor(*seed)), *cdf)
+		r := experiments.Run(cfg, specFor(*seed))
+		print1(r, *cdf)
+		exitOnViolations([]experiments.RunResult{r})
 		return
 	}
 
@@ -123,6 +127,23 @@ func main() {
 	fmt.Printf("  small-flow mean FCT  %.2f ± %.2f us\n", mean(smallMeans), stddev(smallMeans))
 	fmt.Printf("  all-flow mean FCT    %.2f ± %.2f us\n", mean(allMeans), stddev(allMeans))
 	fmt.Printf("  efficiency           %.3f ± %.3f\n", mean(effs), stddev(effs))
+	exitOnViolations(results)
+}
+
+// exitOnViolations prints every audit violation and exits nonzero when any
+// audited run failed an invariant.
+func exitOnViolations(results []experiments.RunResult) {
+	bad := false
+	for i, r := range results {
+		if r.Audit == nil || r.Audit.Ok() {
+			continue
+		}
+		bad = true
+		fmt.Fprintf(os.Stderr, "run %d: %v\n", i, r.Audit.Err())
+	}
+	if bad {
+		os.Exit(1)
+	}
 }
 
 func print1(r experiments.RunResult, cdf bool) {
@@ -139,6 +160,11 @@ func print1(r experiments.RunResult, cdf bool) {
 	fmt.Printf("timeouts     %d flows\n", r.TimeoutFlows)
 	fmt.Printf("drops        tail=%d selective=%d credit=%d trim-fail=%d\n",
 		r.Drops[0], r.Drops[1], r.Drops[2], r.Drops[3])
+	if a := r.Audit; a != nil {
+		fmt.Printf("audit        %d events: injected=%d delivered=%d (unique %d) dropped=%d trimmed=%d residual=%d violations=%d\n",
+			a.Events, a.InjectedPayload, a.DeliveredPayload, a.UniquePayload,
+			a.DroppedPayload, a.TrimmedPayload, a.ResidualPayload, len(a.Violations)+a.Truncated)
+	}
 	if cdf {
 		fmt.Println("\n# small-flow FCT CDF: fct_us cumulative_fraction")
 		for _, pt := range r.SmallCDF {

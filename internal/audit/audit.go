@@ -1,0 +1,361 @@
+// Package audit is an opt-in packet-conservation checker for simulation
+// runs: it attaches to the existing observability seams (port/host tracing
+// and drop hooks), follows every packet from injection to its terminal
+// event, and verifies at drain time that the books balance.
+//
+// The invariants checked:
+//
+//  1. Conservation: every injected payload byte is accounted exactly once —
+//     delivered, dropped (attributed to a netem.DropReason), trimmed, or
+//     still sitting in a queue (residual). When the engine has no pending
+//     events, residual must be zero and every port backlog empty.
+//  2. Queue coherence: each qdisc's cached byte counters match its actual
+//     contents (netem.AuditQdisc), and the event engine's bookkeeping is
+//     internally consistent (sim.Engine.CheckInvariants).
+//  3. Delivery bounds: a flow's unique delivered payload never exceeds its
+//     size; duplicates are legal only as explicit retransmissions.
+//  4. Protocol state: transports exposing Auditable have each flow's Aeolus
+//     state machine verified (core.PreCredit.Audit).
+//  5. Meter coherence: the transfer-efficiency meter's sent counter matches
+//     the payload the fabric saw injected, and its delivered counter never
+//     exceeds the unique payload the fabric delivered.
+//
+// The auditor deliberately depends only on netem and sim, so every
+// transport package can be audited without import cycles.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// Auditable is implemented by transports that can verify their own per-flow
+// invariants (the three Protocol types in internal/transport).
+type Auditable interface {
+	AuditInvariants() []error
+}
+
+// Violation is one invariant breach, structured so tests and tools can
+// filter by check and locate the offending port or flow.
+type Violation struct {
+	Check  string // invariant identifier, e.g. "conservation", "qdisc-backlog"
+	Where  string // port label, host, or subsystem
+	Flow   uint64 // offending flow, 0 when not flow-specific
+	Detail string
+}
+
+// String renders the violation for logs and test failures.
+func (v Violation) String() string {
+	s := v.Check
+	if v.Where != "" {
+		s += " at " + v.Where
+	}
+	if v.Flow != 0 {
+		s += fmt.Sprintf(" flow=%d", v.Flow)
+	}
+	return s + ": " + v.Detail
+}
+
+// maxViolations bounds the report so a systemic breach doesn't flood memory;
+// the count of suppressed violations is kept.
+const maxViolations = 100
+
+// Report is the outcome of an audited run.
+type Report struct {
+	Events           uint64 // packet events observed
+	InjectedPayload  int64  // payload bytes first seen entering the fabric
+	DeliveredPayload int64  // payload bytes handed to endpoints (incl. duplicates)
+	UniquePayload    int64  // deduplicated delivered payload
+	DroppedPayload   int64  // payload bytes on dropped packets
+	TrimmedPayload   int64  // payload bytes cut by NDP trimming
+	ResidualPayload  int64  // payload bytes still queued at audit time
+	DropsByReason    [4]uint64
+
+	Violations []Violation
+	Truncated  int // violations suppressed beyond maxViolations
+}
+
+// Ok reports whether every invariant held.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the report is clean, or an error summarizing the
+// violations (all of them, up to the report cap).
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d violation(s)", len(r.Violations)+r.Truncated)
+	for _, v := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if r.Truncated > 0 {
+		fmt.Fprintf(&b, "\n  ... %d more suppressed", r.Truncated)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+func (r *Report) add(v Violation) {
+	if len(r.Violations) >= maxViolations {
+		r.Truncated++
+		return
+	}
+	r.Violations = append(r.Violations, v)
+}
+
+// pktState follows one packet object through the fabric.
+type pktState struct {
+	payload   int // unaccounted payload bytes riding the packet
+	flow      uint64
+	isData    bool
+	delivered bool
+	dropped   bool
+}
+
+// flowAcct accumulates the byte ledger of one flow.
+type flowAcct struct {
+	size      int64 // -1 when the flow was never registered
+	injected  int64
+	delivered int64
+	dropped   int64
+	trimmed   int64
+	residual  int64
+	unique    int64
+	offsets   map[int64]bool // payload offsets delivered at least once
+}
+
+// Auditor observes an instrumented network and checks the invariants. It
+// implements netem.Tracer. Attach it before any traffic is injected; it is
+// not safe for use from multiple goroutines (one auditor per run).
+type Auditor struct {
+	eng    *sim.Engine
+	net    *netem.Network
+	report Report
+
+	pkts      map[*netem.Packet]*pktState
+	flows     map[uint64]*flowAcct
+	flowIDs   []uint64 // deterministic iteration order: first-seen
+	lastTime  sim.Time
+	hookDrops [4]uint64
+}
+
+// Attach instruments every port and host of the network and claims each
+// port's drop hook. Call once, before traffic starts; the returned auditor
+// observes the whole run.
+func Attach(net *netem.Network) *Auditor {
+	a := &Auditor{
+		eng:   net.Eng,
+		net:   net,
+		pkts:  make(map[*netem.Packet]*pktState),
+		flows: make(map[uint64]*flowAcct),
+	}
+	for _, pt := range net.AllPorts() {
+		pt.Q.SetDropHook(func(p *netem.Packet, r netem.DropReason) {
+			a.hookDrops[r]++
+		})
+	}
+	netem.InstrumentPorts(net.AllPorts(), a)
+	netem.InstrumentHosts(net.Hosts, a)
+	return a
+}
+
+// RegisterFlow declares a flow's payload size so delivery-bound checks have
+// a reference. Unregistered flows are still conservation-checked, but their
+// size-dependent invariants are skipped.
+func (a *Auditor) RegisterFlow(id uint64, size int64) {
+	if _, ok := a.flows[id]; ok {
+		return
+	}
+	a.flows[id] = &flowAcct{size: size, offsets: make(map[int64]bool)}
+	a.flowIDs = append(a.flowIDs, id)
+}
+
+func (a *Auditor) flowOf(id uint64) *flowAcct {
+	if fa, ok := a.flows[id]; ok {
+		return fa
+	}
+	fa := &flowAcct{size: -1, offsets: make(map[int64]bool)}
+	a.flows[id] = fa
+	a.flowIDs = append(a.flowIDs, id)
+	return fa
+}
+
+// Trace implements netem.Tracer: the per-packet ledger.
+func (a *Auditor) Trace(now sim.Time, ev netem.TraceEvent, where string, p *netem.Packet) {
+	a.report.Events++
+	if now < a.lastTime {
+		a.report.add(Violation{Check: "monotonic-time", Where: where, Flow: p.Flow,
+			Detail: fmt.Sprintf("event at %v after observing %v", now, a.lastTime)})
+	} else {
+		a.lastTime = now
+	}
+
+	st, seen := a.pkts[p]
+	if !seen {
+		// First observation is the injection: the packet enters the fabric
+		// carrying its payload (zero for control packets).
+		st = &pktState{payload: p.PayloadLen, flow: p.Flow, isData: p.Type == netem.Data}
+		a.pkts[p] = st
+		if st.isData {
+			a.report.InjectedPayload += int64(st.payload)
+			a.flowOf(p.Flow).injected += int64(st.payload)
+		}
+	}
+
+	switch ev {
+	case netem.TraceEnqueue:
+		if st.delivered || st.dropped {
+			a.report.add(Violation{Check: "reuse-after-terminal", Where: where, Flow: p.Flow,
+				Detail: fmt.Sprintf("packet %v enqueued after its terminal event", p)})
+		}
+	case netem.TraceTrim:
+		// Payload cut in place; the 64-byte header travels on.
+		if st.isData {
+			a.report.TrimmedPayload += int64(st.payload)
+			a.flowOf(st.flow).trimmed += int64(st.payload)
+			st.payload = 0
+		}
+	case netem.TraceDrop:
+		if st.dropped {
+			a.report.add(Violation{Check: "double-drop", Where: where, Flow: p.Flow,
+				Detail: fmt.Sprintf("packet %v dropped twice", p)})
+			return
+		}
+		if st.delivered {
+			a.report.add(Violation{Check: "drop-after-deliver", Where: where, Flow: p.Flow,
+				Detail: fmt.Sprintf("packet %v dropped after delivery", p)})
+			return
+		}
+		st.dropped = true
+		if st.isData {
+			a.report.DroppedPayload += int64(st.payload)
+			a.flowOf(st.flow).dropped += int64(st.payload)
+			st.payload = 0
+		}
+	case netem.TraceDeliver:
+		if st.delivered {
+			a.report.add(Violation{Check: "double-deliver", Where: where, Flow: p.Flow,
+				Detail: fmt.Sprintf("packet %v delivered twice", p)})
+			return
+		}
+		if st.dropped {
+			a.report.add(Violation{Check: "deliver-after-drop", Where: where, Flow: p.Flow,
+				Detail: fmt.Sprintf("packet %v delivered after being dropped", p)})
+			return
+		}
+		st.delivered = true
+		if !st.isData {
+			return
+		}
+		fa := a.flowOf(st.flow)
+		a.report.DeliveredPayload += int64(st.payload)
+		fa.delivered += int64(st.payload)
+		if fa.size >= 0 && p.Seq+int64(st.payload) > fa.size {
+			a.report.add(Violation{Check: "beyond-size", Where: where, Flow: p.Flow,
+				Detail: fmt.Sprintf("payload [%d, %d) outside flow of %d bytes",
+					p.Seq, p.Seq+int64(st.payload), fa.size)})
+		}
+		if st.payload > 0 && !fa.offsets[p.Seq] {
+			fa.offsets[p.Seq] = true
+			fa.unique += int64(st.payload)
+			a.report.UniquePayload += int64(st.payload)
+		}
+		st.payload = 0
+	}
+}
+
+// AuditProtocol runs the transport's own invariant checks, when it has any.
+func (a *Auditor) AuditProtocol(p any) {
+	aud, ok := p.(Auditable)
+	if !ok {
+		return
+	}
+	for _, err := range aud.AuditInvariants() {
+		a.report.add(Violation{Check: "protocol-state", Detail: err.Error()})
+	}
+}
+
+// CheckMeter cross-checks the transport-layer byte meter against the
+// fabric-level ledger: every metered send must have reached a NIC queue, and
+// the meter can never claim more unique delivery than the fabric performed.
+// (It may claim less: ExpressPass only credits payload that arrived before
+// flow establishment once the flow establishes.)
+func (a *Auditor) CheckMeter(sentPayload, deliveredPayload int64) {
+	if sentPayload != a.report.InjectedPayload {
+		a.report.add(Violation{Check: "meter-sent",
+			Detail: fmt.Sprintf("meter counted %d payload bytes sent, fabric saw %d injected",
+				sentPayload, a.report.InjectedPayload)})
+	}
+	if deliveredPayload > a.report.UniquePayload {
+		a.report.add(Violation{Check: "meter-delivered",
+			Detail: fmt.Sprintf("meter counted %d payload bytes delivered, fabric delivered %d unique",
+				deliveredPayload, a.report.UniquePayload)})
+	}
+}
+
+// Finish runs the drain-time checks and returns the final report. Call it
+// once, after the engine stops.
+func (a *Auditor) Finish() *Report {
+	if err := a.eng.CheckInvariants(); err != nil {
+		a.report.add(Violation{Check: "engine-state", Detail: err.Error()})
+	}
+
+	// Queue-counter coherence and, when fully drained, empty backlogs.
+	drained := a.eng.Pending() == 0
+	var backlog int64
+	for _, pt := range a.net.AllPorts() {
+		if err := netem.AuditQdisc(pt.Q); err != nil {
+			a.report.add(Violation{Check: "qdisc-backlog", Where: pt.Label, Detail: err.Error()})
+		}
+		backlog += pt.Q.Backlog().Bytes
+	}
+	if drained && backlog != 0 {
+		a.report.add(Violation{Check: "drain",
+			Detail: fmt.Sprintf("engine idle but %d bytes remain queued", backlog)})
+	}
+
+	// Residual payload: packets that saw no terminal event are still queued
+	// somewhere (or were leaked — the drain check above distinguishes).
+	for _, st := range a.pkts {
+		if st.delivered || st.dropped || !st.isData || st.payload == 0 {
+			continue
+		}
+		a.report.ResidualPayload += int64(st.payload)
+		a.flowOf(st.flow).residual += int64(st.payload)
+	}
+	if drained && a.report.ResidualPayload != 0 {
+		a.report.add(Violation{Check: "residual",
+			Detail: fmt.Sprintf("engine idle but %d payload bytes unaccounted", a.report.ResidualPayload)})
+	}
+
+	// Per-flow conservation and delivery bounds, in first-seen flow order.
+	for _, id := range a.flowIDs {
+		fa := a.flows[id]
+		if got := fa.delivered + fa.dropped + fa.trimmed + fa.residual; got != fa.injected {
+			a.report.add(Violation{Check: "conservation", Flow: id,
+				Detail: fmt.Sprintf("injected %d bytes but accounted %d (delivered %d + dropped %d + trimmed %d + residual %d)",
+					fa.injected, got, fa.delivered, fa.dropped, fa.trimmed, fa.residual)})
+		}
+		if fa.size >= 0 && fa.unique > fa.size {
+			a.report.add(Violation{Check: "delivery-bound", Flow: id,
+				Detail: fmt.Sprintf("delivered %d unique bytes of a %d-byte flow", fa.unique, fa.size)})
+		}
+	}
+
+	// Drop-hook tallies must agree with the qdisc counters: a mismatch means
+	// a discipline dropped without firing its hook, or a counter was missed
+	// by the aggregation.
+	a.report.DropsByReason = a.hookDrops
+	totals := netem.DropTotals(a.net.AllPorts())
+	for r, n := range totals {
+		if a.hookDrops[r] != n {
+			a.report.add(Violation{Check: "drop-count", Where: netem.DropReason(r).String(),
+				Detail: fmt.Sprintf("drop hooks saw %d drops, qdisc counters report %d", a.hookDrops[r], n)})
+		}
+	}
+	return &a.report
+}

@@ -16,6 +16,8 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/transport"
@@ -90,6 +92,13 @@ type PreCredit struct {
 	probeSent  bool
 	probeAcked bool
 	resends    int
+
+	// oppSeen records that at least one scheduled transmission opportunity
+	// (credit, grant, pull, resend request) reached the sender. §6 resends
+	// the probe only "if no credit is received in a given duration": once an
+	// opportunity arrives, the receiver evidently knows about the flow and a
+	// duplicate probe would be pure overhead.
+	oppSeen bool
 
 	acked    []bool
 	assigned []bool // spent a scheduled opportunity on this segment already
@@ -196,7 +205,7 @@ func (pc *PreCredit) armTimer() {
 	}
 	pc.timer = pc.Env.Eng.After(pc.opts.ProbeTimeout, func() {
 		pc.timer = nil
-		if pc.probeAcked || pc.Done() || pc.resends >= pc.opts.MaxProbeResends {
+		if pc.probeAcked || pc.oppSeen || pc.Done() || pc.resends >= pc.opts.MaxProbeResends {
 			return
 		}
 		pc.resends++
@@ -208,6 +217,7 @@ func (pc *PreCredit) armTimer() {
 // StopBurst ends the pre-credit phase (first credit/grant/pull arrived). The
 // probe is still sent so outstanding unscheduled losses can be located.
 func (pc *PreCredit) StopBurst() {
+	pc.oppSeen = true
 	if pc.stopped {
 		return
 	}
@@ -270,6 +280,7 @@ func (pc *PreCredit) DisableUnackedSweep() { pc.noUnackedSweep = true }
 // resend-requested packets immediately rather than through the next
 // scheduled opportunity (Homa's RTO path). ok is false when none remain.
 func (pc *PreCredit) NextLost() (seg int, ok bool) {
+	pc.oppSeen = true
 	for len(pc.lost) > 0 {
 		s := pc.lost[0]
 		pc.lost = pc.lost[1:]
@@ -305,6 +316,7 @@ func (pc *PreCredit) RequeueUnacked() int {
 // loss-detected unscheduled, then unsent payload, then sent-but-unacked
 // unscheduled. It marks the segment assigned and returns its class.
 func (pc *PreCredit) Next() (seg int, class RetxClass) {
+	pc.oppSeen = true
 	// Class 1: loss-detected unscheduled packets ("we want to fill the gap
 	// as soon as possible to minimize the re-sequence buffer").
 	for len(pc.lost) > 0 {
@@ -346,9 +358,20 @@ func (pc *PreCredit) Next() (seg int, class RetxClass) {
 
 // Done reports whether every segment is either acknowledged or assigned and
 // nothing remains to transmit — i.e. a scheduled opportunity would be wasted.
+// Stale loss-queue entries (segments whose ACK raced ahead of the loss
+// verdict) are skipped exactly as Next skips them: a flow with nothing left
+// but stale entries is done, and reporting otherwise makes transports keep
+// spending credits and grants on it.
 func (pc *PreCredit) Done() bool {
-	if pc.nextNew < pc.Seg.NumSegs() || len(pc.lost) > 0 {
-		return false
+	for _, s := range pc.lost {
+		if !pc.acked[s] {
+			return false
+		}
+	}
+	for i := pc.nextNew; i < pc.Seg.NumSegs(); i++ {
+		if !pc.acked[i] && !pc.assigned[i] {
+			return false
+		}
 	}
 	if pc.noUnackedSweep {
 		return true
@@ -363,6 +386,65 @@ func (pc *PreCredit) Done() bool {
 
 // Stopped reports whether the pre-credit phase has ended.
 func (pc *PreCredit) Stopped() bool { return pc.stopped }
+
+// Audit verifies the state machine's internal consistency and returns the
+// first violation found, or nil. Entries in the loss queue whose segment has
+// since been acknowledged are legal transients (the ACK raced the probe
+// verdict, or a receiver resend request repeated a segment); everything else
+// is bounded: an un-acked loss entry must be a real, assigned segment, the
+// counters must agree with the bitmaps, and the burst/scan pointers must stay
+// within the segment space.
+func (pc *PreCredit) Audit() error {
+	n := pc.Seg.NumSegs()
+	if len(pc.acked) != n || len(pc.assigned) != n {
+		return fmt.Errorf("precredit flow %d: bitmap sizes acked=%d assigned=%d, want %d",
+			pc.Flow.ID, len(pc.acked), len(pc.assigned), n)
+	}
+	acks := 0
+	for _, a := range pc.acked {
+		if a {
+			acks++
+		}
+	}
+	if acks != pc.ackCount {
+		return fmt.Errorf("precredit flow %d: ackCount %d but %d segments acked",
+			pc.Flow.ID, pc.ackCount, acks)
+	}
+	if pc.burstLimit < 1 || pc.burstLimit > n {
+		return fmt.Errorf("precredit flow %d: burstLimit %d outside [1, %d]",
+			pc.Flow.ID, pc.burstLimit, n)
+	}
+	if pc.burstSent < 0 || pc.burstSent > pc.burstLimit {
+		return fmt.Errorf("precredit flow %d: burstSent %d outside [0, burstLimit %d]",
+			pc.Flow.ID, pc.burstSent, pc.burstLimit)
+	}
+	if pc.nextNew < pc.burstSent || pc.nextNew > n {
+		return fmt.Errorf("precredit flow %d: nextNew %d outside [burstSent %d, %d]",
+			pc.Flow.ID, pc.nextNew, pc.burstSent, n)
+	}
+	if pc.unackedP < 0 || pc.unackedP > pc.burstSent {
+		return fmt.Errorf("precredit flow %d: unackedP %d outside [0, burstSent %d]",
+			pc.Flow.ID, pc.unackedP, pc.burstSent)
+	}
+	for _, s := range pc.lost {
+		if s < 0 || s >= n {
+			return fmt.Errorf("precredit flow %d: lost queue holds segment %d outside [0, %d)",
+				pc.Flow.ID, s, n)
+		}
+		if !pc.acked[s] && !pc.assigned[s] {
+			return fmt.Errorf("precredit flow %d: lost segment %d neither acked nor assigned",
+				pc.Flow.ID, s)
+		}
+	}
+	if pc.probeAcked && !pc.probeSent {
+		return fmt.Errorf("precredit flow %d: probe acked before being sent", pc.Flow.ID)
+	}
+	if pc.opts.ProbeTimeout > 0 && pc.resends > pc.opts.MaxProbeResends {
+		return fmt.Errorf("precredit flow %d: %d probe resends exceed limit %d",
+			pc.Flow.ID, pc.resends, pc.opts.MaxProbeResends)
+	}
+	return nil
+}
 
 // MakeProbe builds the Aeolus probe packet for this flow: minimum Ethernet
 // size, scheduled (protected), carrying the end-of-burst sequence and the

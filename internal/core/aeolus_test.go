@@ -327,3 +327,179 @@ func TestDefaultOptions(t *testing.T) {
 		t.Fatalf("DefaultOptions = %+v", o)
 	}
 }
+
+// TestPreCreditDoneSkipsStaleLostEntries is the regression for Done()
+// reporting false forever when the loss queue held only entries whose
+// segment had since been acknowledged: Next() skips those, so a transport
+// polling Done() before spending an opportunity would burn credits on a
+// finished flow indefinitely.
+func TestPreCreditDoneSkipsStaleLostEntries(t *testing.T) {
+	env, _, _, _ := harness(t, 2*1460, DefaultOptions())
+	f := &transport.Flow{ID: 8, Src: 0, Dst: 1, Size: 2 * 1460}
+	pc := NewPreCredit(env, f, DefaultOptions(), 4*1460)
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() {}
+	pc.Start()
+	env.Eng.Run()
+
+	// The probe verdict flags both segments lost, then both ACKs race in:
+	// the loss queue still holds two entries, but both are stale.
+	pc.OnProbeAck()
+	pc.OnAck(pc.Seg.Offset(0))
+	pc.OnAck(pc.Seg.Offset(1))
+	// Transports poll Done() before spending a credit on the flow — it must
+	// see through the stale entries without needing a Next() call to drain
+	// them first.
+	if !pc.Done() {
+		t.Fatal("Done() = false with only stale lost-queue entries remaining")
+	}
+	if seg, class := pc.Next(); class != ClassNone {
+		t.Fatalf("Next = (%d, %v), want ClassNone", seg, class)
+	}
+}
+
+// TestPreCreditProbeTimerStopsAfterOpportunity is the regression for the §6
+// safety timer resending the probe even though scheduled opportunities were
+// already arriving: the paper resends only "if no credit is received in a
+// given duration".
+func TestPreCreditProbeTimerStopsAfterOpportunity(t *testing.T) {
+	env, _, _, _ := harness(t, 4*1460, Options{})
+	f := &transport.Flow{ID: 9, Src: 0, Dst: 1, Size: 4 * 1460}
+	opts := Options{Enabled: true, ProbeTimeout: 10 * sim.Microsecond, MaxProbeResends: 5}
+	pc := NewPreCredit(env, f, opts, 2*1460)
+	probes := 0
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() { probes++ }
+	pc.Start()
+	// A credit arrives before the timeout and is spent through Next; the
+	// probe ACK itself is still in flight (not yet processed).
+	env.Eng.After(5*sim.Microsecond, func() { pc.Next() })
+	env.Eng.Run()
+	if probes != 1 {
+		t.Fatalf("probes = %d, want 1 (credit arrival must stop the safety timer)", probes)
+	}
+}
+
+// The same guard through the StopBurst path: the first credit ends the
+// burst, so the timer armed by the trailing probe must never fire.
+func TestPreCreditProbeTimerStopsAfterStopBurst(t *testing.T) {
+	env, _, _, _ := harness(t, 64*1460, Options{})
+	f := &transport.Flow{ID: 10, Src: 0, Dst: 1, Size: 64 * 1460}
+	opts := Options{Enabled: true, ProbeTimeout: 10 * sim.Microsecond, MaxProbeResends: 5}
+	pc := NewPreCredit(env, f, opts, 64*1460)
+	probes := 0
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() { probes++ }
+	pc.Start()
+	env.Eng.After(2*sim.Microsecond, pc.StopBurst)
+	env.Eng.Run()
+	if probes != 1 {
+		t.Fatalf("probes = %d, want 1 (StopBurst is a credit arrival)", probes)
+	}
+}
+
+func TestPreCreditAuditCleanLifecycle(t *testing.T) {
+	env, _, _, _ := harness(t, 6*1460, DefaultOptions())
+	f := &transport.Flow{ID: 11, Src: 0, Dst: 1, Size: 6 * 1460}
+	pc := NewPreCredit(env, f, DefaultOptions(), 3*1460)
+	pc.SendSeg = func(int, bool) {}
+	pc.SendProbe = func() {}
+	if err := pc.Audit(); err != nil {
+		t.Fatalf("fresh: %v", err)
+	}
+	pc.Start()
+	env.Eng.Run()
+	pc.OnAck(pc.Seg.Offset(1))
+	pc.OnProbeAck()
+	if err := pc.Audit(); err != nil {
+		t.Fatalf("after probe verdict: %v", err)
+	}
+	for {
+		if _, class := pc.Next(); class == ClassNone {
+			break
+		}
+	}
+	for i := 0; i < pc.Seg.NumSegs(); i++ {
+		pc.OnAck(pc.Seg.Offset(i))
+	}
+	if err := pc.Audit(); err != nil {
+		t.Fatalf("completed: %v", err)
+	}
+	if !pc.Done() {
+		t.Fatal("flow should be done")
+	}
+}
+
+func TestPreCreditAuditDetectsCorruption(t *testing.T) {
+	mk := func() *PreCredit {
+		env := testEnv(t)
+		f := &transport.Flow{ID: 12, Src: 0, Dst: 1, Size: 4 * 1460}
+		pc := NewPreCredit(env, f, DefaultOptions(), 2*1460)
+		pc.SendSeg = func(int, bool) {}
+		pc.SendProbe = func() {}
+		pc.Start()
+		env.Eng.Run()
+		return pc
+	}
+	cases := []struct {
+		name    string
+		corrupt func(pc *PreCredit)
+	}{
+		{"ack-count-drift", func(pc *PreCredit) { pc.ackCount = 3 }},
+		{"burst-overrun", func(pc *PreCredit) { pc.burstSent = pc.burstLimit + 1 }},
+		{"next-new-behind-burst", func(pc *PreCredit) { pc.nextNew = pc.burstSent - 1 }},
+		{"scan-pointer-overrun", func(pc *PreCredit) { pc.unackedP = pc.burstSent + 1 }},
+		{"lost-out-of-range", func(pc *PreCredit) { pc.lost = append(pc.lost, 99) }},
+		{"lost-unassigned", func(pc *PreCredit) { pc.lost = append(pc.lost, 3) }},
+		{"probe-acked-unsent", func(pc *PreCredit) { pc.probeSent = false; pc.probeAcked = true }},
+	}
+	for _, c := range cases {
+		pc := mk()
+		c.corrupt(pc)
+		if err := pc.Audit(); err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+		}
+	}
+}
+
+func TestOraclePrioAuditBacklog(t *testing.T) {
+	q := NewOraclePrio()
+	q.Enqueue(&netem.Packet{Type: netem.Data, WireSize: 1538}, 0)
+	q.Enqueue(&netem.Packet{Type: netem.Data, WireSize: 1538, Scheduled: true}, 0)
+	q.Dequeue(0)
+	if err := netem.AuditQdisc(q); err != nil {
+		t.Fatalf("clean oracle queue failed audit: %v", err)
+	}
+	q.unsched.bytes += 9
+	if err := netem.AuditQdisc(q); err == nil {
+		t.Fatal("oracle byte drift not detected")
+	}
+	q.unsched.bytes -= 9
+	q.sched.n++
+	if err := netem.AuditQdisc(q); err == nil {
+		t.Fatal("oracle packet-count drift not detected")
+	}
+}
+
+// TestOraclePrioDropsReachDropTotals is the regression for OraclePrio's
+// tail drops being invisible to netem.DropTotals: the aggregation had no
+// case for disciplines outside the netem package, so the xpass+prio and
+// oracle schemes always reported zero drops.
+func TestOraclePrioDropsReachDropTotals(t *testing.T) {
+	eng := sim.NewEngine()
+	q := NewBoundedPrio(2000)
+	pt := netem.NewPort(eng, q, 10*sim.Gbps, sim.Microsecond, nil, "sw0->h0")
+	ports := []*netem.Port{pt}
+	pt.Q.Enqueue(&netem.Packet{Type: netem.Data, WireSize: 1538}, eng.Now())
+	pt.Q.Enqueue(&netem.Packet{Type: netem.Data, WireSize: 1538}, eng.Now())
+	tot := netem.DropTotals(ports)
+	if tot[netem.DropTailFull] != 1 {
+		t.Fatalf("DropTotals = %v, want 1 tail drop from OraclePrio", tot)
+	}
+	// And still visible once the port is instrumented.
+	netem.InstrumentPorts(ports, netem.NewCountingTracer())
+	pt.Q.Enqueue(&netem.Packet{Type: netem.Data, WireSize: 1538}, eng.Now())
+	if tot := netem.DropTotals(ports); tot[netem.DropTailFull] != 2 {
+		t.Fatalf("DropTotals after instrumentation = %v, want 2", tot)
+	}
+}

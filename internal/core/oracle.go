@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 )
@@ -68,6 +70,15 @@ func (q *OraclePrio) Backlog() netem.Backlog {
 	}
 }
 
+// AuditBacklog implements netem.BacklogAuditor: both bands' cached counters
+// must match their contents.
+func (q *OraclePrio) AuditBacklog() error {
+	if err := q.sched.audit("oracle sched band"); err != nil {
+		return err
+	}
+	return q.unsched.audit("oracle unsched band")
+}
+
 // fifoLite is a minimal packet FIFO (netem's fifo is unexported).
 type fifoLite struct {
 	pkts  []*netem.Packet
@@ -95,6 +106,28 @@ func (f *fifoLite) pop() *netem.Packet {
 		f.pkts, f.head = f.pkts[:0], 0
 	}
 	return p
+}
+
+// audit recomputes the band's packet and byte counts from its contents and
+// compares them against the cached counters.
+func (f *fifoLite) audit(name string) error {
+	if f.head < 0 || f.head > len(f.pkts) {
+		return fmt.Errorf("%s: head %d outside [0, %d]", name, f.head, len(f.pkts))
+	}
+	var bytes int64
+	for i := f.head; i < len(f.pkts); i++ {
+		if f.pkts[i] == nil {
+			return fmt.Errorf("%s: nil packet at live position %d", name, i)
+		}
+		bytes += int64(f.pkts[i].WireSize)
+	}
+	if live := len(f.pkts) - f.head; live != f.n {
+		return fmt.Errorf("%s: cached %d packets, contents hold %d", name, f.n, live)
+	}
+	if bytes != f.bytes {
+		return fmt.Errorf("%s: cached %d bytes, contents sum to %d", name, f.bytes, bytes)
+	}
+	return nil
 }
 
 // SelectiveFactory returns a QdiscFactory installing Aeolus selective

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/audit"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// auditSweepSpecs builds one audited incast run per scheme in the
+// MakeScheme catalogue, on the 24-host microbenchmark switch.
+func auditSweepSpecs() []RunSpec {
+	ids := []string{"xpass", "xpass+aeolus", "xpass+oracle", "xpass+prio",
+		"homa", "homa+aeolus", "homa+oracle", "homa-eager", "ndp", "ndp+aeolus"}
+	specs := make([]RunSpec, 0, len(ids))
+	for _, id := range ids {
+		spec := SchemeSpec{ID: id, Workload: workload.WebServer, Seed: 3}
+		if id == "xpass+prio" {
+			spec.RTO = 10 * sim.Millisecond
+		}
+		specs = append(specs, RunSpec{
+			Scheme: spec, Topo: TopoMicro,
+			Incast: &workload.IncastConfig{Fanin: 5, Receiver: 0, MsgSize: 50_000,
+				Seed: 3, StartAt: sim.Time(10 * sim.Microsecond)},
+			Deadline: sim.Duration(sim.Second),
+		})
+	}
+	return specs
+}
+
+// TestAuditSweepAllSchemes runs every scheme in the catalogue under the
+// packet-conservation auditor and requires a clean report: all flows
+// complete, every injected byte accounted, queues and protocol state
+// coherent at drain.
+func TestAuditSweepAllSchemes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Audit = true
+	var mu sync.Mutex
+	audited := 0
+	cfg.OnAudit = func(_ RunSpec, rep *audit.Report) {
+		mu.Lock()
+		defer mu.Unlock()
+		audited++
+	}
+	// Through the Pool, so concurrent audited runs are exercised too (the
+	// race-enabled CI pass covers this package).
+	cfg.Parallel = 4
+	pool := NewPool(cfg)
+	specs := auditSweepSpecs()
+	for _, spec := range specs {
+		pool.Submit(spec)
+	}
+	for i, r := range pool.Collect() {
+		id := specs[i].Scheme.ID
+		if r.Completed != r.Total {
+			t.Errorf("%s: completed %d of %d", id, r.Completed, r.Total)
+		}
+		if r.Audit == nil {
+			t.Errorf("%s: no audit report", id)
+			continue
+		}
+		if err := r.Audit.Err(); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		if r.Audit.InjectedPayload == 0 || r.Audit.UniquePayload == 0 {
+			t.Errorf("%s: empty ledger %+v", id, r.Audit)
+		}
+	}
+	if audited != len(specs) {
+		t.Errorf("OnAudit fired %d times, want %d", audited, len(specs))
+	}
+}
+
+// TestAuditCatchesInjectedLoss proves the auditor is live end-to-end: a
+// fault-injection qdisc silently discarding packets (no drop hook, no
+// counter) must surface as a conservation violation.
+func TestAuditCatchesInjectedLoss(t *testing.T) {
+	cfg := testConfig()
+	cfg.Audit = true
+	scheme := MakeScheme(SchemeSpec{ID: "xpass+aeolus", Seed: 3})
+	net := buildTopo(TopoMicro, scheme.Factory(netem.DefaultBuffer), netem.WireSizeFor(scheme.MSS))
+	// Sabotage one switch port behind the auditor's back: every packet on
+	// the receiver downlink vanishes without a trace event or counter.
+	pt := net.Switches[0].Ports[0]
+	pt.Q = dropAllQdisc{pt.Q}
+	a := audit.Attach(net)
+	a.RegisterFlow(1, 3000)
+	p := &netem.Packet{Type: netem.Data, Flow: 1, Src: 1, Dst: 0,
+		PayloadLen: 1460, WireSize: 1538}
+	net.Hosts[1].Send(p)
+	net.Eng.Run()
+	rep := a.Finish()
+	if rep.Ok() {
+		t.Fatal("silent packet loss produced a clean audit")
+	}
+}
+
+// dropAllQdisc silently swallows every enqueue — the kind of accounting bug
+// the audit layer exists to catch.
+type dropAllQdisc struct{ netem.Qdisc }
+
+func (d dropAllQdisc) Enqueue(*netem.Packet, sim.Time) bool { return true }
+func (d dropAllQdisc) Dequeue(sim.Time) *netem.Packet       { return nil }
+
+// TestWindowGoodputIncastFallback is the regression for the steady-state
+// goodput metric degenerating to zero on pure incast runs: simultaneous
+// arrivals collapse the middle-half measurement window (last == first), so
+// the metric must fall back to the arrival→drain span.
+func TestWindowGoodputIncastFallback(t *testing.T) {
+	r := Run(testConfig(), RunSpec{
+		Scheme: SchemeSpec{ID: "xpass+aeolus", Seed: 3},
+		Topo:   TopoMicro,
+		Incast: &workload.IncastConfig{Fanin: 8, Receiver: 0, MsgSize: 100_000,
+			Seed: 3, StartAt: sim.Time(10 * sim.Microsecond)},
+		Deadline: sim.Duration(sim.Second),
+	})
+	if r.Completed != r.Total {
+		t.Fatalf("incast incomplete: %d of %d", r.Completed, r.Total)
+	}
+	if r.WindowGoodput <= 0 {
+		t.Fatalf("WindowGoodput = %v for pure incast, want positive fallback", r.WindowGoodput)
+	}
+	if r.WindowGoodput > 1 {
+		t.Fatalf("WindowGoodput = %v exceeds capacity", r.WindowGoodput)
+	}
+}
+
+// TestNDPSchemeGetsJumboBaseRTT checks the per-scheme serialization size
+// flows into the derived base RTT: NDP's 9 KB frames must yield a larger
+// base RTT than ExpressPass's 1538 B frames on the same topology.
+func TestNDPSchemeGetsJumboBaseRTT(t *testing.T) {
+	run := func(id string) RunResult {
+		return Run(testConfig(), RunSpec{
+			Scheme: SchemeSpec{ID: id, Seed: 3},
+			Topo:   TopoMicro,
+			Incast: &workload.IncastConfig{Fanin: 2, Receiver: 0, MsgSize: 20_000,
+				Seed: 3, StartAt: sim.Time(10 * sim.Microsecond)},
+			Deadline: sim.Duration(sim.Second),
+		})
+	}
+	ndpRTT := run("ndp").baseRTT
+	xpassRTT := run("xpass").baseRTT
+	if ndpRTT <= xpassRTT {
+		t.Fatalf("NDP base RTT %v not above ExpressPass %v on the same fabric", ndpRTT, xpassRTT)
+	}
+}

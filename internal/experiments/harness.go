@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/aeolus-transport/aeolus/internal/audit"
 	"github.com/aeolus-transport/aeolus/internal/core"
 	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
@@ -42,6 +43,16 @@ type Config struct {
 	// Progress, when non-nil, is invoked after every completed run. It must
 	// tolerate concurrent calls; see ProgressPrinter.
 	Progress ProgressFunc
+
+	// Audit attaches the packet-conservation checker (internal/audit) to
+	// every run. Fully completed runs also drain the engine so leftover
+	// control traffic settles before the books are balanced; the report
+	// lands in RunResult.Audit.
+	Audit bool
+
+	// OnAudit, when non-nil and Audit is set, receives every run's report.
+	// It must tolerate concurrent calls when runs execute under a Pool.
+	OnAudit func(spec RunSpec, rep *audit.Report)
 }
 
 // DefaultConfig returns a configuration sized for single-core bench runs.
@@ -71,31 +82,37 @@ const (
 )
 
 // buildTopo constructs the named topology with the scheme's qdisc factory.
-func buildTopo(topo string, qf netem.QdiscFactory) *netem.Network {
+// frameBytes is the full on-wire frame size the scheme serializes per hop
+// (netem.WireSizeFor of its MSS); it parameterizes the base-RTT derivation
+// so jumbo-frame schemes (NDP) size their first-RTT window correctly.
+func buildTopo(topo string, qf netem.QdiscFactory, frameBytes int) *netem.Network {
 	eng := sim.NewEngine()
 	switch topo {
 	case TopoFatTree:
 		return netem.BuildFatTree3(eng, netem.ExpressPassShape, netem.TopoConfig{
 			HostRate: 100 * sim.Gbps, LinkDelay: 4 * sim.Microsecond,
-			HostDelay: sim.Microsecond, MakeQdisc: qf,
+			HostDelay: sim.Microsecond, MakeQdisc: qf, FrameBytes: frameBytes,
 		})
 	case TopoLeafSpine:
 		return netem.BuildLeafSpine(eng, 8, 8, 8, netem.TopoConfig{
-			HostRate: 100 * sim.Gbps, LinkDelay: 500 * sim.Nanosecond, MakeQdisc: qf,
+			HostRate: 100 * sim.Gbps, LinkDelay: 500 * sim.Nanosecond,
+			MakeQdisc: qf, FrameBytes: frameBytes,
 		})
 	case TopoSingleSwitch:
 		return netem.BuildSingleSwitch(eng, 8, netem.TopoConfig{
-			HostRate: 10 * sim.Gbps, LinkDelay: 3 * sim.Microsecond, MakeQdisc: qf,
+			HostRate: 10 * sim.Gbps, LinkDelay: 3 * sim.Microsecond,
+			MakeQdisc: qf, FrameBytes: frameBytes,
 		})
 	case TopoIncastFabric:
 		return netem.BuildLeafSpine(eng, 4, 9, 16, netem.TopoConfig{
 			HostRate: 100 * sim.Gbps, CoreRate: 400 * sim.Gbps,
 			LinkDelay: 200 * sim.Nanosecond, SwitchPipe: 250 * sim.Nanosecond,
-			MakeQdisc: qf,
+			MakeQdisc: qf, FrameBytes: frameBytes,
 		})
 	case TopoMicro:
 		return netem.BuildSingleSwitch(eng, 24, netem.TopoConfig{
-			HostRate: 100 * sim.Gbps, LinkDelay: sim.Microsecond, MakeQdisc: qf,
+			HostRate: 100 * sim.Gbps, LinkDelay: sim.Microsecond,
+			MakeQdisc: qf, FrameBytes: frameBytes,
 		})
 	default:
 		panic("experiments: unknown topology " + topo)
@@ -345,6 +362,9 @@ type RunResult struct {
 	Drops         [4]uint64 // switch drops by netem.DropReason
 	SmallCDF      [][2]float64
 
+	// Audit is the packet-conservation report, set when Config.Audit is on.
+	Audit *audit.Report
+
 	records []stats.FlowRecord
 	baseRTT sim.Duration
 }
@@ -359,7 +379,7 @@ func Run(cfg Config, spec RunSpec) RunResult {
 	if buffer <= 0 {
 		buffer = netem.DefaultBuffer
 	}
-	net := buildTopo(spec.Topo, scheme.Factory(buffer))
+	net := buildTopo(spec.Topo, scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS))
 	env := transport.NewEnv(net, scheme.MSS)
 	proto := scheme.New(env)
 	if spec.TraceFlow != 0 {
@@ -371,6 +391,10 @@ func Run(cfg Config, spec RunSpec) RunResult {
 			Filter: func(p *netem.Packet) bool { return p.Flow == spec.TraceFlow }}
 		netem.InstrumentPorts(net.AllPorts(), tr)
 		netem.InstrumentHosts(net.Hosts, tr)
+	}
+	var aud *audit.Auditor
+	if cfg.Audit {
+		aud = audit.Attach(net)
 	}
 
 	var trace []workload.FlowSpec
@@ -415,9 +439,22 @@ func Run(cfg Config, spec RunSpec) RunResult {
 		env.Eng.At(t1, func() { d1 = env.Meter.DeliveredPayload })
 		env.Eng.At(t2, func() { d2 = env.Meter.DeliveredPayload })
 	}
+	if aud != nil {
+		for _, f := range trace {
+			aud.RegisterFlow(f.ID, f.Size)
+		}
+	}
 	start := env.Eng.Now()
 	transport.Runner(env, proto, trace, last.Add(deadline))
-	elapsed := env.Eng.Now().Sub(start)
+	endTime := env.Eng.Now()
+	elapsed := endTime.Sub(start)
+	if aud != nil && env.Completed() == len(trace) {
+		// Let in-flight control traffic and pending timers settle so the
+		// drain-time invariants (empty queues, zero residual) can be checked
+		// in the strict, fully-drained form. Completed flows disarm all
+		// retransmission loops, so the drain terminates.
+		env.Eng.Run()
+	}
 
 	res := RunResult{
 		Scheme:    scheme.Name,
@@ -444,9 +481,21 @@ func Run(cfg Config, spec RunSpec) RunResult {
 	if t2 > t1 && d2 > d1 {
 		// Steady-state goodput over the middle half of the arrival span.
 		res.WindowGoodput = float64(d2-d1) * 8 / sim.Duration(t2-t1).Seconds() / float64(capacity)
+	} else if span := endTime.Sub(first); len(trace) > 0 && span > 0 {
+		// Simultaneous arrivals (pure incast) collapse the middle-half
+		// window to nothing; fall back to the whole arrival→drain span.
+		res.WindowGoodput = float64(env.Meter.DeliveredPayload) * 8 / span.Seconds() / float64(capacity)
 	}
 	res.TimeoutFlows = env.FCT.TimeoutFlows()
 	res.Drops = netem.DropTotals(net.SwitchPorts())
 	res.SmallCDF = stats.FCTCDF(small)
+	if aud != nil {
+		aud.AuditProtocol(proto)
+		aud.CheckMeter(env.Meter.SentPayload, env.Meter.DeliveredPayload)
+		res.Audit = aud.Finish()
+		if cfg.OnAudit != nil {
+			cfg.OnAudit(spec, res.Audit)
+		}
+	}
 	return res
 }

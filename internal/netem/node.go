@@ -134,17 +134,17 @@ func DropTotals(ports []*Port) [4]uint64 {
 	return tot
 }
 
-// dropCounterOf extracts the embedded DropCounter of known qdisc types.
+// dropCounterOf extracts the embedded DropCounter of a qdisc. Wrappers
+// (tracing instrumentation, fault injection) are unwrapped first so counters
+// stay visible on instrumented ports; everything else resolves through the
+// Counter method any discipline embedding DropCounter provides, which also
+// covers disciplines defined outside this package.
 func dropCounterOf(q Qdisc) (*DropCounter, bool) {
 	switch v := q.(type) {
-	case *FIFO:
-		return &v.DropCounter, true
-	case *SelectiveDrop:
-		return &v.DropCounter, true
-	case *PrioQdisc:
-		return &v.DropCounter, true
-	case *NDPQueue:
-		return &v.DropCounter, true
+	case *tracedQdisc:
+		return dropCounterOf(v.Qdisc)
+	case *LossyQdisc:
+		return dropCounterOf(v.Qdisc)
 	case *XPassQdisc:
 		// Includes the inner data qdisc's counter too.
 		var sum DropCounter
@@ -158,6 +158,9 @@ func dropCounterOf(q Qdisc) (*DropCounter, bool) {
 		}
 		return &sum, true
 	default:
+		if c, ok := q.(interface{ Counter() *DropCounter }); ok {
+			return c.Counter(), true
+		}
 		return nil, false
 	}
 }

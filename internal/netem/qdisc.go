@@ -68,6 +68,11 @@ type DropCounter struct {
 // SetDropHook installs the observer.
 func (d *DropCounter) SetDropHook(h DropHook) { d.hook = h }
 
+// Counter exposes the counter itself, so aggregation helpers (DropTotals)
+// reach the tallies of any discipline embedding DropCounter — including ones
+// defined outside this package — without a per-type case.
+func (d *DropCounter) Counter() *DropCounter { return d }
+
 func (d *DropCounter) drop(p *Packet, r DropReason) {
 	d.Drops[r]++
 	if d.hook != nil {

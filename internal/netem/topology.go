@@ -29,6 +29,13 @@ type TopoConfig struct {
 	HostDelay  sim.Duration // end-host stack latency (applied at receive)
 	SwitchPipe sim.Duration // switching pipeline latency
 	MakeQdisc  QdiscFactory
+
+	// FrameBytes is the full-frame serialization size baseRTT charges per
+	// forward hop. Zero means WireSizeFor(MaxPayload) — the standard-MTU
+	// 1538 B frame. Jumbo-MTU fabrics (NDP's 9 KB MSS) must set it to their
+	// own full frame, or the derived BaseRTT/BDP undercounts serialization
+	// and first-RTT metrics compare against an unrealistically small base.
+	FrameBytes int
 }
 
 func (c *TopoConfig) core() sim.Rate {
@@ -50,9 +57,13 @@ func (c *TopoConfig) qdisc(kind PortKind, rate sim.Rate) Qdisc {
 // minimum-frame serialization per hop back, switch pipelines both ways and
 // the host stack delay both ways.
 func baseRTT(cfg *TopoConfig, linkRates []sim.Rate, nSwitches int) sim.Duration {
+	frame := cfg.FrameBytes
+	if frame <= 0 {
+		frame = WireSizeFor(MaxPayload)
+	}
 	var rtt sim.Duration
 	for _, r := range linkRates {
-		rtt += 2*cfg.LinkDelay + sim.TxTime(WireSizeFor(MaxPayload), r) + sim.TxTime(HeaderSize, r)
+		rtt += 2*cfg.LinkDelay + sim.TxTime(frame, r) + sim.TxTime(HeaderSize, r)
 	}
 	rtt += 2 * sim.Duration(nSwitches) * cfg.SwitchPipe
 	rtt += 2 * cfg.HostDelay

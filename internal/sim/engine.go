@@ -119,6 +119,41 @@ func (e *Engine) Stop() { e.stopped = true }
 // called. It returns the final simulated time.
 func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 
+// CheckInvariants verifies the engine's internal bookkeeping: the canceled
+// counter stays within [0, heap size] and matches the canceled events actually
+// in the heap, every heap entry knows its own position, no live event is
+// scheduled before the current clock, and the heap order itself holds. It
+// returns nil when everything is coherent; the audit layer calls it at drain
+// time, and it is cheap enough to call in tests after every run.
+func (e *Engine) CheckInvariants() error {
+	if e.canceledLive < 0 || e.canceledLive > len(e.heap) {
+		return fmt.Errorf("sim: canceledLive %d outside [0, %d]", e.canceledLive, len(e.heap))
+	}
+	canceled := 0
+	for i, ev := range e.heap {
+		if ev.index != i {
+			return fmt.Errorf("sim: heap entry %d carries index %d", i, ev.index)
+		}
+		if ev.canceled {
+			canceled++
+			continue
+		}
+		if ev.time < e.now {
+			return fmt.Errorf("sim: live event at %v behind clock %v", ev.time, e.now)
+		}
+	}
+	if canceled != e.canceledLive {
+		return fmt.Errorf("sim: canceledLive %d but %d canceled events in heap", e.canceledLive, canceled)
+	}
+	for i := 1; i < len(e.heap); i++ {
+		parent := (i - 1) / 2
+		if e.heap.Less(i, parent) {
+			return fmt.Errorf("sim: heap order violated between %d and parent %d", i, parent)
+		}
+	}
+	return nil
+}
+
 // RunUntil executes events with timestamps ≤ deadline, then sets the clock to
 // the deadline (or to the last event time if the queue drained earlier and the
 // deadline is MaxTime). It returns the final simulated time.

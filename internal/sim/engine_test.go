@@ -305,3 +305,66 @@ func TestExpMean(t *testing.T) {
 		t.Fatal("Exp with zero mean should return 0")
 	}
 }
+
+func TestCheckInvariantsCleanEngine(t *testing.T) {
+	e := NewEngine()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("fresh engine: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		e.After(Duration(i)*Microsecond, func() {})
+	}
+	ev := e.After(20*Microsecond, func() {})
+	ev.Cancel()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("with pending and canceled events: %v", err)
+	}
+	e.RunUntil(Time(5 * Microsecond))
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("mid-run: %v", err)
+	}
+	e.Run()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("drained: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 4; i++ {
+		e.After(Duration(i+1)*Microsecond, func() {})
+	}
+
+	// Canceled-counter drift.
+	e.canceledLive = 3
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("canceledLive drift not detected")
+	}
+	e.canceledLive = -1
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("negative canceledLive not detected")
+	}
+	e.canceledLive = 0
+
+	// A live event behind the clock.
+	e.now = Time(10 * Microsecond)
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("stale live event not detected")
+	}
+	e.now = 0
+
+	// Broken heap index bookkeeping.
+	e.heap[0].index = 2
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("index corruption not detected")
+	}
+	e.heap[0].index = 0
+
+	// Heap order violation.
+	e.heap[0].time, e.heap[1].time = e.heap[1].time, e.heap[0].time
+	if e.heap.Less(1, 0) {
+		if err := e.CheckInvariants(); err == nil {
+			t.Fatal("heap order violation not detected")
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package homa
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"sort"
 
@@ -534,4 +535,21 @@ func (r *rxHost) armRTO(m *rxMsg) {
 		}
 		r.armRTO(m)
 	})
+}
+
+// AuditInvariants checks every message's Aeolus state machine for internal
+// consistency, returning one error per violation in flow-ID order.
+func (p *Protocol) AuditInvariants() []error {
+	ids := make([]uint64, 0, len(p.senders))
+	for id := range p.senders {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var errs []error
+	for _, id := range ids {
+		if err := p.senders[id].pc.Audit(); err != nil {
+			errs = append(errs, fmt.Errorf("homa: %w", err))
+		}
+	}
+	return errs
 }

@@ -18,7 +18,9 @@
 package ndp
 
 import (
+	"fmt"
 	"math/rand/v2"
+	"sort"
 
 	"github.com/aeolus-transport/aeolus/internal/core"
 	"github.com/aeolus-transport/aeolus/internal/netem"
@@ -403,4 +405,21 @@ func (r *rxHost) pacePull() {
 	}
 	gap := sim.TxTime(netem.JumboMTU, r.p.env.Net.HostRate)
 	r.p.env.Eng.After(gap, r.pacePull)
+}
+
+// AuditInvariants checks every flow's Aeolus state machine for internal
+// consistency, returning one error per violation in flow-ID order.
+func (p *Protocol) AuditInvariants() []error {
+	ids := make([]uint64, 0, len(p.senders))
+	for id := range p.senders {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var errs []error
+	for _, id := range ids {
+		if err := p.senders[id].pc.Audit(); err != nil {
+			errs = append(errs, fmt.Errorf("ndp: %w", err))
+		}
+	}
+	return errs
 }
