@@ -1,14 +1,15 @@
 # Tier-1 gate: `make ci` must pass before every commit. It is what the
-# repository's CI runs: vet, full build, full test suite, and the race
-# detector over the concurrency-bearing packages (the parallel experiment
-# pool, the event engine it drives, and the workload parser the fuzz target
-# exercises).
+# repository's CI runs: vet, full build, full test suite, the race detector
+# over the concurrency-bearing packages (the parallel experiment pool, the
+# event engine it drives, and the workload parser the fuzz target
+# exercises), the packet-conservation audit sweep, and the allocation
+# regression smoke (bench-smoke).
 
 GO ?= go
 
-.PHONY: ci vet build test race audit fuzz bench
+.PHONY: ci vet build test race audit fuzz bench bench-smoke
 
-ci: vet build test race audit
+ci: vet build test race audit bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,5 +32,19 @@ audit:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCDFParse -fuzztime=30s ./internal/workload
 
+# Full benchmark ledger: micro (event engine, qdiscs, port path) and macro
+# (per-scheme packets/sec) benchmarks, folded into BENCH_micro.json with the
+# committed pre-pooling baseline preserved for comparison.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	( $(GO) test -bench=. -benchtime=20000x -benchmem -run=^$$ ./internal/sim ./internal/netem ; \
+	  $(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./internal/experiments ) \
+	| $(GO) run ./cmd/benchjson -o BENCH_micro.json
+
+# Allocation-regression smoke for CI: the port-path allocation gate
+# (TestPortPathAllocs fails above the committed allocs/op ceiling), one
+# quick iteration of the hot-path benchmarks, and the race detector over
+# the packet-pool tests.
+bench-smoke:
+	$(GO) test -bench=BenchmarkPortPath -benchtime=100x -benchmem -run=TestPortPathAllocs ./internal/netem
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./internal/sim
+	$(GO) test -race -run=TestPool ./internal/netem

@@ -41,6 +41,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment")
 		progress = flag.Bool("progress", stderrIsTerminal(), "report per-run progress on stderr")
 		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
+		nopool   = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Quick = *quick
 	cfg.Parallel = *parallel
+	cfg.DisablePool = *nopool
 	if *progress {
 		cfg.Progress = experiments.ProgressPrinter(os.Stderr)
 	}

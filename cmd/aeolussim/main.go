@@ -48,6 +48,7 @@ func main() {
 		trace    = flag.Uint64("trace", 0, "print a packet trace for this flow ID")
 		cdf      = flag.Bool("cdf", false, "print the small-flow FCT CDF (the paper's figure format)")
 		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
+		nopool   = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Parallel = *parallel
 	cfg.Audit = *auditOn
+	cfg.DisablePool = *nopool
 
 	var wl *workload.CDF
 	if *wlName != "" {

@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench -benchmem` output (stdin) into
+// a machine-readable JSON ledger, preserving the "baseline" section of the
+// existing output file so regressions stay visible against the committed
+// pre-optimization numbers:
+//
+//	go test -bench . -benchtime 100x -benchmem -run '^$' ./... | benchjson -o BENCH_micro.json
+//
+// The ledger maps benchmark name (GOMAXPROCS suffix stripped) to ns/op,
+// B/op, allocs/op and any custom metrics (e.g. packets/sec).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. Custom metrics reported via
+// testing.B.ReportMetric land in Metrics keyed by their unit.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Ledger is the file layout: the frozen baseline plus the latest run.
+type Ledger struct {
+	Note     string            `json:"note,omitempty"`
+	Baseline map[string]Result `json:"baseline,omitempty"`
+	Current  map[string]Result `json:"current"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_micro.json", "output file; its baseline section is preserved")
+	flag.Parse()
+
+	current, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var led Ledger
+	if prev, err := os.ReadFile(*out); err == nil {
+		// Tolerate a corrupt or hand-edited file: start over but say so.
+		if err := json.Unmarshal(prev, &led); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: ignoring unparsable %s: %v\n", *out, err)
+			led = Ledger{}
+		}
+	}
+	led.Current = current
+	if led.Baseline == nil {
+		// First run seeds the baseline; commit it to freeze the reference.
+		led.Baseline = current
+	}
+
+	buf, err := json.MarshalIndent(&led, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), *out)
+}
+
+// parse extracts benchmark lines. A line looks like:
+//
+//	BenchmarkPortPath-8   1000   179.5 ns/op   11 B/op   0 allocs/op
+//
+// with tab-separated "value unit" cells after the iteration count.
+func parse(f *os.File) (map[string]Result, error) {
+	res := make(map[string]Result)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the -GOMAXPROCS suffix, but not a -suffix inside a
+			// sub-benchmark name that isn't numeric.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := res[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		res[name] = r
+	}
+	return res, sc.Err()
+}

@@ -26,7 +26,7 @@ import (
 	"github.com/aeolus-transport/aeolus/internal/workload"
 )
 
-func run(aeolus bool) (stats.Summary, int, [4]uint64) {
+func run(aeolus bool) (stats.Summary, int, [netem.NumDropReasons]uint64) {
 	opts := homa.DefaultOptions()
 	// Homa's overcommitment trades buffer for utilization; on this shallow
 	// 100 KB testbed switch, 3 concurrently granted messages (3 x BDP ≈

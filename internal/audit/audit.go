@@ -19,6 +19,11 @@
 //  5. Meter coherence: the transfer-efficiency meter's sent counter matches
 //     the payload the fabric saw injected, and its delivered counter never
 //     exceeds the unique payload the fabric delivered.
+//  6. Pool coherence: every packet the pool ever created is live, in the
+//     free-list, or was discarded while disabled (netem.PacketPool
+//     .CheckCoherence); no packet is Put twice; and once the engine drains,
+//     no packet remains live (a live packet at drain time was leaked by
+//     whoever terminated it).
 //
 // The auditor deliberately depends only on netem and sim, so every
 // transport package can be audited without import cycles.
@@ -72,7 +77,8 @@ type Report struct {
 	DroppedPayload   int64  // payload bytes on dropped packets
 	TrimmedPayload   int64  // payload bytes cut by NDP trimming
 	ResidualPayload  int64  // payload bytes still queued at audit time
-	DropsByReason    [4]uint64
+	DropsByReason    [netem.NumDropReasons]uint64
+	Pool             netem.PoolStats // packet-pool counters at audit time
 
 	Violations []Violation
 	Truncated  int // violations suppressed beyond maxViolations
@@ -140,7 +146,7 @@ type Auditor struct {
 	flows     map[uint64]*flowAcct
 	flowIDs   []uint64 // deterministic iteration order: first-seen
 	lastTime  sim.Time
-	hookDrops [4]uint64
+	hookDrops [netem.NumDropReasons]uint64
 }
 
 // Attach instruments every port and host of the network and claims each
@@ -160,7 +166,35 @@ func Attach(net *netem.Network) *Auditor {
 	}
 	netem.InstrumentPorts(net.AllPorts(), a)
 	netem.InstrumentHosts(net.Hosts, a)
+	if net.Pool != nil {
+		net.Pool.SetObserver(a)
+	}
 	return a
+}
+
+// PoolGet implements netem.PoolObserver: a recycled pointer is a brand-new
+// packet, so any ledger state keyed on the old occupant of that address is
+// retired. (Its payload was fully accounted at the terminal event that
+// preceded the Put.)
+func (a *Auditor) PoolGet(p *netem.Packet, fresh bool) {
+	if !fresh {
+		delete(a.pkts, p)
+	}
+}
+
+// PoolPut implements netem.PoolObserver: double-Puts become structured
+// violations, and releasing a packet the fabric still considers in flight
+// (no terminal event observed) is reported as a premature free.
+func (a *Auditor) PoolPut(p *netem.Packet, firstPut bool) {
+	if !firstPut {
+		a.report.add(Violation{Check: "pool-double-put", Flow: p.Flow,
+			Detail: fmt.Sprintf("packet %v returned to the pool twice", p)})
+		return
+	}
+	if st, ok := a.pkts[p]; ok && !st.delivered && !st.dropped {
+		a.report.add(Violation{Check: "pool-put-live", Flow: st.flow,
+			Detail: fmt.Sprintf("packet %v released without a terminal event", p)})
+	}
 }
 
 // RegisterFlow declares a flow's payload size so delivery-bound checks have
@@ -344,6 +378,19 @@ func (a *Auditor) Finish() *Report {
 			a.report.add(Violation{Check: "delivery-bound", Flow: id,
 				Detail: fmt.Sprintf("delivered %d unique bytes of a %d-byte flow", fa.unique, fa.size)})
 		}
+	}
+
+	// Pool coherence: the pool's own conservation identity must hold, and a
+	// drained engine means every packet terminated — so none may be live.
+	if pp := a.net.Pool; pp != nil {
+		if err := pp.CheckCoherence(); err != nil {
+			a.report.add(Violation{Check: "pool-coherence", Detail: err.Error()})
+		}
+		if live := pp.Live(); drained && live != 0 {
+			a.report.add(Violation{Check: "pool-leak",
+				Detail: fmt.Sprintf("engine idle but %d packets still live (never returned to the pool)", live)})
+		}
+		a.report.Pool = pp.Stats()
 	}
 
 	// Drop-hook tallies must agree with the qdisc counters: a mismatch means

@@ -14,11 +14,14 @@ func testNet() *netem.Network {
 	})
 }
 
-func dataPkt(flow uint64, seq int64, payload int) *netem.Packet {
-	return &netem.Packet{
-		Type: netem.Data, Flow: flow, Src: 0, Dst: 1,
-		Seq: seq, PayloadLen: payload, WireSize: netem.WireSizeFor(payload),
-	}
+// dataPkt builds a data packet from the given pool; a nil pool allocates,
+// for synthetic Trace-only scenarios where the fabric never terminates (and
+// so never releases) the packet.
+func dataPkt(pp *netem.PacketPool, flow uint64, seq int64, payload int) *netem.Packet {
+	p := pp.Get()
+	p.Type, p.Flow, p.Src, p.Dst = netem.Data, flow, 0, 1
+	p.Seq, p.PayloadLen, p.WireSize = seq, payload, netem.WireSizeFor(payload)
+	return p
 }
 
 // TestAuditorCleanDelivery drives real packets through a real fabric (no
@@ -28,8 +31,8 @@ func TestAuditorCleanDelivery(t *testing.T) {
 	net := testNet()
 	a := Attach(net)
 	a.RegisterFlow(1, 3000)
-	net.Hosts[0].Send(dataPkt(1, 0, 1500))
-	net.Hosts[0].Send(dataPkt(1, 1500, 1500))
+	net.Hosts[0].Send(dataPkt(net.Pool, 1, 0, 1500))
+	net.Hosts[0].Send(dataPkt(net.Pool, 1, 1500, 1500))
 	net.Eng.Run()
 	rep := a.Finish()
 	if err := rep.Err(); err != nil {
@@ -61,8 +64,8 @@ func TestAuditorAccountsDrops(t *testing.T) {
 	// Two line-rate senders share one downlink: the 2-frame switch queue
 	// must shed roughly half the offered load.
 	for i := 0; i < 10; i++ {
-		p1 := dataPkt(1, int64(i)*1500, 1500)
-		p2 := dataPkt(2, int64(i)*1500, 1500)
+		p1 := dataPkt(net.Pool, 1, int64(i)*1500, 1500)
+		p2 := dataPkt(net.Pool, 2, int64(i)*1500, 1500)
 		p2.Src, p2.Dst = 1, 2
 		p1.Dst = 2
 		net.Hosts[0].Send(p1)
@@ -88,7 +91,7 @@ func TestAuditorDetectsDoubleDeliver(t *testing.T) {
 	net := testNet()
 	a := Attach(net)
 	a.RegisterFlow(1, 1500)
-	p := dataPkt(1, 0, 1500)
+	p := dataPkt(nil, 1, 0, 1500)
 	a.Trace(0, netem.TraceEnqueue, "h0->sw0", p)
 	a.Trace(1, netem.TraceDeliver, "host1", p)
 	a.Trace(2, netem.TraceDeliver, "host1", p)
@@ -102,7 +105,7 @@ func TestAuditorDetectsDeliveryBeyondFlowSize(t *testing.T) {
 	net := testNet()
 	a := Attach(net)
 	a.RegisterFlow(1, 1000) // flow is smaller than one full segment
-	net.Hosts[0].Send(dataPkt(1, 0, 1500))
+	net.Hosts[0].Send(dataPkt(net.Pool, 1, 0, 1500))
 	net.Eng.Run()
 	rep := a.Finish()
 	if !hasCheck(rep, "beyond-size") {
@@ -116,8 +119,8 @@ func TestAuditorDetectsDuplicateUniqueBytes(t *testing.T) {
 	a.RegisterFlow(1, 1500)
 	// Two distinct packets carrying the same bytes: legal retransmission,
 	// unique payload must be counted once and stay within the flow size.
-	net.Hosts[0].Send(dataPkt(1, 0, 1500))
-	net.Hosts[0].Send(dataPkt(1, 0, 1500))
+	net.Hosts[0].Send(dataPkt(net.Pool, 1, 0, 1500))
+	net.Hosts[0].Send(dataPkt(net.Pool, 1, 0, 1500))
 	net.Eng.Run()
 	rep := a.Finish()
 	if err := rep.Err(); err != nil {
@@ -131,7 +134,7 @@ func TestAuditorDetectsDuplicateUniqueBytes(t *testing.T) {
 func TestAuditorDetectsNonMonotonicTime(t *testing.T) {
 	net := testNet()
 	a := Attach(net)
-	p := dataPkt(1, 0, 1500)
+	p := dataPkt(nil, 1, 0, 1500)
 	a.Trace(sim.Time(100), netem.TraceEnqueue, "h0->sw0", p)
 	a.Trace(sim.Time(50), netem.TraceDeliver, "host1", p)
 	rep := a.Finish()
@@ -146,7 +149,7 @@ func TestAuditorDetectsResidualAfterDrain(t *testing.T) {
 	a.RegisterFlow(1, 1500)
 	// A packet enters the fabric but never reaches a terminal event, and
 	// the engine is idle: payload leaked.
-	a.Trace(0, netem.TraceEnqueue, "h0->sw0", dataPkt(1, 0, 1500))
+	a.Trace(0, netem.TraceEnqueue, "h0->sw0", dataPkt(nil, 1, 0, 1500))
 	rep := a.Finish()
 	if !hasCheck(rep, "residual") {
 		t.Fatalf("leaked payload not flagged: %v", rep.Err())
@@ -157,7 +160,7 @@ func TestAuditorCheckMeter(t *testing.T) {
 	net := testNet()
 	a := Attach(net)
 	a.RegisterFlow(1, 1500)
-	net.Hosts[0].Send(dataPkt(1, 0, 1500))
+	net.Hosts[0].Send(dataPkt(net.Pool, 1, 0, 1500))
 	net.Eng.Run()
 	a.CheckMeter(1500, 1500)
 	rep := a.Finish()

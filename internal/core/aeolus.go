@@ -113,8 +113,8 @@ type PreCredit struct {
 	// surface losses only through ForceLost.
 	noUnackedSweep bool
 
-	pacer *sim.Event
-	timer *sim.Event
+	pacer sim.Timer // self-pacing of the pre-credit burst
+	timer sim.Timer // probe safety timer (§6)
 }
 
 // NewPreCredit builds the state machine for a flow. bdpBytes bounds the
@@ -130,12 +130,15 @@ func NewPreCredit(env *transport.Env, f *transport.Flow, opts Options, bdpBytes 
 	if burst > n {
 		burst = n
 	}
-	return &PreCredit{
+	pc := &PreCredit{
 		Env: env, Flow: f, Seg: seg, opts: opts,
 		burstLimit: burst,
 		acked:      make([]bool, n),
 		assigned:   make([]bool, n),
 	}
+	pc.pacer.Init(env.Eng, pc.sendNext)
+	pc.timer.Init(env.Eng, pc.probeTimeout)
+	return pc
 }
 
 // BurstLimit returns the number of segments the pre-credit phase may send.
@@ -170,7 +173,6 @@ func (pc *PreCredit) Start() {
 }
 
 func (pc *PreCredit) sendNext() {
-	pc.pacer = nil
 	if pc.stopped {
 		return
 	}
@@ -183,7 +185,7 @@ func (pc *PreCredit) sendNext() {
 	pc.nextNew = pc.burstSent
 	pc.SendSeg(seg, false)
 	gap := sim.TxTime(netem.WireSizeFor(pc.Seg.SegLen(seg)), pc.Env.Net.HostRate)
-	pc.pacer = pc.Env.Eng.After(gap, pc.sendNext)
+	pc.pacer.Reset(gap)
 }
 
 func (pc *PreCredit) finishBurst() {
@@ -200,18 +202,16 @@ func (pc *PreCredit) armTimer() {
 	if pc.opts.ProbeTimeout <= 0 {
 		return
 	}
-	if pc.timer != nil {
-		pc.timer.Cancel()
+	pc.timer.Reset(pc.opts.ProbeTimeout)
+}
+
+func (pc *PreCredit) probeTimeout() {
+	if pc.probeAcked || pc.oppSeen || pc.Done() || pc.resends >= pc.opts.MaxProbeResends {
+		return
 	}
-	pc.timer = pc.Env.Eng.After(pc.opts.ProbeTimeout, func() {
-		pc.timer = nil
-		if pc.probeAcked || pc.oppSeen || pc.Done() || pc.resends >= pc.opts.MaxProbeResends {
-			return
-		}
-		pc.resends++
-		pc.SendProbe()
-		pc.armTimer()
-	})
+	pc.resends++
+	pc.SendProbe()
+	pc.armTimer()
 }
 
 // StopBurst ends the pre-credit phase (first credit/grant/pull arrived). The
@@ -221,10 +221,7 @@ func (pc *PreCredit) StopBurst() {
 	if pc.stopped {
 		return
 	}
-	if pc.pacer != nil {
-		pc.pacer.Cancel()
-		pc.pacer = nil
-	}
+	pc.pacer.Stop()
 	pc.finishBurst()
 }
 
@@ -246,10 +243,7 @@ func (pc *PreCredit) OnAck(off int64) {
 // It returns the number of newly detected losses.
 func (pc *PreCredit) OnProbeAck() int {
 	pc.probeAcked = true
-	if pc.timer != nil {
-		pc.timer.Cancel()
-		pc.timer = nil
-	}
+	pc.timer.Stop()
 	n := 0
 	for i := 0; i < pc.burstSent; i++ {
 		if !pc.acked[i] && !pc.assigned[i] {
@@ -451,11 +445,15 @@ func (pc *PreCredit) Audit() error {
 // flow size (so a Homa-style receiver learns the demand even if every
 // unscheduled packet was dropped, §4.2).
 func (pc *PreCredit) MakeProbe() *netem.Packet {
-	return &netem.Packet{
-		Type: netem.Probe, Flow: pc.Flow.ID,
-		Src: pc.Flow.Src, Dst: pc.Flow.Dst,
-		Seq: pc.ProbeSeq(), WireSize: netem.ProbeSize,
-		Scheduled: true, PathID: pc.Flow.PathID,
-		Meta: pc.Flow.Size,
-	}
+	p := pc.Env.Pkt()
+	p.Type = netem.Probe
+	p.Flow = pc.Flow.ID
+	p.Src = pc.Flow.Src
+	p.Dst = pc.Flow.Dst
+	p.Seq = pc.ProbeSeq()
+	p.WireSize = netem.ProbeSize
+	p.Scheduled = true
+	p.PathID = pc.Flow.PathID
+	p.Meta = pc.Flow.Size
+	return p
 }

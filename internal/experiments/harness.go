@@ -53,6 +53,12 @@ type Config struct {
 	// OnAudit, when non-nil and Audit is set, receives every run's report.
 	// It must tolerate concurrent calls when runs execute under a Pool.
 	OnAudit func(spec RunSpec, rep *audit.Report)
+
+	// DisablePool turns off packet recycling for the run: every Get
+	// allocates and every Put discards. Results are identical either way
+	// (pooling changes object identity, never event order); the knob exists
+	// to prove exactly that, and to bisect should the two ever diverge.
+	DisablePool bool
 }
 
 // DefaultConfig returns a configuration sized for single-core bench runs.
@@ -359,8 +365,13 @@ type RunResult struct {
 	Goodput       float64
 	WindowGoodput float64
 	TimeoutFlows  int
-	Drops         [4]uint64 // switch drops by netem.DropReason
+	Drops         [netem.NumDropReasons]uint64 // switch drops by netem.DropReason
 	SmallCDF      [][2]float64
+
+	// TxPackets is the total packet transmissions across every port, NICs
+	// included — the per-scheme work metric the macro benchmark divides by
+	// wall time to report packets/sec.
+	TxPackets uint64
 
 	// Audit is the packet-conservation report, set when Config.Audit is on.
 	Audit *audit.Report
@@ -380,6 +391,9 @@ func Run(cfg Config, spec RunSpec) RunResult {
 		buffer = netem.DefaultBuffer
 	}
 	net := buildTopo(spec.Topo, scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS))
+	if cfg.DisablePool {
+		net.Pool.Disable()
+	}
 	env := transport.NewEnv(net, scheme.MSS)
 	proto := scheme.New(env)
 	if spec.TraceFlow != 0 {
@@ -488,6 +502,9 @@ func Run(cfg Config, spec RunSpec) RunResult {
 	}
 	res.TimeoutFlows = env.FCT.TimeoutFlows()
 	res.Drops = netem.DropTotals(net.SwitchPorts())
+	for _, pt := range net.AllPorts() {
+		res.TxPackets += pt.TxPackets
+	}
 	res.SmallCDF = stats.FCTCDF(small)
 	if aud != nil {
 		aud.AuditProtocol(proto)

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/netem"
+)
+
+// TestPoolOnOffIdenticalResults is the pooling correctness proof: every
+// scheme in the catalogue, run once with packet recycling and once with
+// Config.DisablePool, must produce byte-identical RunResults — every
+// summary, drop counter, CDF point and raw flow record. Pooling changes
+// which object carries a packet, never what happens to it.
+func TestPoolOnOffIdenticalResults(t *testing.T) {
+	cfg := testConfig()
+	cfg.Audit = true
+	off := cfg
+	off.DisablePool = true
+	for _, spec := range auditSweepSpecs() {
+		id := spec.Scheme.ID
+		rOn := Run(cfg, spec)
+		rOff := Run(off, spec)
+		if rOn.Audit == nil || rOff.Audit == nil {
+			t.Fatalf("%s: missing audit report", id)
+		}
+		if err := rOn.Audit.Err(); err != nil {
+			t.Errorf("%s (pool on): %v", id, err)
+		}
+		if err := rOff.Audit.Err(); err != nil {
+			t.Errorf("%s (pool off): %v", id, err)
+		}
+		if rOff.Audit.Pool.Allocated != rOff.Audit.Pool.Gets {
+			t.Errorf("%s: disabled pool recycled packets: %+v", id, rOff.Audit.Pool)
+		}
+		if rOn.TxPackets > 0 && rOn.Audit.Pool.Allocated >= rOff.Audit.Pool.Allocated {
+			t.Errorf("%s: pooling saved no allocations: %d with pool, %d without",
+				id, rOn.Audit.Pool.Allocated, rOff.Audit.Pool.Allocated)
+		}
+		// Everything but the pool counters themselves must match exactly.
+		rOn.Audit.Pool = netem.PoolStats{}
+		rOff.Audit.Pool = netem.PoolStats{}
+		if !reflect.DeepEqual(rOn, rOff) {
+			t.Errorf("%s: results diverge between pool on and off:\non:  %+v\noff: %+v",
+				id, rOn.All, rOff.All)
+		}
+	}
+}

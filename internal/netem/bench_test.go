@@ -52,7 +52,9 @@ func BenchmarkXPassQdisc(b *testing.B) {
 }
 
 // BenchmarkFabricForwarding measures end-to-end packet cost across the
-// two-tier fabric: host -> leaf -> spine -> leaf -> host.
+// two-tier fabric: host -> leaf -> spine -> leaf -> host. Packets come from
+// the network's pool, as they do in real runs, so the steady state recycles
+// instead of allocating.
 func BenchmarkFabricForwarding(b *testing.B) {
 	eng := sim.NewEngine()
 	net := BuildLeafSpine(eng, 2, 2, 2, TopoConfig{
@@ -63,7 +65,8 @@ func BenchmarkFabricForwarding(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p := dataPkt(uint64(i), 1538, true)
+		p := net.Pool.Get()
+		p.Type, p.Flow, p.WireSize, p.Scheduled = Data, uint64(i), 1538, true
 		p.Src, p.Dst, p.PathID = 0, 3, uint32(i)
 		net.Hosts[0].Send(p)
 		if i%64 == 63 {
@@ -71,6 +74,59 @@ func BenchmarkFabricForwarding(b *testing.B) {
 		}
 	}
 	eng.Run()
+}
+
+// BenchmarkPortPath measures one port's enqueue -> serialize -> deliver
+// cycle in isolation — the allocation-regression reference (see
+// TestPortPathAllocs for the committed ceiling).
+func BenchmarkPortPath(b *testing.B) {
+	eng := sim.NewEngine()
+	pool := NewPacketPool()
+	host := &Host{ID: 0, Eng: eng, EP: nopEndpoint{}, Pool: pool}
+	pt := NewPort(eng, NewFIFO(DefaultBuffer), 100*sim.Gbps, 500*sim.Nanosecond, host, "bench")
+	pt.Pool = pool
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pool.Get()
+		p.Type, p.Flow, p.WireSize, p.Scheduled = Data, uint64(i), 1538, true
+		pt.Send(p)
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// portPathAllocCeiling is the committed allocation budget for the port path,
+// in average allocations per enqueue->deliver cycle. The steady state is
+// zero; the headroom absorbs engine free-list growth on unusual schedules.
+// Raising it is an allocation regression and needs a PR justifying why.
+const portPathAllocCeiling = 2.0
+
+// TestPortPathAllocs is the allocation regression gate: the steady-state
+// port path must stay under portPathAllocCeiling allocations per packet
+// (the pre-pooling baseline was 17).
+func TestPortPathAllocs(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := NewPacketPool()
+	host := &Host{ID: 0, Eng: eng, EP: nopEndpoint{}, Pool: pool}
+	pt := NewPort(eng, NewFIFO(DefaultBuffer), 100*sim.Gbps, 500*sim.Nanosecond, host, "gate")
+	pt.Pool = pool
+	var flow uint64
+	cycle := func() {
+		p := pool.Get()
+		flow++
+		p.Type, p.Flow, p.WireSize, p.Scheduled = Data, flow, 1538, true
+		pt.Send(p)
+		eng.Run()
+	}
+	// Warm the pool and the engine free-list before measuring.
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(1000, cycle); avg > portPathAllocCeiling {
+		t.Errorf("port path allocates %.2f objects per packet, ceiling %v", avg, portPathAllocCeiling)
+	}
 }
 
 type nopEndpoint struct{}

@@ -20,6 +20,7 @@ type Host struct {
 	Eng       *sim.Engine
 	NIC       *Port
 	EP        Endpoint
+	Pool      *PacketPool // releases delivered packets; nil is valid
 	HostDelay sim.Duration
 
 	RxPackets uint64
@@ -27,18 +28,33 @@ type Host struct {
 }
 
 // Receive implements Node: deliver to the endpoint after the host stack delay.
+// The delayed hop reuses the packet as its own event (see Packet.Fire).
 func (h *Host) Receive(p *Packet) {
 	h.RxPackets++
 	h.RxBytes += int64(p.WireSize)
-	if h.EP == nil {
-		return
-	}
 	if h.HostDelay > 0 {
-		h.Eng.After(h.HostDelay, func() { h.EP.Receive(p) })
+		p.next = (*hostStack)(h)
+		h.Eng.AfterHandler(h.HostDelay, p)
 		return
 	}
-	h.EP.Receive(p)
+	h.deliver(p)
 }
+
+// deliver hands the packet to the endpoint, then releases it: the endpoint
+// boundary terminates a delivered packet's life. Endpoints must not retain
+// the packet or alias its SegList past Receive.
+func (h *Host) deliver(p *Packet) {
+	if h.EP != nil {
+		h.EP.Receive(p)
+	}
+	h.Pool.Put(p)
+}
+
+// hostStack is the zero-state Node view of a Host that the delayed receive
+// path lands on after HostDelay.
+type hostStack Host
+
+func (h *hostStack) Receive(p *Packet) { (*Host)(h).deliver(p) }
 
 // Send stamps the packet's send time (if unset) and offers it to the NIC.
 func (h *Host) Send(p *Packet) {
@@ -60,14 +76,22 @@ type Switch struct {
 	Label     string
 }
 
-// Receive implements Node.
+// Receive implements Node. The pipeline-delay hop reuses the packet as its
+// own event (see Packet.Fire).
 func (s *Switch) Receive(p *Packet) {
 	if s.PipeDelay > 0 {
-		s.Eng.After(s.PipeDelay, func() { s.forward(p) })
+		p.next = (*switchPipe)(s)
+		s.Eng.AfterHandler(s.PipeDelay, p)
 		return
 	}
 	s.forward(p)
 }
+
+// switchPipe is the zero-state Node view of a Switch that packets land on
+// after the switching-pipeline delay.
+type switchPipe Switch
+
+func (sp *switchPipe) Receive(p *Packet) { (*Switch)(sp).forward(p) }
 
 func (s *Switch) forward(p *Packet) {
 	if int(p.Dst) >= len(s.Table) || len(s.Table[p.Dst]) == 0 {
@@ -84,6 +108,11 @@ type Network struct {
 	Eng      *sim.Engine
 	Hosts    []*Host
 	Switches []*Switch
+
+	// Pool recycles packets for this network; one pool per run (the
+	// parallel experiment executor builds one Network, and thus one pool,
+	// per simulation). Topology builders attach it to every host and port.
+	Pool *PacketPool
 
 	// HostRate is the edge link rate (hosts' NIC rate).
 	HostRate sim.Rate
@@ -121,9 +150,24 @@ func (n *Network) AllPorts() []*Port {
 	return ps
 }
 
+// attachPool wires one PacketPool into every packet-terminating element of
+// the network: hosts (endpoint delivery) and all ports (qdisc drops).
+func (n *Network) attachPool(pp *PacketPool) {
+	n.Pool = pp
+	for _, h := range n.Hosts {
+		h.Pool = pp
+		h.NIC.Pool = pp
+	}
+	for _, s := range n.Switches {
+		for _, pt := range s.Ports {
+			pt.Pool = pp
+		}
+	}
+}
+
 // DropTotals aggregates qdisc drop counters across the given ports.
-func DropTotals(ports []*Port) [4]uint64 {
-	var tot [4]uint64
+func DropTotals(ports []*Port) [NumDropReasons]uint64 {
+	var tot [NumDropReasons]uint64
 	for _, pt := range ports {
 		if dc, ok := dropCounterOf(pt.Q); ok {
 			for i, v := range dc.Drops {

@@ -118,8 +118,30 @@ type Packet struct {
 	Meta int64
 
 	// SegList carries segment indices on Resend requests — the simulator's
-	// stand-in for the SACK blocks a real header would encode.
+	// stand-in for the SACK blocks a real header would encode. Receivers must
+	// copy it, never alias it: the backing array is reused when the packet is
+	// recycled through a PacketPool.
 	SegList []int32
+
+	// next is the in-flight delivery target: the port (or switch pipeline,
+	// or host stack) that put the packet "on the wire" records where it lands
+	// so the packet itself can serve as the delivery event. A packet is in
+	// flight toward at most one node at a time, so one slot suffices.
+	next Node
+
+	// pooled marks a packet currently sitting in a PacketPool free-list;
+	// Put on an already-pooled packet is the double-free bug the audit layer
+	// reports as a structured violation.
+	pooled bool
+}
+
+// Fire implements sim.Handler: deliver the packet to the recorded in-flight
+// target. Scheduling the packet itself as the event removes the per-hop
+// closure allocation that used to dominate the port path.
+func (p *Packet) Fire() {
+	dst := p.next
+	p.next = nil
+	dst.Receive(p)
 }
 
 // String renders a compact human-readable summary, for traces and tests.

@@ -1,0 +1,131 @@
+package netem
+
+import "testing"
+
+func TestPoolRecyclesAndResets(t *testing.T) {
+	pp := NewPacketPool()
+	p := pp.Get()
+	p.Type, p.Flow, p.Seq, p.WireSize = Data, 7, 42, 1538
+	p.SegList = append(p.SegList, 1, 2, 3)
+	pp.Put(p)
+	q := pp.Get()
+	if q != p {
+		t.Fatal("pool did not recycle the released packet")
+	}
+	if q.Type != 0 || q.Flow != 0 || q.Seq != 0 || q.WireSize != 0 || q.pooled {
+		t.Fatalf("recycled packet not reset: %+v", q)
+	}
+	if len(q.SegList) != 0 || cap(q.SegList) < 3 {
+		t.Fatalf("SegList should be truncated but keep capacity: len=%d cap=%d",
+			len(q.SegList), cap(q.SegList))
+	}
+	st := pp.Stats()
+	if st.Allocated != 1 || st.Gets != 2 || st.Puts != 1 || st.Live != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolDoublePutRejected(t *testing.T) {
+	pp := NewPacketPool()
+	p := pp.Get()
+	pp.Put(p)
+	pp.Put(p) // must not corrupt the free-list
+	if st := pp.Stats(); st.DoublePuts != 1 || st.InPool != 1 {
+		t.Fatalf("stats = %+v, want 1 double-Put and 1 pooled packet", st)
+	}
+	if err := pp.CheckCoherence(); err == nil {
+		t.Fatal("CheckCoherence should report the double-Put")
+	}
+	if q := pp.Get(); q != p {
+		t.Fatal("free-list corrupted by the duplicate Put")
+	}
+	if q := pp.Get(); q == p {
+		t.Fatal("the same packet was handed out twice")
+	}
+}
+
+func TestPoolNilSafety(t *testing.T) {
+	var pp *PacketPool
+	p := pp.Get()
+	if p == nil {
+		t.Fatal("nil pool must still produce packets")
+	}
+	pp.Put(p) // no-op
+	if pp.Live() != 0 || pp.Disabled() {
+		t.Fatal("nil pool accessors should be inert")
+	}
+	if err := pp.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDisable(t *testing.T) {
+	pp := NewPacketPool()
+	pp.Put(pp.Get())
+	pp.Disable()
+	p := pp.Get()
+	pp.Put(p)
+	if q := pp.Get(); q == p {
+		t.Fatal("disabled pool recycled a packet")
+	}
+	if err := pp.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	st := pp.Stats()
+	if st.InPool != 0 || st.Allocated != 3 {
+		t.Fatalf("stats = %+v, want empty free-list and 3 allocations", st)
+	}
+}
+
+func TestPoolCoherence(t *testing.T) {
+	pp := NewPacketPool()
+	var live []*Packet
+	for i := 0; i < 10; i++ {
+		live = append(live, pp.Get())
+	}
+	for _, p := range live[:6] {
+		pp.Put(p)
+	}
+	pp.Get() // recycle one
+	if err := pp.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the free-list behind the pool's back: the identity must break.
+	pp.free = pp.free[:len(pp.free)-1]
+	if err := pp.CheckCoherence(); err == nil {
+		t.Fatal("free-list corruption not detected")
+	}
+}
+
+type recordingObserver struct {
+	gets, fresh, puts, dups int
+}
+
+func (o *recordingObserver) PoolGet(_ *Packet, fresh bool) {
+	o.gets++
+	if fresh {
+		o.fresh++
+	}
+}
+
+func (o *recordingObserver) PoolPut(_ *Packet, firstPut bool) {
+	if firstPut {
+		o.puts++
+	} else {
+		o.dups++
+	}
+}
+
+func TestPoolObserverSeesEveryTransfer(t *testing.T) {
+	pp := NewPacketPool()
+	obs := &recordingObserver{}
+	pp.SetObserver(obs)
+	p := pp.Get()
+	pp.Put(p)
+	pp.Put(p) // duplicate: p is still in the free-list
+	q := pp.Get()
+	pp.Put(q)
+	if obs.gets != 2 || obs.fresh != 1 || obs.puts != 2 || obs.dups != 1 {
+		t.Fatalf("observer saw %+v", obs)
+	}
+}

@@ -10,20 +10,45 @@ type Node interface {
 // Port is a unidirectional output port: a queueing discipline feeding a
 // serializer at the link rate, followed by a fixed propagation delay to the
 // destination node. Ports never reorder what their qdisc hands them.
+//
+// The serialization hot path schedules no closures: the tx-done and wake-up
+// events dispatch through pointer-cast views of the port itself, and the
+// delivery event is the packet (see Packet.Fire).
 type Port struct {
 	Eng   *sim.Engine
 	Q     Qdisc
 	Rate  sim.Rate
 	Delay sim.Duration
 	Dst   Node
-	Label string // e.g. "leaf3->spine1", for diagnostics
+	Pool  *PacketPool // releases dropped packets; nil is valid (no recycling)
+	Label string      // e.g. "leaf3->spine1", for diagnostics
 
-	busy bool
-	wake *sim.Event
+	busy   bool
+	wake   sim.Handle
+	wakeAt sim.Time
 
 	// Counters.
 	TxPackets uint64
 	TxBytes   int64
+}
+
+// portTxDone and portWake are zero-state Handler views of a Port: casting
+// the port pointer selects which Fire runs, so scheduling either event
+// allocates nothing.
+type portTxDone Port
+
+func (d *portTxDone) Fire() {
+	pt := (*Port)(d)
+	pt.busy = false
+	pt.kick()
+}
+
+type portWake Port
+
+func (w *portWake) Fire() {
+	pt := (*Port)(w)
+	pt.wake = sim.Handle{}
+	pt.kick()
 }
 
 // NewPort constructs a port. The qdisc, rate and destination must be set.
@@ -31,10 +56,14 @@ func NewPort(eng *sim.Engine, q Qdisc, rate sim.Rate, delay sim.Duration, dst No
 	return &Port{Eng: eng, Q: q, Rate: rate, Delay: delay, Dst: dst, Label: label}
 }
 
-// Send offers a packet to the port. The qdisc may drop it.
+// Send offers a packet to the port. If the qdisc drops it, the port
+// terminates the packet's life and releases it to the pool — drop hooks and
+// tracing run inside Enqueue, before the release.
 func (pt *Port) Send(p *Packet) {
 	if pt.Q.Enqueue(p, pt.Eng.Now()) {
 		pt.kick()
+	} else {
+		pt.Pool.Put(p)
 	}
 }
 
@@ -51,32 +80,24 @@ func (pt *Port) kick() {
 		if w == sim.MaxTime {
 			return
 		}
-		if pt.wake != nil && !pt.wake.Canceled() && pt.wake.Time() <= w && pt.wake.Time() > now {
+		if pt.wake.Pending() && pt.wakeAt <= w && pt.wakeAt > now {
 			return // an earlier or equal wake-up is already pending
 		}
-		if pt.wake != nil {
-			pt.wake.Cancel()
-		}
+		pt.wake.Cancel()
 		if w <= now {
 			w = now + 1 // defensive: never busy-loop at the same instant
 		}
-		pt.wake = pt.Eng.At(w, func() {
-			pt.wake = nil
-			pt.kick()
-		})
+		pt.wakeAt = w
+		pt.wake = pt.Eng.AtHandler(w, (*portWake)(pt))
 		return
 	}
 	pt.busy = true
 	pt.TxPackets++
 	pt.TxBytes += int64(p.WireSize)
 	tx := sim.TxTime(p.WireSize, pt.Rate)
-	pt.Eng.After(tx, func() {
-		pt.busy = false
-		pt.kick()
-	})
-	pt.Eng.After(tx+pt.Delay, func() {
-		pt.Dst.Receive(p)
-	})
+	pt.Eng.AfterHandler(tx, (*portTxDone)(pt))
+	p.next = pt.Dst
+	pt.Eng.AfterHandler(tx+pt.Delay, p)
 }
 
 // Backlog reports the qdisc occupancy.

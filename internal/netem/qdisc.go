@@ -13,9 +13,22 @@ const (
 	DropSelective                    // Aeolus selective dropping (unscheduled over threshold)
 	DropCreditOver                   // ExpressPass credit queue overflow
 	DropTrimFail                     // NDP control queue full, trimmed header lost
+
+	numDropReasons // sentinel: must stay last
 )
 
+// NumDropReasons is the number of distinct DropReason values; every
+// by-reason counter array is sized from it.
+const NumDropReasons = int(numDropReasons)
+
 var dropReasonNames = [...]string{"tail", "selective", "credit", "trim-fail"}
+
+// Compile-time guard: dropReasonNames must name every DropReason. Each line
+// overflows uint (a compile error) if one side lags the other.
+const (
+	_ = uint(NumDropReasons - len(dropReasonNames))
+	_ = uint(len(dropReasonNames) - NumDropReasons)
+)
 
 // String names the drop reason.
 func (r DropReason) String() string {
@@ -62,7 +75,7 @@ type Qdisc interface {
 // DropCounter tallies drops by reason; embed it in qdisc implementations.
 type DropCounter struct {
 	hook  DropHook
-	Drops [4]uint64 // indexed by DropReason
+	Drops [NumDropReasons]uint64 // indexed by DropReason
 }
 
 // SetDropHook installs the observer.

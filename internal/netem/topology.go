@@ -91,6 +91,7 @@ func BuildSingleSwitch(eng *sim.Engine, n int, cfg TopoConfig) *Network {
 		net.Hosts = append(net.Hosts, h)
 	}
 	net.BaseRTT = baseRTT(&cfg, []sim.Rate{cfg.HostRate, cfg.HostRate}, 1)
+	net.attachPool(NewPacketPool())
 	return net
 }
 
@@ -161,6 +162,7 @@ func BuildLeafSpine(eng *sim.Engine, nSpine, nLeaf, hostsPerLeaf int, cfg TopoCo
 	net.Switches = append(net.Switches, leaves...)
 	net.Switches = append(net.Switches, spines...)
 	net.BaseRTT = baseRTT(&cfg, []sim.Rate{cfg.HostRate, core, core, cfg.HostRate}, 3)
+	net.attachPool(NewPacketPool())
 	return net
 }
 
@@ -285,5 +287,6 @@ func BuildFatTree3(eng *sim.Engine, shape FatTreeShape, cfg TopoConfig) *Network
 	net.Switches = append(net.Switches, spines...)
 	net.BaseRTT = baseRTT(&cfg,
 		[]sim.Rate{cfg.HostRate, core, core, core, core, cfg.HostRate}, 5)
+	net.attachPool(NewPacketPool())
 	return net
 }

@@ -15,19 +15,55 @@ func BenchmarkEngineSchedule(b *testing.B) {
 	e.Run()
 }
 
+// benchTick is a trivial Handler for measuring closure-free dispatch.
+type benchTick struct{ n int }
+
+func (t *benchTick) Fire() { t.n++ }
+
+// BenchmarkEngineScheduleHandler measures the closure-free Handler path:
+// schedule + fire with zero environment capture.
+func BenchmarkEngineScheduleHandler(b *testing.B) {
+	e := NewEngine()
+	var tick benchTick
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.AtHandler(e.Now()+Time(i%1000), &tick)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
 // BenchmarkEngineTimerChurn measures the cancel-heavy pattern transports
-// use for retransmission timers.
+// used for retransmission timers before Timer existed.
 func BenchmarkEngineTimerChurn(b *testing.B) {
 	e := NewEngine()
 	b.ReportAllocs()
-	var pending *Event
+	var pending Handle
 	for i := 0; i < b.N; i++ {
-		if pending != nil {
-			pending.Cancel()
-		}
+		pending.Cancel()
 		pending = e.At(e.Now()+1000, func() {})
 		if i%256 == 255 {
-			e.RunUntil(e.Now() + 10)
+			// Advance past the armed horizon so canceled events drain and
+			// recycle; lazy cancellation reclaims only at the timestamp.
+			e.RunUntil(e.Now() + 2000)
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkTimerReset measures the rearmable-timer replacement for the
+// cancel-and-reallocate churn pattern.
+func BenchmarkTimerReset(b *testing.B) {
+	e := NewEngine()
+	var tm Timer
+	tm.Init(e, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(1000)
+		if i%256 == 255 {
+			e.RunUntil(e.Now() + 2000)
 		}
 	}
 	e.Run()

@@ -5,34 +5,75 @@ import (
 	"fmt"
 )
 
-// Event is a scheduled callback. Holding the pointer returned by At/After
-// allows the caller to Cancel the event before it fires (a timer).
+// Handler is the allocation-free alternative to scheduling a closure: an
+// object implementing Fire is dispatched directly when its event comes due.
+// Hot-path callers (port serialization, packet delivery, timers) implement
+// Handler on long-lived objects so that scheduling captures no environment.
+type Handler interface{ Fire() }
+
+// Event is a scheduled callback. Events are owned by the engine and recycled
+// through a free-list once they fire or their cancellation is drained;
+// callers refer to them only through the generation-checked Handle returned
+// by At/After, never by raw pointer.
 type Event struct {
 	time     Time
 	seq      uint64
 	fn       func()
+	h        Handler
 	eng      *Engine
-	index    int // position in the heap, -1 once fired or canceled
+	index    int    // position in the heap, -1 once fired or canceled
+	gen      uint32 // bumped each time the event is (re)issued
 	canceled bool
+	fired    bool
 }
 
-// Time returns the instant the event is (or was) scheduled to fire.
-func (e *Event) Time() Time { return e.time }
+// Handle is a value-type reference to a scheduled event. It stays truthful
+// across event recycling: once the underlying Event object is reissued for a
+// later scheduling, the generation no longer matches and every method on the
+// stale handle becomes an inert no-op. The zero Handle refers to nothing.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// valid reports whether the handle still refers to the scheduling it was
+// issued for (the underlying object has not been reissued).
+func (h Handle) valid() bool { return h.ev != nil && h.ev.gen == h.gen }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op. The event stays in the scheduling heap
-// until its timestamp is reached (canceling is O(1), not a heap removal),
-// but Pending no longer counts it.
-func (e *Event) Cancel() {
-	if e.canceled {
+// Time returns the instant the event is (or was) scheduled to fire, or zero
+// for a stale or empty handle.
+func (h Handle) Time() Time {
+	if !h.valid() {
+		return 0
+	}
+	return h.ev.time
+}
+
+// Pending reports whether the event is still waiting to fire.
+func (h Handle) Pending() bool {
+	return h.valid() && !h.ev.fired && !h.ev.canceled
+}
+
+// Fired reports whether the event ran. A fired event reports Fired even if
+// Cancel was called afterwards — cancellation cannot rewrite history.
+func (h Handle) Fired() bool { return h.valid() && h.ev.fired }
+
+// Canceled reports whether the event was canceled before it fired.
+func (h Handle) Canceled() bool {
+	return h.valid() && h.ev.canceled && !h.ev.fired
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired event,
+// an already-canceled event, or through a stale handle is a no-op. The event
+// stays in the scheduling heap until its timestamp is reached (canceling is
+// O(1), not a heap removal), but Pending no longer counts it.
+func (h Handle) Cancel() {
+	if !h.valid() || h.ev.fired || h.ev.canceled {
 		return
 	}
-	e.canceled = true
-	if e.index >= 0 && e.eng != nil {
-		e.eng.canceledLive++
+	h.ev.canceled = true
+	if h.ev.index >= 0 && h.ev.eng != nil {
+		h.ev.eng.canceledLive++
 	}
 }
 
@@ -76,6 +117,12 @@ type Engine struct {
 	fired   uint64
 	stopped bool
 
+	// free holds resolved Event objects awaiting reissue; allocs counts how
+	// many Event objects the engine ever created, so the steady-state churn
+	// rate is observable (allocs stops growing once the pool warms up).
+	free   []*Event
+	allocs uint64
+
 	// canceledLive counts canceled events still sitting in the heap, so
 	// Pending can report live events without draining the heap.
 	canceledLive int
@@ -95,21 +142,71 @@ func (e *Engine) Pending() int { return len(e.heap) - e.canceledLive }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics —
-// that is always a logic error in a simulation.
-func (e *Engine) At(t Time, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+// EventAllocs returns how many Event objects the engine has allocated. In
+// steady state this stays flat while Fired keeps climbing: every resolved
+// event is recycled.
+func (e *Engine) EventAllocs() uint64 { return e.allocs }
+
+// acquire takes an event from the free-list (or allocates one) and stamps it
+// with a fresh generation, invalidating every handle to its previous life.
+func (e *Engine) acquire(t Time) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{eng: e}
+		e.allocs++
 	}
-	ev := &Event{time: t, seq: e.nextSeq, fn: fn, eng: e}
+	ev.gen++
+	ev.time = t
+	ev.seq = e.nextSeq
+	ev.canceled = false
+	ev.fired = false
 	e.nextSeq++
-	heap.Push(&e.heap, ev)
 	return ev
 }
 
+// release returns a resolved (fired or canceled-and-drained) event to the
+// free-list. The callback references are dropped so the engine does not pin
+// closures or handlers alive; the generation is NOT bumped here — it bumps on
+// reissue, so stale handles keep reading the event's final state truthfully
+// until the object is reused.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.h = nil
+	e.free = append(e.free, ev)
+}
+
+func (e *Engine) schedule(t Time, fn func(), h Handler) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.acquire(t)
+	ev.fn = fn
+	ev.h = h
+	heap.Push(&e.heap, ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics —
+// that is always a logic error in a simulation.
+func (e *Engine) At(t Time, fn func()) Handle { return e.schedule(t, fn, nil) }
+
 // After schedules fn to run d from now. A negative d panics.
-func (e *Engine) After(d Duration, fn func()) *Event {
-	return e.At(e.now.Add(d), fn)
+func (e *Engine) After(d Duration, fn func()) Handle {
+	return e.schedule(e.now.Add(d), fn, nil)
+}
+
+// AtHandler schedules h.Fire to run at absolute time t without allocating a
+// closure. Scheduling in the past panics.
+func (e *Engine) AtHandler(t Time, h Handler) Handle { return e.schedule(t, nil, h) }
+
+// AfterHandler schedules h.Fire to run d from now without allocating a
+// closure. A negative d panics.
+func (e *Engine) AfterHandler(d Duration, h Handler) Handle {
+	return e.schedule(e.now.Add(d), nil, h)
 }
 
 // Stop makes the current Run call return after the in-flight event completes.
@@ -122,9 +219,10 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 // CheckInvariants verifies the engine's internal bookkeeping: the canceled
 // counter stays within [0, heap size] and matches the canceled events actually
 // in the heap, every heap entry knows its own position, no live event is
-// scheduled before the current clock, and the heap order itself holds. It
-// returns nil when everything is coherent; the audit layer calls it at drain
-// time, and it is cheap enough to call in tests after every run.
+// scheduled before the current clock, the heap order itself holds, and the
+// free-list holds only resolved events that are out of the heap. It returns
+// nil when everything is coherent; the audit layer calls it at drain time,
+// and it is cheap enough to call in tests after every run.
 func (e *Engine) CheckInvariants() error {
 	if e.canceledLive < 0 || e.canceledLive > len(e.heap) {
 		return fmt.Errorf("sim: canceledLive %d outside [0, %d]", e.canceledLive, len(e.heap))
@@ -133,6 +231,9 @@ func (e *Engine) CheckInvariants() error {
 	for i, ev := range e.heap {
 		if ev.index != i {
 			return fmt.Errorf("sim: heap entry %d carries index %d", i, ev.index)
+		}
+		if ev.fired {
+			return fmt.Errorf("sim: fired event at heap position %d", i)
 		}
 		if ev.canceled {
 			canceled++
@@ -151,6 +252,23 @@ func (e *Engine) CheckInvariants() error {
 			return fmt.Errorf("sim: heap order violated between %d and parent %d", i, parent)
 		}
 	}
+	for i, ev := range e.free {
+		if ev == nil {
+			return fmt.Errorf("sim: nil entry %d in free-list", i)
+		}
+		if ev.index != -1 {
+			return fmt.Errorf("sim: free-list entry %d carries heap index %d", i, ev.index)
+		}
+		if ev.fn != nil || ev.h != nil {
+			return fmt.Errorf("sim: free-list entry %d retains a callback", i)
+		}
+		if !ev.fired && !ev.canceled {
+			return fmt.Errorf("sim: free-list entry %d was never resolved", i)
+		}
+	}
+	if uint64(len(e.free)) > e.allocs {
+		return fmt.Errorf("sim: free-list %d exceeds total allocations %d", len(e.free), e.allocs)
+	}
 	return nil
 }
 
@@ -167,10 +285,21 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		heap.Pop(&e.heap)
 		if next.canceled {
 			e.canceledLive--
+			e.release(next)
 			continue
 		}
 		e.now = next.time
-		next.fn()
+		next.fired = true
+		fn, h := next.fn, next.h
+		// Release before firing: the callback may immediately reschedule and
+		// reuse this very object (the common timer-rearm pattern), which is
+		// safe because reissue bumps the generation.
+		e.release(next)
+		if h != nil {
+			h.Fire()
+		} else {
+			fn()
+		}
 		e.fired++
 	}
 	if deadline != MaxTime && e.now < deadline && !e.stopped {

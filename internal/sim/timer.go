@@ -1,0 +1,70 @@
+package sim
+
+// Timer is a rearmable one-shot timer: a single long-lived object that can be
+// scheduled, canceled, and scheduled again without the cancel-and-reallocate
+// churn of calling Engine.After repeatedly. It implements Handler, so arming
+// it allocates no closure and reuses a pooled engine event; the only
+// allocation in its whole life is the callback captured at Init.
+//
+// A Timer is meant to be embedded by value in per-flow or per-port state:
+//
+//	type flow struct{ rto sim.Timer }
+//	f.rto.Init(eng, f.onTimeout)
+//	f.rto.Reset(3 * sim.Millisecond)
+//
+// The callback may call Reset to rearm the timer for a later deadline. A
+// Timer is single-shot: after firing it stays idle until rearmed. Not safe
+// for concurrent use, like the Engine itself.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	h   Handle
+}
+
+// NewTimer returns an armed-capable timer; it does not schedule anything.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	t := &Timer{}
+	t.Init(eng, fn)
+	return t
+}
+
+// Init binds the timer to an engine and callback. It must be called once
+// before the first Reset, and must not be called on an armed timer.
+func (t *Timer) Init(eng *Engine, fn func()) {
+	if t.h.Pending() {
+		panic("sim: Init on an armed Timer")
+	}
+	t.eng = eng
+	t.fn = fn
+}
+
+// Fire implements Handler; the engine calls it when the deadline arrives.
+// The pending handle is cleared before the callback runs so the callback can
+// immediately rearm the timer.
+func (t *Timer) Fire() {
+	t.h = Handle{}
+	t.fn()
+}
+
+// Reset (re)arms the timer to fire d from now, replacing any pending
+// deadline. A negative d panics.
+func (t *Timer) Reset(d Duration) { t.ResetAt(t.eng.Now().Add(d)) }
+
+// ResetAt (re)arms the timer to fire at absolute time at, replacing any
+// pending deadline. Scheduling in the past panics.
+func (t *Timer) ResetAt(at Time) {
+	t.h.Cancel()
+	t.h = t.eng.AtHandler(at, t)
+}
+
+// Stop cancels the pending deadline, if any. The timer can be rearmed later.
+func (t *Timer) Stop() {
+	t.h.Cancel()
+	t.h = Handle{}
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.h.Pending() }
+
+// When returns the pending deadline, or zero if the timer is idle.
+func (t *Timer) When() Time { return t.h.Time() }

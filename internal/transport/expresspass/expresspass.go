@@ -188,23 +188,33 @@ func (s *sender) host() *netem.Host { return s.p.env.Net.Host(s.f.Src) }
 
 func (s *sender) start() {
 	// Credit request first (in-order fabric: it precedes the burst).
-	s.host().Send(&netem.Packet{
-		Type: netem.CreditReq, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
-		WireSize: netem.HeaderSize, Scheduled: true, PathID: s.f.PathID,
-		Meta: s.f.Size,
-	})
+	pkt := s.p.env.Pkt()
+	pkt.Type = netem.CreditReq
+	pkt.Flow = s.f.ID
+	pkt.Src = s.f.Src
+	pkt.Dst = s.f.Dst
+	pkt.WireSize = netem.HeaderSize
+	pkt.Scheduled = true
+	pkt.PathID = s.f.PathID
+	pkt.Meta = s.f.Size
+	s.host().Send(pkt)
 	s.pc.Start()
 }
 
 func (s *sender) sendSeg(seg int, scheduled bool) {
 	payload := s.pc.Seg.SegLen(seg)
 	s.p.env.CountSent(payload)
-	s.host().Send(&netem.Packet{
-		Type: netem.Data, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
-		Seq: s.pc.Seg.Offset(seg), PayloadLen: payload,
-		WireSize: netem.WireSizeFor(payload), Scheduled: scheduled,
-		PathID: s.f.PathID,
-	})
+	pkt := s.p.env.Pkt()
+	pkt.Type = netem.Data
+	pkt.Flow = s.f.ID
+	pkt.Src = s.f.Src
+	pkt.Dst = s.f.Dst
+	pkt.Seq = s.pc.Seg.Offset(seg)
+	pkt.PayloadLen = payload
+	pkt.WireSize = netem.WireSizeFor(payload)
+	pkt.Scheduled = scheduled
+	pkt.PathID = s.f.PathID
+	s.host().Send(pkt)
 }
 
 func (s *sender) sendProbe() { s.host().Send(s.pc.MakeProbe()) }
@@ -234,10 +244,15 @@ func (s *sender) onCredit() {
 		s.p.WastedCredits++
 		if !s.stopSent && s.pc.Done() {
 			s.stopSent = true
-			s.host().Send(&netem.Packet{
-				Type: netem.CtrlOther, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
-				WireSize: netem.HeaderSize, Scheduled: true, PathID: s.f.PathID,
-			})
+			pkt := s.p.env.Pkt()
+			pkt.Type = netem.CtrlOther
+			pkt.Flow = s.f.ID
+			pkt.Src = s.f.Src
+			pkt.Dst = s.f.Dst
+			pkt.WireSize = netem.HeaderSize
+			pkt.Scheduled = true
+			pkt.PathID = s.f.PathID
+			s.host().Send(pkt)
 		}
 		return
 	}
@@ -258,25 +273,29 @@ type receiver struct {
 	tracker *transport.RxTracker
 	pending []int64 // data that arrived before the flow size was known
 
-	crediting  bool
-	creditSeq  int64
-	rate       float64 // credit rate as a fraction of the edge link
-	w          float64 // feedback aggressiveness
-	creditsIn  int     // credits sent in the current feedback window
-	prevSent   int     // credits sent in the previous window (lag compensation)
-	dataIn     int     // scheduled data received in the current window
-	creditEv   *sim.Event
-	feedbackEv *sim.Event
-	rtoEv      *sim.Event
-	lastData   sim.Time
-	done       bool
+	crediting bool
+	creditSeq int64
+	rate      float64 // credit rate as a fraction of the edge link
+	w         float64 // feedback aggressiveness
+	creditsIn int     // credits sent in the current feedback window
+	prevSent  int     // credits sent in the previous window (lag compensation)
+	dataIn    int     // scheduled data received in the current window
+	creditTm  sim.Timer
+	feedback  sim.Timer
+	rto       sim.Timer
+	lastData  sim.Time
+	done      bool
 }
 
 func newReceiver(p *Protocol, flowID uint64) *receiver {
-	return &receiver{
+	r := &receiver{
 		p: p, flowID: flowID,
 		rate: p.opts.InitRate, w: p.opts.Aggressiveness,
 	}
+	r.creditTm.Init(p.env.Eng, r.creditTick)
+	r.feedback.Init(p.env.Eng, r.feedbackTick)
+	r.rto.Init(p.env.Eng, r.rtoFire)
+	return r
 }
 
 func (r *receiver) hostID() netem.NodeID { return r.f.Dst }
@@ -337,11 +356,17 @@ func (r *receiver) accept(off int64) {
 }
 
 func (r *receiver) sendAck(seq int64, mark int64) {
-	r.host().Send(&netem.Packet{
-		Type: netem.Ack, Flow: r.flowID, Src: r.f.Dst, Dst: r.f.Src,
-		Seq: seq, WireSize: netem.HeaderSize, Scheduled: true,
-		PathID: r.f.PathID, Meta: mark,
-	})
+	pkt := r.p.env.Pkt()
+	pkt.Type = netem.Ack
+	pkt.Flow = r.flowID
+	pkt.Src = r.f.Dst
+	pkt.Dst = r.f.Src
+	pkt.Seq = seq
+	pkt.WireSize = netem.HeaderSize
+	pkt.Scheduled = true
+	pkt.PathID = r.f.PathID
+	pkt.Meta = mark
+	r.host().Send(pkt)
 }
 
 // sendAckDeferred queues the ACK when flow state is not yet established
@@ -364,10 +389,7 @@ func (r *receiver) maybeFinish() {
 	}
 	r.done = true
 	r.stopCrediting()
-	if r.rtoEv != nil {
-		r.rtoEv.Cancel()
-		r.rtoEv = nil
-	}
+	r.rto.Stop()
 	r.p.env.FlowDone(r.f)
 }
 
@@ -383,14 +405,8 @@ func (r *receiver) startCrediting() {
 
 func (r *receiver) stopCrediting() {
 	r.crediting = false
-	if r.creditEv != nil {
-		r.creditEv.Cancel()
-		r.creditEv = nil
-	}
-	if r.feedbackEv != nil {
-		r.feedbackEv.Cancel()
-		r.feedbackEv = nil
-	}
+	r.creditTm.Stop()
+	r.feedback.Stop()
 }
 
 // creditGap returns the pacing interval at the current rate with ±10%
@@ -405,85 +421,92 @@ func (r *receiver) creditGap() sim.Duration {
 	return sim.Duration(float64(gap) * jitter)
 }
 
-func (r *receiver) scheduleCredit() {
-	r.creditEv = r.p.env.Eng.After(r.creditGap(), func() {
-		if !r.crediting || r.done {
-			return
-		}
-		r.creditSeq++
-		r.creditsIn++
-		r.host().Send(&netem.Packet{
-			Type: netem.Credit, Flow: r.flowID, Src: r.f.Dst, Dst: r.f.Src,
-			Seq: r.creditSeq, WireSize: netem.CreditSize, Scheduled: true,
-			PathID: r.f.PathID,
-		})
-		r.scheduleCredit()
-	})
+func (r *receiver) scheduleCredit() { r.creditTm.Reset(r.creditGap()) }
+
+func (r *receiver) creditTick() {
+	if !r.crediting || r.done {
+		return
+	}
+	r.creditSeq++
+	r.creditsIn++
+	pkt := r.p.env.Pkt()
+	pkt.Type = netem.Credit
+	pkt.Flow = r.flowID
+	pkt.Src = r.f.Dst
+	pkt.Dst = r.f.Src
+	pkt.Seq = r.creditSeq
+	pkt.WireSize = netem.CreditSize
+	pkt.Scheduled = true
+	pkt.PathID = r.f.PathID
+	r.host().Send(pkt)
+	r.scheduleCredit()
 }
 
 // scheduleFeedback runs the ExpressPass credit feedback control once per
 // base RTT: raise the credit rate toward line rate while credit loss stays
 // under target, multiplicatively back off otherwise.
-func (r *receiver) scheduleFeedback() {
-	r.feedbackEv = r.p.env.Eng.After(r.p.env.Net.BaseRTT, func() {
-		if !r.crediting || r.done {
-			return
+func (r *receiver) scheduleFeedback() { r.feedback.Reset(r.p.env.Net.BaseRTT) }
+
+func (r *receiver) feedbackTick() {
+	if !r.crediting || r.done {
+		return
+	}
+	// Scheduled data lags the credits that triggered it by one RTT, so
+	// this window's arrivals are compared against the previous window's
+	// credits.
+	if r.prevSent > 0 {
+		loss := 1 - float64(r.dataIn)/float64(r.prevSent)
+		if loss < 0 {
+			loss = 0
 		}
-		// Scheduled data lags the credits that triggered it by one RTT, so
-		// this window's arrivals are compared against the previous window's
-		// credits.
-		if r.prevSent > 0 {
-			loss := 1 - float64(r.dataIn)/float64(r.prevSent)
-			if loss < 0 {
-				loss = 0
+		if loss <= r.p.opts.TargetLoss {
+			r.rate = (1-r.w)*r.rate + r.w*1.0
+			if loss == 0 {
+				r.w = (r.w + 0.5) / 2
 			}
-			if loss <= r.p.opts.TargetLoss {
-				r.rate = (1-r.w)*r.rate + r.w*1.0
-				if loss == 0 {
-					r.w = (r.w + 0.5) / 2
-				}
-			} else {
-				r.rate = r.rate * (1 - loss) * (1 + r.p.opts.TargetLoss)
-				r.w = maxF(r.w/2, 0.01)
-				if r.rate < r.p.opts.InitRate/4 {
-					r.rate = r.p.opts.InitRate / 4
-				}
+		} else {
+			r.rate = r.rate * (1 - loss) * (1 + r.p.opts.TargetLoss)
+			r.w = maxF(r.w/2, 0.01)
+			if r.rate < r.p.opts.InitRate/4 {
+				r.rate = r.p.opts.InitRate / 4
 			}
 		}
-		r.prevSent, r.creditsIn, r.dataIn = r.creditsIn, 0, 0
-		r.scheduleFeedback()
-	})
+	}
+	r.prevSent, r.creditsIn, r.dataIn = r.creditsIn, 0, 0
+	r.scheduleFeedback()
 }
 
 // armRTO arms the receiver-driven loss recovery: if the flow is incomplete
 // and no data arrived for a full RTO, request the missing segments and
 // resume crediting.
 func (r *receiver) armRTO() {
+	if r.p.opts.RTO > 0 {
+		r.rto.Reset(r.p.opts.RTO)
+	}
+}
+
+func (r *receiver) rtoFire() {
 	rto := r.p.opts.RTO
-	if rto <= 0 {
+	if r.done {
 		return
 	}
-	r.rtoEv = r.p.env.Eng.After(rto, func() {
-		r.rtoEv = nil
-		if r.done {
-			return
+	if r.p.env.Eng.Now().Sub(r.lastData) >= rto && r.tracker != nil {
+		r.f.Timeouts++
+		pkt := r.p.env.Pkt()
+		pkt.Type = netem.Resend
+		pkt.Flow = r.flowID
+		pkt.Src = r.f.Dst
+		pkt.Dst = r.f.Src
+		pkt.WireSize = netem.HeaderSize
+		pkt.Scheduled = true
+		pkt.PathID = r.f.PathID
+		for _, m := range r.tracker.Missing(r.tracker.Seg.NumSegs()) {
+			pkt.SegList = append(pkt.SegList, int32(m))
 		}
-		if r.p.env.Eng.Now().Sub(r.lastData) >= rto && r.tracker != nil {
-			r.f.Timeouts++
-			missing := r.tracker.Missing(r.tracker.Seg.NumSegs())
-			segs := make([]int32, 0, len(missing))
-			for _, m := range missing {
-				segs = append(segs, int32(m))
-			}
-			r.host().Send(&netem.Packet{
-				Type: netem.Resend, Flow: r.flowID, Src: r.f.Dst, Dst: r.f.Src,
-				WireSize: netem.HeaderSize, Scheduled: true, PathID: r.f.PathID,
-				SegList: segs,
-			})
-			r.startCrediting()
-		}
-		r.armRTO()
-	})
+		r.host().Send(pkt)
+		r.startCrediting()
+	}
+	r.armRTO()
 }
 
 func maxF(a, b float64) float64 {

@@ -249,12 +249,19 @@ func (s *sender) sendSeg(seg int, scheduled bool) {
 	if scheduled {
 		prio = s.grantPrio
 	}
-	s.host().Send(&netem.Packet{
-		Type: netem.Data, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
-		Seq: s.pc.Seg.Offset(seg), PayloadLen: payload,
-		WireSize: netem.WireSizeFor(payload), Scheduled: scheduled,
-		Prio: prio, PathID: s.p.pathID(s.f), Meta: s.f.Size,
-	})
+	pkt := s.p.env.Pkt()
+	pkt.Type = netem.Data
+	pkt.Flow = s.f.ID
+	pkt.Src = s.f.Src
+	pkt.Dst = s.f.Dst
+	pkt.Seq = s.pc.Seg.Offset(seg)
+	pkt.PayloadLen = payload
+	pkt.WireSize = netem.WireSizeFor(payload)
+	pkt.Scheduled = scheduled
+	pkt.Prio = prio
+	pkt.PathID = s.p.pathID(s.f)
+	pkt.Meta = s.f.Size
+	s.host().Send(pkt)
 }
 
 func (s *sender) sendProbe() {
@@ -339,7 +346,8 @@ type rxMsg struct {
 	schedBytes int64 // unique bytes delivered by scheduled packets
 	last       sim.Time
 	done       bool
-	rtoEv      *sim.Event
+	rx         *rxHost   // owning per-host scheduler, for the RTO path
+	rto        sim.Timer // receiver-side timeout recovery
 }
 
 func (m *rxMsg) remaining() int64 { return m.f.Size - m.tracker.Bytes() }
@@ -385,7 +393,8 @@ func (r *rxHost) receive(pkt *netem.Packet) {
 		if f == nil {
 			return
 		}
-		m = &rxMsg{f: f, tracker: transport.NewRxTracker(f.Size, r.p.env.MSS)}
+		m = &rxMsg{f: f, tracker: transport.NewRxTracker(f.Size, r.p.env.MSS), rx: r}
+		m.rto.Init(r.p.env.Eng, m.rtoFire)
 		r.msgs[pkt.Flow] = m
 		r.armRTO(m)
 	}
@@ -431,10 +440,7 @@ func (r *rxHost) receive(pkt *netem.Packet) {
 			// retransmission still in flight) must find the tombstone, not
 			// recreate the message and arm a ghost RTO.
 			m.done = true
-			if m.rtoEv != nil {
-				m.rtoEv.Cancel()
-				m.rtoEv = nil
-			}
+			m.rto.Stop()
 			r.p.env.FlowDone(m.f)
 		}
 	}
@@ -442,11 +448,17 @@ func (r *rxHost) receive(pkt *netem.Packet) {
 }
 
 func (r *rxHost) sendAck(m *rxMsg, seq int64, mark int64) {
-	r.hostNode().Send(&netem.Packet{
-		Type: netem.Ack, Flow: m.f.ID, Src: r.host, Dst: m.f.Src,
-		Seq: seq, WireSize: netem.HeaderSize, Scheduled: true,
-		PathID: m.f.PathID, Meta: mark,
-	})
+	pkt := r.p.env.Pkt()
+	pkt.Type = netem.Ack
+	pkt.Flow = m.f.ID
+	pkt.Src = r.host
+	pkt.Dst = m.f.Src
+	pkt.Seq = seq
+	pkt.WireSize = netem.HeaderSize
+	pkt.Scheduled = true
+	pkt.PathID = m.f.PathID
+	pkt.Meta = mark
+	r.hostNode().Send(pkt)
 }
 
 // schedule runs Homa's grant policy: the Overcommit messages with the least
@@ -486,11 +498,17 @@ func (r *rxHost) schedule() {
 		want := m.wantGrant(r.p.rttBytes)
 		if want > m.granted {
 			m.granted = want
-			r.hostNode().Send(&netem.Packet{
-				Type: netem.Grant, Flow: m.f.ID, Src: r.host, Dst: m.f.Src,
-				Seq: want, WireSize: netem.HeaderSize, Scheduled: true,
-				PathID: m.f.PathID, Meta: int64(prio),
-			})
+			g := r.p.env.Pkt()
+			g.Type = netem.Grant
+			g.Flow = m.f.ID
+			g.Src = r.host
+			g.Dst = m.f.Src
+			g.Seq = want
+			g.WireSize = netem.HeaderSize
+			g.Scheduled = true
+			g.PathID = m.f.PathID
+			g.Meta = int64(prio)
+			r.hostNode().Send(g)
 		}
 	}
 }
@@ -499,42 +517,46 @@ func (r *rxHost) schedule() {
 // arrived for a full RTO and the message is incomplete, request the missing
 // segments (counting a timeout against the flow).
 func (r *rxHost) armRTO(m *rxMsg) {
+	if r.p.opts.RTO > 0 {
+		m.rto.Reset(r.p.opts.RTO)
+	}
+}
+
+func (m *rxMsg) rtoFire() {
+	r := m.rx
 	rto := r.p.opts.RTO
-	if rto <= 0 {
+	if m.done {
 		return
 	}
-	m.rtoEv = r.p.env.Eng.After(rto, func() {
-		m.rtoEv = nil
-		if m.done {
-			return
+	if r.p.env.Eng.Now().Sub(m.last) >= rto {
+		m.f.Timeouts++
+		// Request every missing segment below the highest expectation:
+		// the unscheduled window plus whatever was granted.
+		expect := r.p.rttBytes
+		if m.granted > expect {
+			expect = m.granted
 		}
-		if r.p.env.Eng.Now().Sub(m.last) >= rto {
-			m.f.Timeouts++
-			// Request every missing segment below the highest expectation:
-			// the unscheduled window plus whatever was granted.
-			expect := r.p.rttBytes
-			if m.granted > expect {
-				expect = m.granted
-			}
-			if expect > m.f.Size {
-				expect = m.f.Size
-			}
-			n := m.tracker.Seg.SegOf(expect - 1)
-			missing := m.tracker.Missing(n + 1)
-			if len(missing) > 0 {
-				segs := make([]int32, 0, len(missing))
-				for _, s := range missing {
-					segs = append(segs, int32(s))
-				}
-				r.hostNode().Send(&netem.Packet{
-					Type: netem.Resend, Flow: m.f.ID, Src: r.host, Dst: m.f.Src,
-					WireSize: netem.HeaderSize, Scheduled: true,
-					PathID: m.f.PathID, SegList: segs,
-				})
-			}
+		if expect > m.f.Size {
+			expect = m.f.Size
 		}
-		r.armRTO(m)
-	})
+		n := m.tracker.Seg.SegOf(expect - 1)
+		missing := m.tracker.Missing(n + 1)
+		if len(missing) > 0 {
+			pkt := r.p.env.Pkt()
+			pkt.Type = netem.Resend
+			pkt.Flow = m.f.ID
+			pkt.Src = r.host
+			pkt.Dst = m.f.Src
+			pkt.WireSize = netem.HeaderSize
+			pkt.Scheduled = true
+			pkt.PathID = m.f.PathID
+			for _, s := range missing {
+				pkt.SegList = append(pkt.SegList, int32(s))
+			}
+			r.hostNode().Send(pkt)
+		}
+	}
+	r.armRTO(m)
 }
 
 // AuditInvariants checks every message's Aeolus state machine for internal

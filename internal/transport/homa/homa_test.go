@@ -318,7 +318,7 @@ func TestLateDuplicateDoesNotResurrectMessage(t *testing.T) {
 	if m == nil || !m.done {
 		t.Fatal("tombstone missing or not done")
 	}
-	if m.rtoEv != nil {
+	if m.rto.Pending() {
 		t.Fatal("ghost RTO armed by duplicate")
 	}
 	// And the engine must quiesce without generating fresh traffic.

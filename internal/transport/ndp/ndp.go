@@ -162,6 +162,7 @@ func (p *Protocol) rx(host netem.NodeID) *rxHost {
 	r := p.rxHosts[host]
 	if r == nil {
 		r = &rxHost{p: p, host: host, flows: make(map[uint64]*rxFlow)}
+		r.pullTm.Init(p.env.Eng, r.pacePull)
 		p.rxHosts[host] = r
 	}
 	return r
@@ -174,12 +175,13 @@ type sender struct {
 	pc *core.PreCredit
 
 	lastActivity sim.Time
-	rtoEv        *sim.Event
+	rto          sim.Timer
 	done         bool
 }
 
 func newSender(p *Protocol, f *transport.Flow) *sender {
 	s := &sender{p: p, f: f}
+	s.rto.Init(p.env.Eng, s.rtoFire)
 	opts := p.opts.Aeolus
 	opts.Enabled = true // the line-rate first window is NDP's own behaviour
 	s.pc = core.NewPreCredit(p.env, f, opts, p.env.Net.BDPBytes())
@@ -205,12 +207,12 @@ func (s *sender) start() {
 func (s *sender) sendSeg(seg int, scheduled bool) {
 	payload := s.pc.Seg.SegLen(seg)
 	s.p.env.CountSent(payload)
-	s.host().Send(&netem.Packet{
-		Type: netem.Data, Flow: s.f.ID, Src: s.f.Src, Dst: s.f.Dst,
-		Seq: s.pc.Seg.Offset(seg), PayloadLen: payload,
-		WireSize: netem.WireSizeFor(payload), Scheduled: scheduled,
-		PathID: s.p.pathID(s.f), Meta: s.f.Size,
-	})
+	p := s.p.env.Pkt()
+	p.Type, p.Flow, p.Src, p.Dst = netem.Data, s.f.ID, s.f.Src, s.f.Dst
+	p.Seq, p.PayloadLen = s.pc.Seg.Offset(seg), payload
+	p.WireSize, p.Scheduled = netem.WireSizeFor(payload), scheduled
+	p.PathID, p.Meta = s.p.pathID(s.f), s.f.Size
+	s.host().Send(p)
 }
 
 func (s *sender) sendProbe() {
@@ -246,31 +248,32 @@ func (s *sender) armRTO() {
 	if s.p.opts.RTO <= 0 {
 		return
 	}
-	s.rtoEv = s.p.env.Eng.After(s.p.opts.RTO, func() {
-		s.rtoEv = nil
-		if s.done {
-			return
-		}
-		if s.p.env.Eng.Now().Sub(s.lastActivity) >= s.p.opts.RTO {
-			// Re-queue everything transmitted but never ACKed — covering
-			// losses the trimming/probe machinery left no trace of — and
-			// retransmit immediately.
-			if n := s.pc.RequeueUnacked(); n > 0 {
-				s.f.Timeouts++
-				for {
-					seg, ok := s.pc.NextLost()
-					if !ok {
-						break
-					}
-					s.sendSeg(seg, true)
+	s.rto.Reset(s.p.opts.RTO)
+}
+
+func (s *sender) rtoFire() {
+	if s.done {
+		return
+	}
+	if s.p.env.Eng.Now().Sub(s.lastActivity) >= s.p.opts.RTO {
+		// Re-queue everything transmitted but never ACKed — covering
+		// losses the trimming/probe machinery left no trace of — and
+		// retransmit immediately.
+		if n := s.pc.RequeueUnacked(); n > 0 {
+			s.f.Timeouts++
+			for {
+				seg, ok := s.pc.NextLost()
+				if !ok {
+					break
 				}
-			} else if seg, class := s.pc.Next(); class != core.ClassNone {
-				s.f.Timeouts++
 				s.sendSeg(seg, true)
 			}
+		} else if seg, class := s.pc.Next(); class != core.ClassNone {
+			s.f.Timeouts++
+			s.sendSeg(seg, true)
 		}
-		s.armRTO()
-	})
+	}
+	s.armRTO()
 }
 
 // probeAckMark distinguishes a probe ACK from a per-packet data ACK.
@@ -299,6 +302,7 @@ type rxHost struct {
 
 	pullQ   []uint64 // flow IDs awaiting a pull slot
 	pacing  bool
+	pullTm  sim.Timer
 	pullSeq int64
 }
 
@@ -370,11 +374,11 @@ func (r *rxHost) servePulls(fl *rxFlow) {
 }
 
 func (r *rxHost) sendCtrl(fl *rxFlow, typ netem.PacketType, seq, mark int64) {
-	r.hostNode().Send(&netem.Packet{
-		Type: typ, Flow: fl.f.ID, Src: r.host, Dst: fl.f.Src,
-		Seq: seq, WireSize: netem.HeaderSize, Scheduled: true,
-		PathID: r.p.pathID(fl.f), Meta: mark,
-	})
+	p := r.p.env.Pkt()
+	p.Type, p.Flow, p.Src, p.Dst = typ, fl.f.ID, r.host, fl.f.Src
+	p.Seq, p.WireSize, p.Scheduled = seq, netem.HeaderSize, true
+	p.PathID, p.Meta = r.p.pathID(fl.f), mark
+	r.hostNode().Send(p)
 }
 
 // enqueuePull adds a pull slot for the flow and starts the pacer.
@@ -397,14 +401,14 @@ func (r *rxHost) pacePull() {
 	r.pullQ = r.pullQ[1:]
 	if fl := r.flows[flow]; fl != nil && !fl.done {
 		r.pullSeq++
-		r.hostNode().Send(&netem.Packet{
-			Type: netem.Pull, Flow: flow, Src: r.host, Dst: fl.f.Src,
-			Seq: r.pullSeq, WireSize: netem.HeaderSize, Scheduled: true,
-			PathID: r.p.pathID(fl.f),
-		})
+		p := r.p.env.Pkt()
+		p.Type, p.Flow, p.Src, p.Dst = netem.Pull, flow, r.host, fl.f.Src
+		p.Seq, p.WireSize, p.Scheduled = r.pullSeq, netem.HeaderSize, true
+		p.PathID = r.p.pathID(fl.f)
+		r.hostNode().Send(p)
 	}
 	gap := sim.TxTime(netem.JumboMTU, r.p.env.Net.HostRate)
-	r.p.env.Eng.After(gap, r.pacePull)
+	r.pullTm.Reset(gap)
 }
 
 // AuditInvariants checks every flow's Aeolus state machine for internal

@@ -72,6 +72,11 @@ func NewEnv(net *netem.Network, mss int) *Env {
 // Completed returns the number of flows that finished.
 func (e *Env) Completed() int { return e.completed }
 
+// Pkt returns a zeroed packet from the network's pool (or a fresh allocation
+// when the network has none). Protocols build every wire packet through it;
+// the fabric releases the packet when it terminates (delivery or drop).
+func (e *Env) Pkt() *netem.Packet { return e.Net.Pool.Get() }
+
 // IdealFCT returns the completion time of a flow of the given size alone on
 // its path: half the base RTT (the one-way latency) plus the serialization
 // of all its frames at the edge rate. This is the normalizer of the paper's
