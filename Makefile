@@ -1,15 +1,23 @@
 # Tier-1 gate: `make ci` must pass before every commit. It is what the
-# repository's CI runs: vet, full build, full test suite, the race detector
-# over the concurrency-bearing packages (the parallel experiment pool, the
-# event engine it drives, and the workload parser the fuzz target
-# exercises), the packet-conservation audit sweep, and the allocation
-# regression smoke (bench-smoke).
+# repository's CI runs: lint (gofmt + vet), full build, full test suite, the
+# race detector over the concurrency-bearing packages (the parallel
+# experiment pool, the event engine it drives, and the workload parser the
+# fuzz target exercises), the packet-conservation audit sweep, and the
+# allocation regression smoke (bench-smoke).
 
 GO ?= go
 
-.PHONY: ci vet build test race audit fuzz bench bench-smoke
+.PHONY: ci lint vet build test race audit fuzz bench bench-smoke
 
-ci: vet build test race audit bench-smoke
+ci: lint build test race audit bench-smoke
+
+# gofmt gate (fails listing any unformatted file) + go vet.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...

@@ -6,9 +6,15 @@
 // Usage:
 //
 //	aeolusbench -list
+//	aeolusbench -list-schemes
 //	aeolusbench -exp fig9
 //	aeolusbench -exp all -budget 512 -csv
 //	aeolusbench -exp all -quick -parallel 8
+//	aeolusbench -digest -scheme homa+aeolus
+//
+// -digest prints the golden-trace behavior digest for one scheme (or, with
+// no -scheme, for the whole catalogue) — the regeneration path for the
+// pinned table in internal/experiments/golden_test.go.
 //
 // The -budget flag (in MiB of offered traffic per run) trades fidelity for
 // time; -quick trims parameter sweeps for a fast pass. Independent
@@ -34,6 +40,9 @@ func main() {
 	var (
 		exp      = flag.String("exp", "", "experiment ID (fig1..fig18, table1..table5) or \"all\"")
 		list     = flag.Bool("list", false, "list available experiments")
+		listSch  = flag.Bool("list-schemes", false, "print the scheme catalogue and exit")
+		digest   = flag.Bool("digest", false, "print golden-trace digests (see -scheme)")
+		schemeID = flag.String("scheme", "", "with -digest: restrict to this scheme ID")
 		budget   = flag.Int64("budget", 150, "offered traffic per run, MiB")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "trim parameter sweeps")
@@ -49,6 +58,14 @@ func main() {
 		for _, e := range experiments.Registry {
 			fmt.Printf("%-8s %s\n", e.ID, e.Paper)
 		}
+		return
+	}
+	if *listSch {
+		fmt.Println(experiments.SchemeCatalog())
+		return
+	}
+	if *digest {
+		printDigests(*schemeID)
 		return
 	}
 	if *exp == "" {
@@ -119,6 +136,37 @@ func main() {
 	}
 	run(e)
 	finish()
+}
+
+// printDigests runs the golden trace (pool on and off) and prints the
+// behavior digest per scheme in the goldenDigests table format, for pasting
+// into internal/experiments/golden_test.go after an intentional behavior
+// change. An unknown -scheme gets the catalogue and exit 2.
+func printDigests(id string) {
+	ids := []string{id}
+	if id == "" {
+		ids = ids[:0]
+		for _, e := range experiments.Schemes() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		pooled, err := experiments.GoldenDigest(id, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bare, err := experiments.GoldenDigest(id, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if pooled != bare {
+			fmt.Fprintf(os.Stderr, "%s: pooling changes behavior: pool=%s nopool=%s\n", id, pooled, bare)
+			os.Exit(1)
+		}
+		fmt.Printf("%q: %q,\n", id, pooled)
+	}
 }
 
 // stderrIsTerminal reports whether stderr is an interactive terminal — the

@@ -21,6 +21,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 
 	"github.com/aeolus-transport/aeolus/internal/experiments"
 	"github.com/aeolus-transport/aeolus/internal/sim"
@@ -31,7 +32,8 @@ import (
 func main() {
 	var (
 		topo     = flag.String("topo", "leafspine", "topology: fattree, leafspine, single, incastfabric, micro")
-		scheme   = flag.String("scheme", "xpass+aeolus", "scheme ID (see aeolusbench docs)")
+		scheme   = flag.String("scheme", "xpass+aeolus", "scheme ID (-list-schemes for the catalogue)")
+		listSch  = flag.Bool("list-schemes", false, "print the scheme catalogue and exit")
 		wlName   = flag.String("workload", "", "workload name (WebServer, CacheFollower, WebSearch, DataMining) or CDF file path")
 		load     = flag.Float64("load", 0.4, "core load for the Poisson workload")
 		flows    = flag.Int("flows", 0, "flow count (0 = derive from -budget)")
@@ -50,7 +52,21 @@ func main() {
 		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
 		nopool   = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
 	)
+	opts := map[string]string{}
+	flag.Func("opt", "scheme option as key=value (repeatable; keys are per-scheme)", func(s string) error {
+		k, v, ok := strings.Cut(s, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("want key=value, got %q", s)
+		}
+		opts[k] = v
+		return nil
+	})
 	flag.Parse()
+
+	if *listSch {
+		fmt.Println(experiments.SchemeCatalog())
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Budget = *budget << 20
@@ -79,7 +95,7 @@ func main() {
 	specFor := func(runSeed uint64) experiments.RunSpec {
 		spec := experiments.RunSpec{
 			Scheme: experiments.SchemeSpec{
-				ID: *scheme, Workload: wl,
+				ID: *scheme, Workload: wl, Opts: opts,
 				RTO:       sim.Duration(*rtoUs) * sim.Microsecond,
 				Threshold: *thresh, Seed: runSeed,
 			},
@@ -97,6 +113,13 @@ func main() {
 			spec.TraceFlow = *trace
 		}
 		return spec
+	}
+
+	// Validate the scheme (ID and -opt values) up front: a bad spec gets the
+	// full catalogue on stderr instead of a panic mid-run.
+	if _, err := experiments.MakeScheme(specFor(*seed).Scheme); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	if *runs == 1 {

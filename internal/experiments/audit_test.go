@@ -10,23 +10,14 @@ import (
 	"github.com/aeolus-transport/aeolus/internal/workload"
 )
 
-// auditSweepSpecs builds one audited incast run per scheme in the
-// MakeScheme catalogue, on the 24-host microbenchmark switch.
+// auditSweepSpecs builds one audited incast run per registered scheme, on
+// the 24-host microbenchmark switch — the golden trace, so a newly
+// registered scheme is swept automatically.
 func auditSweepSpecs() []RunSpec {
-	ids := []string{"xpass", "xpass+aeolus", "xpass+oracle", "xpass+prio",
-		"homa", "homa+aeolus", "homa+oracle", "homa-eager", "ndp", "ndp+aeolus"}
-	specs := make([]RunSpec, 0, len(ids))
-	for _, id := range ids {
-		spec := SchemeSpec{ID: id, Workload: workload.WebServer, Seed: 3}
-		if id == "xpass+prio" {
-			spec.RTO = 10 * sim.Millisecond
-		}
-		specs = append(specs, RunSpec{
-			Scheme: spec, Topo: TopoMicro,
-			Incast: &workload.IncastConfig{Fanin: 5, Receiver: 0, MsgSize: 50_000,
-				Seed: 3, StartAt: sim.Time(10 * sim.Microsecond)},
-			Deadline: sim.Duration(sim.Second),
-		})
+	entries := Schemes()
+	specs := make([]RunSpec, 0, len(entries))
+	for _, e := range entries {
+		specs = append(specs, GoldenSpec(e.ID))
 	}
 	return specs
 }
@@ -80,7 +71,7 @@ func TestAuditSweepAllSchemes(t *testing.T) {
 func TestAuditCatchesInjectedLoss(t *testing.T) {
 	cfg := testConfig()
 	cfg.Audit = true
-	scheme := MakeScheme(SchemeSpec{ID: "xpass+aeolus", Seed: 3})
+	scheme := mustScheme(SchemeSpec{ID: "xpass+aeolus", Seed: 3})
 	net := buildTopo(TopoMicro, scheme.Factory(netem.DefaultBuffer), netem.WireSizeFor(scheme.MSS))
 	// Sabotage one switch port behind the auditor's back: every packet on
 	// the receiver downlink vanishes without a trace event or counter.

@@ -17,7 +17,7 @@ import (
 func microIncastRun(cfg Config, n int, threshold int64, msg int64,
 	instrument func(env *transport.Env, bottleneck *netem.Port)) (*transport.Env, *netem.Port) {
 
-	scheme := MakeScheme(SchemeSpec{ID: "xpass+aeolus", Threshold: threshold, Seed: cfg.Seed})
+	scheme := mustScheme(SchemeSpec{ID: "xpass+aeolus", Threshold: threshold, Seed: cfg.Seed})
 	net := buildTopo(TopoMicro, scheme.Factory(netem.DefaultBuffer), netem.WireSizeFor(scheme.MSS))
 	env := transport.NewEnv(net, scheme.MSS)
 	proto := scheme.New(env)
@@ -40,7 +40,7 @@ func microIncastRun(cfg Config, n int, threshold int64, msg int64,
 func microSustainedRun(cfg Config, n int, threshold int64, msg int64, rounds int,
 	instrument func(env *transport.Env, bottleneck *netem.Port)) {
 
-	scheme := MakeScheme(SchemeSpec{ID: "xpass+aeolus", Threshold: threshold, Seed: cfg.Seed})
+	scheme := mustScheme(SchemeSpec{ID: "xpass+aeolus", Threshold: threshold, Seed: cfg.Seed})
 	net := buildTopo(TopoMicro, scheme.Factory(netem.DefaultBuffer), netem.WireSizeFor(scheme.MSS))
 	env := transport.NewEnv(net, scheme.MSS)
 	proto := scheme.New(env)

@@ -190,20 +190,18 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
-func TestMakeSchemeUnknownPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown scheme did not panic")
-		}
-	}()
-	MakeScheme(SchemeSpec{ID: "bogus"})
+func TestMakeSchemeUnknownErrors(t *testing.T) {
+	if _, err := MakeScheme(SchemeSpec{ID: "bogus"}); err == nil {
+		t.Fatal("unknown scheme did not error")
+	} else if !strings.Contains(err.Error(), "xpass+aeolus") {
+		t.Fatalf("error does not carry the catalogue: %v", err)
+	}
 }
 
 func TestAllSchemesRunIncast(t *testing.T) {
 	// Every scheme in the catalogue must complete a small incast.
-	ids := []string{"xpass", "xpass+aeolus", "xpass+oracle", "xpass+prio",
-		"homa", "homa+aeolus", "homa+oracle", "homa-eager", "ndp", "ndp+aeolus"}
-	for _, id := range ids {
+	for _, e := range Schemes() {
+		id := e.ID
 		spec := SchemeSpec{ID: id, Workload: workload.WebServer, Seed: 3}
 		if id == "xpass+prio" {
 			spec.RTO = 10 * sim.Millisecond

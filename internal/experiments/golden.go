@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// The golden trace is the behavior-preservation anchor of the scheme
+// catalogue: one small, fixed incast on the 24-host microbenchmark switch,
+// run identically for every scheme. RunResult.Digest over that run pins the
+// complete observable behavior of a scheme — every flow's timing, every
+// drop counter, every meter — so refactors of the transport or scheme
+// plumbing can prove byte-identical behavior mechanically instead of
+// eyeballing summary statistics.
+
+// GoldenConfig returns the fixed configuration of the golden trace.
+func GoldenConfig() Config {
+	return Config{Budget: 24 << 20, MinFlows: 100, MaxFlows: 2000, Seed: 1}
+}
+
+// GoldenSpec returns the golden-trace run for one scheme: a 5-to-1 incast
+// of 50 KB messages on the micro topology, seeded identically for every
+// scheme (the Workload field feeds Homa's priority cutoffs; xpass+prio gets
+// the paper's 10 ms RTO it needs to terminate).
+func GoldenSpec(id string) RunSpec {
+	spec := SchemeSpec{ID: id, Workload: workload.WebServer, Seed: 3}
+	if id == "xpass+prio" {
+		spec.RTO = 10 * sim.Millisecond
+	}
+	return RunSpec{
+		Scheme: spec, Topo: TopoMicro,
+		Incast: &workload.IncastConfig{Fanin: 5, Receiver: 0, MsgSize: 50_000,
+			Seed: 3, StartAt: sim.Time(10 * sim.Microsecond)},
+		Deadline: sim.Duration(sim.Second),
+	}
+}
+
+// GoldenDigest runs the golden trace for a scheme and returns the RunResult
+// digest, with the packet pool on or off.
+func GoldenDigest(id string, pool bool) (string, error) {
+	spec := GoldenSpec(id)
+	if _, err := MakeScheme(spec.Scheme); err != nil {
+		return "", err
+	}
+	cfg := GoldenConfig()
+	cfg.DisablePool = !pool
+	r := Run(cfg, spec)
+	return r.Digest(), nil
+}
+
+// Digest returns a hex SHA-256 over every deterministic field of the result:
+// the scheme name, per-flow records in completion order, the aggregate
+// metrics, drop counters and transmission totals. Two runs digest equal iff
+// they are behaviorally indistinguishable at the RunResult level.
+func (r *RunResult) Digest() string {
+	h := sha256.New()
+	w := func(v any) { _ = binary.Write(h, binary.LittleEndian, v) }
+	h.Write([]byte(r.Scheme))
+	w(int64(r.Total))
+	w(int64(r.Completed))
+	w(int64(len(r.records)))
+	for _, rec := range r.records {
+		w(rec.ID)
+		w(rec.Size)
+		w(int64(rec.Start))
+		w(int64(rec.Finish))
+		w(int64(rec.IdealFCT))
+		w(int64(rec.Timeouts))
+	}
+	w(r.FirstRTTFrac)
+	w(r.Efficiency)
+	w(r.Goodput)
+	w(r.WindowGoodput)
+	w(int64(r.TimeoutFlows))
+	w(r.Drops)
+	w(r.TxPackets)
+	w(int64(r.baseRTT))
+	w(int64(len(r.SmallCDF)))
+	for _, pt := range r.SmallCDF {
+		w(pt[0])
+		w(pt[1])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+// goldenDigests pins the complete observable behavior of every scheme on the
+// golden trace (see golden.go). The values were captured before the rdbase /
+// scheme-catalogue refactor and prove, mechanically, that the refactor —
+// and any future one — preserves behavior bit for bit.
+//
+// If a change is *supposed* to alter behavior (a bug fix, a model change),
+// regenerate with `aeolusbench -digest` and update the table in the same
+// commit, explaining the change.
+var goldenDigests = map[string]string{
+	"xpass":        "5f651fc5b1168836b21579347e8d927f137bcae9dbfa378da133af9cdd5e2813",
+	"xpass+aeolus": "f7f71c0827ad5350cf5f63e45928029e9026b99eedd09c860bcaa5bc9bf5ccd4",
+	"xpass+oracle": "9648f7b028b679944841a49ed0f6ce348cf479635446dd4af97599ebf38c78fd",
+	"xpass+prio":   "a71fb50fd91f62c293f88ecf853444a30bd3f979afb7c8f6a210b9982ba2314a",
+	"homa":         "266e434546bc612b8418b5a1ee1e7782a2a5c988f8691970869d54c7b865fb58",
+	"homa+aeolus":  "eec23276e6baa1adb090795db3cce019e91d2beb26771a64dd622fd1d84984c4",
+	"homa+oracle":  "228ed0eeceb32d65ded973abb5a1b2d414b7986035fc8cb76cc5589fdaf5f310",
+	"homa-eager":   "896da01b7dd77ed74a22b4149a67edf1cf2fd9059abdb9c86b05259ef629f413",
+	"ndp":          "11a96cbba2585c2adc6285e179cce279fb37e6db3e6e47e013e743a4ef20f65d",
+	"ndp+aeolus":   "e9777d4b919b8dfe34ef57a9b07aacf5a421f68b3f6a69a65545e0babfda5e3f",
+}
+
+// TestGoldenDigests runs the golden trace for every pinned scheme, with the
+// packet pool on and off, and compares against the pre-refactor digests.
+func TestGoldenDigests(t *testing.T) {
+	for id, want := range goldenDigests {
+		id, want := id, want
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			pooled, err := GoldenDigest(id, true)
+			if err != nil {
+				t.Fatalf("GoldenDigest(%s, pool): %v", id, err)
+			}
+			bare, err := GoldenDigest(id, false)
+			if err != nil {
+				t.Fatalf("GoldenDigest(%s, nopool): %v", id, err)
+			}
+			if pooled != bare {
+				t.Errorf("pooling changes behavior: pool=%s nopool=%s", pooled, bare)
+			}
+			if pooled != want {
+				t.Errorf("golden digest drifted:\n got  %s\n want %s", pooled, want)
+			}
+		})
+	}
+}
+
+// TestGoldenCoversCatalogue keeps the pinned table in lockstep with the
+// registry: every registered scheme must have a golden digest, so new
+// schemes are pinned the day they are added.
+func TestGoldenCoversCatalogue(t *testing.T) {
+	for _, e := range Schemes() {
+		if _, ok := goldenDigests[e.ID]; !ok {
+			t.Errorf("scheme %s registered but not pinned in goldenDigests; run aeolusbench -digest -scheme %s", e.ID, e.ID)
+		}
+	}
+	if n := len(Schemes()); n != len(goldenDigests) {
+		t.Errorf("catalogue has %d schemes, goldenDigests pins %d", n, len(goldenDigests))
+	}
+}

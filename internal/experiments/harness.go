@@ -1,18 +1,13 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 
 	"github.com/aeolus-transport/aeolus/internal/audit"
-	"github.com/aeolus-transport/aeolus/internal/core"
 	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/stats"
 	"github.com/aeolus-transport/aeolus/internal/transport"
-	"github.com/aeolus-transport/aeolus/internal/transport/expresspass"
-	"github.com/aeolus-transport/aeolus/internal/transport/homa"
-	"github.com/aeolus-transport/aeolus/internal/transport/ndp"
 	"github.com/aeolus-transport/aeolus/internal/workload"
 )
 
@@ -163,168 +158,6 @@ func hostsIn(topo string) int {
 	}
 }
 
-// Scheme is one transport configuration under test: a display name, the
-// fabric discipline it programs, the MSS it uses, and its constructor.
-type Scheme struct {
-	Name    string
-	MSS     int
-	Factory func(buffer int64) netem.QdiscFactory
-	New     func(env *transport.Env) transport.Protocol
-}
-
-// SchemeSpec selects and parameterizes a scheme by ID.
-type SchemeSpec struct {
-	ID        string        // see Schemes() for the catalogue
-	Workload  *workload.CDF // Homa unscheduled priority cutoffs
-	RTO       sim.Duration  // 0 keeps the scheme's paper default
-	Threshold int64         // selective dropping threshold; 0 = paper default
-	Seed      uint64
-}
-
-// MakeScheme builds a Scheme from a spec. The catalogue:
-//
-//	xpass             ExpressPass (waits for credits in the first RTT)
-//	xpass+aeolus      ExpressPass with the Aeolus building block
-//	xpass+oracle      hypothetical ExpressPass (idealized pre-credit, §2.3)
-//	xpass+prio        ExpressPass + two shared-buffer priority queues with
-//	                  RTO-only recovery (§5.5; set RTO to 10ms or 20µs)
-//	homa              Homa over 8 priority queues (RTO 10ms default)
-//	homa+aeolus       Homa with Aeolus (single selective-dropping queue)
-//	homa+oracle       hypothetical Homa (no unscheduled interference, §2.3)
-//	homa-eager        Homa with an aggressive 20µs RTO (Table 1)
-//	ndp               NDP with switch trimming and per-packet spraying
-//	ndp+aeolus        NDP with selective dropping instead of trimming
-func MakeScheme(spec SchemeSpec) Scheme {
-	thresh := spec.Threshold
-	if thresh <= 0 {
-		thresh = core.DefaultThreshold
-	}
-	switch spec.ID {
-	case "xpass", "xpass+aeolus", "xpass+oracle", "xpass+prio":
-		opts := expresspass.DefaultOptions()
-		opts.Seed = spec.Seed
-		if spec.RTO > 0 {
-			opts.RTO = spec.RTO
-		}
-		name := "ExpressPass"
-		switch spec.ID {
-		case "xpass+aeolus":
-			opts.Aeolus = core.DefaultOptions()
-			opts.Aeolus.ThresholdBytes = thresh
-			name = "ExpressPass+Aeolus"
-		case "xpass+oracle":
-			opts.Aeolus = core.DefaultOptions()
-			name = "ExpressPass+IdealPreCredit"
-		case "xpass+prio":
-			opts.Aeolus = core.DefaultOptions()
-			opts.RTOOnly = true
-			name = fmt.Sprintf("ExpressPass+PrioQueue(RTO=%v)", opts.RTO)
-		}
-		factory := func(buffer int64) netem.QdiscFactory {
-			inner := expresspass.QdiscFactory(opts, buffer)
-			switch spec.ID {
-			case "xpass+oracle":
-				return wrapXPassData(func(sim.Rate) netem.Qdisc { return core.NewOraclePrio() })
-			case "xpass+prio":
-				return wrapXPassData(func(sim.Rate) netem.Qdisc { return core.NewBoundedPrio(buffer) })
-			default:
-				return inner
-			}
-		}
-		return Scheme{
-			Name: name, MSS: netem.MaxPayload, Factory: factory,
-			New: func(env *transport.Env) transport.Protocol {
-				return expresspass.New(env, opts)
-			},
-		}
-	case "homa", "homa+aeolus", "homa+oracle", "homa-eager":
-		opts := homa.DefaultOptions()
-		opts.Workload = spec.Workload
-		if spec.RTO > 0 {
-			opts.RTO = spec.RTO
-		}
-		name := "Homa"
-		switch spec.ID {
-		case "homa+aeolus":
-			opts.Aeolus = core.DefaultOptions()
-			opts.Aeolus.ThresholdBytes = thresh
-			name = "Homa+Aeolus"
-		case "homa+oracle":
-			name = "Homa+IdealFirstRTT"
-		case "homa-eager":
-			opts.RTO = 20 * sim.Microsecond
-			if spec.RTO > 0 {
-				opts.RTO = spec.RTO
-			}
-			name = "EagerHoma"
-		}
-		factory := func(buffer int64) netem.QdiscFactory {
-			if spec.ID == "homa+oracle" {
-				// The hypothetical Homa of §2.3: scheduled packets are never
-				// queued or dropped for lack of buffer. Homa's own priority
-				// structure with unbounded buffers realizes it — exactly the
-				// infinite-buffer assumption the paper notes in Homa's own
-				// simulator (§5.5).
-				return homa.QdiscFactory(opts, 0)
-			}
-			return homa.QdiscFactory(opts, buffer)
-		}
-		return Scheme{
-			Name: name, MSS: netem.MaxPayload, Factory: factory,
-			New: func(env *transport.Env) transport.Protocol {
-				return homa.New(env, opts)
-			},
-		}
-	case "ndp", "ndp+aeolus":
-		opts := ndp.DefaultOptions()
-		opts.Seed = spec.Seed
-		if spec.RTO > 0 {
-			opts.RTO = spec.RTO
-		}
-		name := "NDP"
-		if spec.ID == "ndp+aeolus" {
-			opts.Aeolus = core.DefaultOptions()
-			// Jumbo frames need a proportionally larger threshold: the
-			// paper's 4-packet intuition at NDP's 9 KB MTU.
-			if spec.Threshold > 0 {
-				opts.Aeolus.ThresholdBytes = spec.Threshold
-			} else {
-				opts.Aeolus.ThresholdBytes = 4 * netem.JumboMTU
-			}
-			name = "NDP+Aeolus"
-		}
-		return Scheme{
-			Name: name, MSS: ndp.MSS,
-			Factory: func(buffer int64) netem.QdiscFactory {
-				return ndp.QdiscFactory(opts, buffer)
-			},
-			New: func(env *transport.Env) transport.Protocol {
-				return ndp.New(env, opts)
-			},
-		}
-	default:
-		panic("experiments: unknown scheme " + spec.ID)
-	}
-}
-
-// wrapXPassData builds an ExpressPass fabric whose per-port data queue is
-// produced by mk (credit shaping is always retained; host NICs get the
-// scheduled-first unbounded queue).
-func wrapXPassData(mk func(sim.Rate) netem.Qdisc) netem.QdiscFactory {
-	return func(kind netem.PortKind, rate sim.Rate) netem.Qdisc {
-		var data netem.Qdisc
-		if kind == netem.HostNIC {
-			data = core.NewOraclePrio()
-		} else {
-			data = mk(rate)
-		}
-		return netem.NewXPassQdisc(netem.XPassQdiscConfig{
-			CreditRate: netem.CreditRateFor(rate),
-			Data:       data,
-		})
-	}
-}
-
 // RunSpec describes one simulation run.
 type RunSpec struct {
 	Scheme   SchemeSpec
@@ -385,7 +218,7 @@ func (r *RunResult) Records() []stats.FlowRecord { return r.records }
 
 // Run executes one simulation and collects the metrics.
 func Run(cfg Config, spec RunSpec) RunResult {
-	scheme := MakeScheme(spec.Scheme)
+	scheme := mustScheme(spec.Scheme)
 	buffer := spec.Buffer
 	if buffer <= 0 {
 		buffer = netem.DefaultBuffer

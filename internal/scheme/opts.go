@@ -1,0 +1,58 @@
+package scheme
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// Typed parsers for -opt key=value pass-through values. Each error names the
+// offending key so Build failures read like flag errors.
+
+// OptInt parses an integer option value.
+func OptInt(key, val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("option %s: %q is not an integer", key, val)
+	}
+	return n, nil
+}
+
+// OptInt64 parses a 64-bit integer option value (byte counts, thresholds).
+func OptInt64(key, val string) (int64, error) {
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("option %s: %q is not an integer", key, val)
+	}
+	return n, nil
+}
+
+// OptFloat parses a float option value.
+func OptFloat(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("option %s: %q is not a number", key, val)
+	}
+	return f, nil
+}
+
+// OptBool parses a boolean option value.
+func OptBool(key, val string) (bool, error) {
+	b, err := strconv.ParseBool(val)
+	if err != nil {
+		return false, fmt.Errorf("option %s: %q is not a boolean", key, val)
+	}
+	return b, nil
+}
+
+// OptDuration parses a Go-syntax duration ("20us", "10ms") into simulated
+// time.
+func OptDuration(key, val string) (sim.Duration, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("option %s: %q is not a duration (try 20us, 10ms)", key, val)
+	}
+	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond, nil
+}

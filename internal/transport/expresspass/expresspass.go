@@ -15,17 +15,21 @@
 // packets at line rate alongside the credit request, a probe trails the
 // burst, the receiver ACKs each unscheduled arrival, and first-RTT losses
 // are retransmitted through subsequent credits in the §3.3 priority order.
+//
+// The package is a policy layer over the shared receiver-driven substrate
+// (internal/transport/rdbase): rdbase owns the PreCredit binding, packet
+// construction and the RTO lifecycle; this file owns credit pacing and the
+// feedback control.
 package expresspass
 
 import (
-	"fmt"
 	"math/rand/v2"
-	"sort"
 
 	"github.com/aeolus-transport/aeolus/internal/core"
 	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/transport"
+	"github.com/aeolus-transport/aeolus/internal/transport/rdbase"
 )
 
 // Options configures ExpressPass.
@@ -99,8 +103,7 @@ type Protocol struct {
 	opts Options
 	rng  *rand.Rand
 
-	flows     map[uint64]*transport.Flow
-	senders   map[uint64]*sender
+	tbl       rdbase.Tables[sender]
 	receivers map[uint64]*receiver
 
 	// WastedCredits counts credits that arrived at a sender with nothing
@@ -113,8 +116,7 @@ func New(env *transport.Env, opts Options) *Protocol {
 	p := &Protocol{
 		env: env, opts: opts,
 		rng:       sim.NewRand(opts.Seed, 0xE9),
-		flows:     make(map[uint64]*transport.Flow),
-		senders:   make(map[uint64]*sender),
+		tbl:       rdbase.NewTables[sender](),
 		receivers: make(map[uint64]*receiver),
 	}
 	for _, h := range env.Net.Hosts {
@@ -133,9 +135,9 @@ func (p *Protocol) Name() string {
 
 // Start implements transport.Protocol.
 func (p *Protocol) Start(f *transport.Flow) {
-	p.flows[f.ID] = f
+	p.tbl.AddFlow(f)
 	s := newSender(p, f)
-	p.senders[f.ID] = s
+	p.tbl.AddSender(f.ID, s)
 	s.start()
 }
 
@@ -154,113 +156,62 @@ func (ep *endpoint) Receive(pkt *netem.Packet) {
 		}
 		r.receive(pkt)
 	case netem.Credit, netem.Ack, netem.Resend:
-		if s := p.senders[pkt.Flow]; s != nil {
+		if s := p.tbl.Sender(pkt.Flow); s != nil {
 			s.receive(pkt)
 		}
 	}
 }
 
-// sender is the per-flow sender state.
+// sender is the per-flow sender state: the rdbase substrate plus the
+// credit-stop handshake.
 type sender struct {
-	p  *Protocol
-	f  *transport.Flow
-	pc *core.PreCredit
+	rdbase.Sender
+	p *Protocol
 
 	stopSent bool
 }
 
 func newSender(p *Protocol, f *transport.Flow) *sender {
-	s := &sender{p: p, f: f}
-	s.pc = core.NewPreCredit(p.env, f, p.opts.Aeolus, p.env.Net.BDPBytes())
-	s.pc.SendSeg = s.sendSeg
+	s := &sender{p: p}
+	s.Init(p.env, f, p.opts.Aeolus, p.env.Net.BDPBytes())
 	if p.opts.RTOOnly {
 		// No probe, no selective ACKs: the burst is presumed delivered and
 		// losses surface only through receiver RTO resend requests.
-		s.pc.SendProbe = func() {}
-		s.pc.DisableUnackedSweep()
-	} else {
-		s.pc.SendProbe = s.sendProbe
+		s.DisableProbe()
 	}
 	return s
 }
 
-func (s *sender) host() *netem.Host { return s.p.env.Net.Host(s.f.Src) }
-
 func (s *sender) start() {
 	// Credit request first (in-order fabric: it precedes the burst).
-	pkt := s.p.env.Pkt()
-	pkt.Type = netem.CreditReq
-	pkt.Flow = s.f.ID
-	pkt.Src = s.f.Src
-	pkt.Dst = s.f.Dst
-	pkt.WireSize = netem.HeaderSize
-	pkt.Scheduled = true
-	pkt.PathID = s.f.PathID
-	pkt.Meta = s.f.Size
-	s.host().Send(pkt)
-	s.pc.Start()
+	rdbase.Ctrl(s.Env, s.Flow, netem.CreditReq,
+		s.Flow.Src, s.Flow.Dst, 0, s.Flow.Size, s.Flow.PathID)
+	s.Start()
 }
-
-func (s *sender) sendSeg(seg int, scheduled bool) {
-	payload := s.pc.Seg.SegLen(seg)
-	s.p.env.CountSent(payload)
-	pkt := s.p.env.Pkt()
-	pkt.Type = netem.Data
-	pkt.Flow = s.f.ID
-	pkt.Src = s.f.Src
-	pkt.Dst = s.f.Dst
-	pkt.Seq = s.pc.Seg.Offset(seg)
-	pkt.PayloadLen = payload
-	pkt.WireSize = netem.WireSizeFor(payload)
-	pkt.Scheduled = scheduled
-	pkt.PathID = s.f.PathID
-	s.host().Send(pkt)
-}
-
-func (s *sender) sendProbe() { s.host().Send(s.pc.MakeProbe()) }
 
 func (s *sender) receive(pkt *netem.Packet) {
 	switch pkt.Type {
 	case netem.Credit:
 		s.onCredit()
 	case netem.Ack:
-		if pkt.Meta == probeAckMark {
-			s.pc.OnProbeAck()
-		} else {
-			s.pc.OnAck(pkt.Seq)
-		}
+		s.OnAck(pkt)
 	case netem.Resend:
-		for _, seg := range pkt.SegList {
-			s.pc.ForceLost(int(seg))
-		}
+		s.ForceLost(pkt.SegList)
 		s.stopSent = false
 	}
 }
 
 func (s *sender) onCredit() {
-	s.pc.StopBurst()
-	seg, class := s.pc.Next()
-	if class == core.ClassNone {
+	s.PC.StopBurst()
+	if _, class := s.Spend(); class == core.ClassNone {
 		s.p.WastedCredits++
-		if !s.stopSent && s.pc.Done() {
+		if !s.stopSent && s.PC.Done() {
 			s.stopSent = true
-			pkt := s.p.env.Pkt()
-			pkt.Type = netem.CtrlOther
-			pkt.Flow = s.f.ID
-			pkt.Src = s.f.Src
-			pkt.Dst = s.f.Dst
-			pkt.WireSize = netem.HeaderSize
-			pkt.Scheduled = true
-			pkt.PathID = s.f.PathID
-			s.host().Send(pkt)
+			rdbase.Ctrl(s.Env, s.Flow, netem.CtrlOther,
+				s.Flow.Src, s.Flow.Dst, 0, 0, s.Flow.PathID)
 		}
-		return
 	}
-	s.sendSeg(seg, true)
 }
-
-// probeAckMark distinguishes a probe ACK from a per-packet data ACK.
-const probeAckMark = 1
 
 // receiver is the per-flow receiver state: reassembly, credit pacing with
 // feedback control, per-packet ACKs for unscheduled data, and RTO-based
@@ -268,9 +219,8 @@ const probeAckMark = 1
 type receiver struct {
 	p      *Protocol
 	flowID uint64
-	f      *transport.Flow
+	rx     rdbase.Rx
 
-	tracker *transport.RxTracker
 	pending []int64 // data that arrived before the flow size was known
 
 	crediting bool
@@ -282,9 +232,6 @@ type receiver struct {
 	dataIn    int     // scheduled data received in the current window
 	creditTm  sim.Timer
 	feedback  sim.Timer
-	rto       sim.Timer
-	lastData  sim.Time
-	done      bool
 }
 
 func newReceiver(p *Protocol, flowID uint64) *receiver {
@@ -292,15 +239,14 @@ func newReceiver(p *Protocol, flowID uint64) *receiver {
 		p: p, flowID: flowID,
 		rate: p.opts.InitRate, w: p.opts.Aggressiveness,
 	}
+	r.rx.Env = p.env
 	r.creditTm.Init(p.env.Eng, r.creditTick)
 	r.feedback.Init(p.env.Eng, r.feedbackTick)
-	r.rto.Init(p.env.Eng, r.rtoFire)
+	r.rx.RTO.Init(p.env.Eng, p.opts.RTO, r.rtoExpire)
 	return r
 }
 
-func (r *receiver) hostID() netem.NodeID { return r.f.Dst }
-
-func (r *receiver) host() *netem.Host { return r.p.env.Net.Host(r.f.Dst) }
+func (r *receiver) host() *netem.Host { return r.p.env.Net.Host(r.rx.Flow.Dst) }
 
 func (r *receiver) receive(pkt *netem.Packet) {
 	switch pkt.Type {
@@ -309,7 +255,7 @@ func (r *receiver) receive(pkt *netem.Packet) {
 		r.startCrediting()
 	case netem.Probe:
 		r.establish(pkt.Meta)
-		r.sendAck(pkt.Seq, probeAckMark)
+		r.rx.SendAck(pkt.Seq, rdbase.ProbeAckMark)
 	case netem.Data:
 		r.onData(pkt)
 	case netem.CtrlOther:
@@ -321,86 +267,66 @@ func (r *receiver) receive(pkt *netem.Packet) {
 
 // establish learns the flow size (idempotent) and replays early data.
 func (r *receiver) establish(size int64) {
-	if r.tracker != nil {
+	if r.rx.Tracker != nil {
 		return
 	}
-	r.f = r.p.flows[r.flowID]
-	r.tracker = transport.NewRxTracker(size, r.p.env.MSS)
+	r.rx.Flow = r.p.tbl.Flow(r.flowID)
+	r.rx.Tracker = transport.NewRxTracker(size, r.p.env.MSS)
 	for _, off := range r.pending {
-		r.accept(off)
+		r.rx.Accept(off)
 	}
 	r.pending = nil
 	r.maybeFinish()
 }
 
 func (r *receiver) onData(pkt *netem.Packet) {
-	r.lastData = r.p.env.Eng.Now()
+	r.rx.RTO.Touch()
 	if !pkt.Scheduled && r.p.opts.Aeolus.Enabled && !r.p.opts.RTOOnly {
 		r.sendAckDeferred(pkt.Seq, 0)
 	}
 	if pkt.Scheduled {
 		r.dataIn++
 	}
-	if r.tracker == nil {
+	if r.rx.Tracker == nil {
 		r.pending = append(r.pending, pkt.Seq)
 		return
 	}
-	r.accept(pkt.Seq)
+	r.rx.Accept(pkt.Seq)
 	r.maybeFinish()
-}
-
-func (r *receiver) accept(off int64) {
-	if n := r.tracker.Accept(off); n > 0 {
-		r.p.env.CountDelivered(n)
-	}
-}
-
-func (r *receiver) sendAck(seq int64, mark int64) {
-	pkt := r.p.env.Pkt()
-	pkt.Type = netem.Ack
-	pkt.Flow = r.flowID
-	pkt.Src = r.f.Dst
-	pkt.Dst = r.f.Src
-	pkt.Seq = seq
-	pkt.WireSize = netem.HeaderSize
-	pkt.Scheduled = true
-	pkt.PathID = r.f.PathID
-	pkt.Meta = mark
-	r.host().Send(pkt)
 }
 
 // sendAckDeferred queues the ACK when flow state is not yet established
 // (data raced ahead of the request — impossible on the in-order fabric, but
 // kept for robustness).
 func (r *receiver) sendAckDeferred(seq int64, mark int64) {
-	if r.f == nil {
-		if f := r.p.flows[r.flowID]; f != nil {
-			r.f = f
+	if r.rx.Flow == nil {
+		if f := r.p.tbl.Flow(r.flowID); f != nil {
+			r.rx.Flow = f
 		} else {
 			return
 		}
 	}
-	r.sendAck(seq, mark)
+	r.rx.SendAck(seq, mark)
 }
 
 func (r *receiver) maybeFinish() {
-	if r.done || r.tracker == nil || !r.tracker.Complete() {
+	if r.rx.Done || r.rx.Tracker == nil || !r.rx.Complete() {
 		return
 	}
-	r.done = true
+	r.rx.Done = true
 	r.stopCrediting()
-	r.rto.Stop()
-	r.p.env.FlowDone(r.f)
+	r.rx.RTO.Stop()
+	r.p.env.FlowDone(r.rx.Flow)
 }
 
 func (r *receiver) startCrediting() {
-	if r.crediting || r.done {
+	if r.crediting || r.rx.Done {
 		return
 	}
 	r.crediting = true
 	r.scheduleCredit()
 	r.scheduleFeedback()
-	r.armRTO()
+	r.rx.RTO.Arm()
 }
 
 func (r *receiver) stopCrediting() {
@@ -424,7 +350,7 @@ func (r *receiver) creditGap() sim.Duration {
 func (r *receiver) scheduleCredit() { r.creditTm.Reset(r.creditGap()) }
 
 func (r *receiver) creditTick() {
-	if !r.crediting || r.done {
+	if !r.crediting || r.rx.Done {
 		return
 	}
 	r.creditSeq++
@@ -432,12 +358,12 @@ func (r *receiver) creditTick() {
 	pkt := r.p.env.Pkt()
 	pkt.Type = netem.Credit
 	pkt.Flow = r.flowID
-	pkt.Src = r.f.Dst
-	pkt.Dst = r.f.Src
+	pkt.Src = r.rx.Flow.Dst
+	pkt.Dst = r.rx.Flow.Src
 	pkt.Seq = r.creditSeq
 	pkt.WireSize = netem.CreditSize
 	pkt.Scheduled = true
-	pkt.PathID = r.f.PathID
+	pkt.PathID = r.rx.Flow.PathID
 	r.host().Send(pkt)
 	r.scheduleCredit()
 }
@@ -448,7 +374,7 @@ func (r *receiver) creditTick() {
 func (r *receiver) scheduleFeedback() { r.feedback.Reset(r.p.env.Net.BaseRTT) }
 
 func (r *receiver) feedbackTick() {
-	if !r.crediting || r.done {
+	if !r.crediting || r.rx.Done {
 		return
 	}
 	// Scheduled data lags the credits that triggered it by one RTT, so
@@ -476,37 +402,17 @@ func (r *receiver) feedbackTick() {
 	r.scheduleFeedback()
 }
 
-// armRTO arms the receiver-driven loss recovery: if the flow is incomplete
-// and no data arrived for a full RTO, request the missing segments and
-// resume crediting.
-func (r *receiver) armRTO() {
-	if r.p.opts.RTO > 0 {
-		r.rto.Reset(r.p.opts.RTO)
-	}
-}
-
-func (r *receiver) rtoFire() {
-	rto := r.p.opts.RTO
-	if r.done {
+// rtoExpire is the receiver-driven loss recovery policy: when the flow sat
+// idle for a full RTO and is established, request every missing segment and
+// resume crediting. Idle detection, the done guard and rearming live in
+// rdbase.RTO.
+func (r *receiver) rtoExpire() {
+	if r.rx.Tracker == nil {
 		return
 	}
-	if r.p.env.Eng.Now().Sub(r.lastData) >= rto && r.tracker != nil {
-		r.f.Timeouts++
-		pkt := r.p.env.Pkt()
-		pkt.Type = netem.Resend
-		pkt.Flow = r.flowID
-		pkt.Src = r.f.Dst
-		pkt.Dst = r.f.Src
-		pkt.WireSize = netem.HeaderSize
-		pkt.Scheduled = true
-		pkt.PathID = r.f.PathID
-		for _, m := range r.tracker.Missing(r.tracker.Seg.NumSegs()) {
-			pkt.SegList = append(pkt.SegList, int32(m))
-		}
-		r.host().Send(pkt)
-		r.startCrediting()
-	}
-	r.armRTO()
+	r.rx.Flow.Timeouts++
+	r.rx.SendResend(r.rx.Missing(r.rx.Tracker.Seg.NumSegs()))
+	r.startCrediting()
 }
 
 func maxF(a, b float64) float64 {
@@ -519,16 +425,6 @@ func maxF(a, b float64) float64 {
 // AuditInvariants checks every flow's Aeolus state machine for internal
 // consistency, returning one error per violation in flow-ID order.
 func (p *Protocol) AuditInvariants() []error {
-	ids := make([]uint64, 0, len(p.senders))
-	for id := range p.senders {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var errs []error
-	for _, id := range ids {
-		if err := p.senders[id].pc.Audit(); err != nil {
-			errs = append(errs, fmt.Errorf("expresspass: %w", err))
-		}
-	}
-	return errs
+	return rdbase.AuditPreCredits("expresspass", p.tbl.Senders(),
+		func(s *sender) *core.PreCredit { return s.PC })
 }

@@ -1,0 +1,96 @@
+package homa
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/core"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/scheme"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+)
+
+// Catalogue registration: the Homa family and its paper variants.
+
+func init() {
+	family := scheme.Family[Options]{
+		Base: "homa",
+		MSS:  netem.MaxPayload,
+		Defaults: func(spec scheme.Spec) Options {
+			opts := DefaultOptions()
+			opts.Workload = spec.Workload
+			if spec.RTO > 0 {
+				opts.RTO = spec.RTO
+			}
+			return opts
+		},
+		Apply: applyOpt,
+		Protocol: func(env *transport.Env, o Options) transport.Protocol {
+			return New(env, o)
+		},
+		Qdisc: func(o Options, buffer int64) netem.QdiscFactory {
+			return QdiscFactory(o, buffer)
+		},
+	}
+	family.Register(
+		scheme.Variant[Options]{
+			Summary: "Homa over 8 priority queues (RTO 10ms default)",
+			Name:    func(Options) string { return "Homa" },
+		},
+		scheme.Variant[Options]{
+			Suffix:  "+aeolus",
+			Summary: "Homa with Aeolus (single selective-dropping queue)",
+			Name:    func(Options) string { return "Homa+Aeolus" },
+			Mutate: func(o *Options, spec scheme.Spec) {
+				o.Aeolus = core.DefaultOptions()
+				o.Aeolus.ThresholdBytes = spec.ThresholdOr(core.DefaultThreshold)
+			},
+		},
+		scheme.Variant[Options]{
+			Suffix:  "+oracle",
+			Summary: "hypothetical Homa (no unscheduled interference, §2.3)",
+			Name:    func(Options) string { return "Homa+IdealFirstRTT" },
+			Qdisc: func(o Options, buffer int64) netem.QdiscFactory {
+				// The hypothetical Homa of §2.3: scheduled packets are never
+				// queued or dropped for lack of buffer. Homa's own priority
+				// structure with unbounded buffers realizes it — exactly the
+				// infinite-buffer assumption the paper notes in Homa's own
+				// simulator (§5.5).
+				return QdiscFactory(o, 0)
+			},
+		},
+		scheme.Variant[Options]{
+			Suffix:  "-eager",
+			Summary: "Homa with an aggressive 20µs RTO (Table 1)",
+			Name:    func(Options) string { return "EagerHoma" },
+			Mutate: func(o *Options, spec scheme.Spec) {
+				o.RTO = 20 * sim.Microsecond
+				if spec.RTO > 0 {
+					o.RTO = spec.RTO
+				}
+			},
+		},
+	)
+}
+
+// applyOpt maps generic -opt keys onto the typed options.
+func applyOpt(o *Options, key, val string) error {
+	var err error
+	switch key {
+	case "overcommit":
+		o.Overcommit, err = scheme.OptInt(key, val)
+	case "numprios":
+		o.NumPrios, err = scheme.OptInt(key, val)
+	case "unschedprios":
+		o.UnschedPrios, err = scheme.OptInt(key, val)
+	case "rttbytes":
+		o.RTTBytes, err = scheme.OptInt64(key, val)
+	case "spray":
+		o.Spray, err = scheme.OptBool(key, val)
+	case "probetimeout":
+		o.Aeolus.ProbeTimeout, err = scheme.OptDuration(key, val)
+	default:
+		return fmt.Errorf("unknown option %q (Homa takes overcommit, numprios, unschedprios, rttbytes, spray, probetimeout)", key)
+	}
+	return err
+}

@@ -18,10 +18,14 @@
 // are protected, per-packet ACKs plus the end-of-burst probe locate
 // first-RTT losses, and grants retransmit them as scheduled packets in the
 // §3.3 priority order.
+//
+// The package is a policy layer over the shared receiver-driven substrate
+// (internal/transport/rdbase): rdbase owns the PreCredit binding, packet
+// construction and the RTO lifecycle; this file owns priority selection and
+// the SRPT grant scheduler.
 package homa
 
 import (
-	"fmt"
 	"math/rand/v2"
 	"sort"
 
@@ -29,6 +33,7 @@ import (
 	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/transport"
+	"github.com/aeolus-transport/aeolus/internal/transport/rdbase"
 	"github.com/aeolus-transport/aeolus/internal/workload"
 )
 
@@ -110,9 +115,8 @@ type Protocol struct {
 	rttBytes int64
 	cutoffs  []int64
 
-	flows   map[uint64]*transport.Flow
-	senders map[uint64]*sender
-	rxHosts map[netem.NodeID]*rxHost
+	tbl     rdbase.Tables[sender]
+	rxHosts rdbase.HostMap[rxHost]
 }
 
 // New builds the protocol and attaches it to every host of the environment.
@@ -130,10 +134,11 @@ func New(env *transport.Env, opts Options) *Protocol {
 		env: env, opts: opts,
 		rng:      sim.NewRand(opts.Seed, 0x40a1),
 		rttBytes: opts.RTTBytes,
-		flows:    make(map[uint64]*transport.Flow),
-		senders:  make(map[uint64]*sender),
-		rxHosts:  make(map[netem.NodeID]*rxHost),
+		tbl:      rdbase.NewTables[sender](),
 	}
+	p.rxHosts = rdbase.NewHostMap(func(host netem.NodeID) *rxHost {
+		return &rxHost{p: p, host: host, msgs: make(map[uint64]*rxMsg)}
+	})
 	if p.rttBytes <= 0 {
 		p.rttBytes = env.Net.BDPBytes()
 	}
@@ -165,9 +170,9 @@ func (p *Protocol) Name() string {
 
 // Start implements transport.Protocol.
 func (p *Protocol) Start(f *transport.Flow) {
-	p.flows[f.ID] = f
+	p.tbl.AddFlow(f)
 	s := newSender(p, f)
-	p.senders[f.ID] = s
+	p.tbl.AddSender(f.ID, s)
 	s.start()
 }
 
@@ -180,9 +185,9 @@ type endpoint struct {
 func (ep *endpoint) Receive(pkt *netem.Packet) {
 	switch pkt.Type {
 	case netem.Data, netem.Probe:
-		ep.p.rx(ep.host).receive(pkt)
+		ep.p.rxHosts.Get(ep.host).receive(pkt)
 	case netem.Grant, netem.Ack, netem.Resend:
-		if s := ep.p.senders[pkt.Flow]; s != nil {
+		if s := ep.p.tbl.Sender(pkt.Flow); s != nil {
 			s.receive(pkt)
 		}
 	}
@@ -197,20 +202,11 @@ func (p *Protocol) pathID(f *transport.Flow) uint32 {
 	return f.PathID
 }
 
-func (p *Protocol) rx(host netem.NodeID) *rxHost {
-	r := p.rxHosts[host]
-	if r == nil {
-		r = &rxHost{p: p, host: host, msgs: make(map[uint64]*rxMsg)}
-		p.rxHosts[host] = r
-	}
-	return r
-}
-
-// sender is the per-message sender state.
+// sender is the per-message sender state: the rdbase substrate plus Homa's
+// priority selection and grant-quota accounting.
 type sender struct {
-	p  *Protocol
-	f  *transport.Flow
-	pc *core.PreCredit
+	rdbase.Sender
+	p *Protocol
 
 	unschedPrio uint8
 	quota       int64 // granted bytes not yet spent
@@ -220,92 +216,60 @@ type sender struct {
 }
 
 func newSender(p *Protocol, f *transport.Flow) *sender {
-	s := &sender{p: p, f: f, unschedPrio: PrioFor(p.cutoffs, f.Size)}
+	s := &sender{p: p, unschedPrio: PrioFor(p.cutoffs, f.Size)}
 	// The pre-credit burst is Homa's own unscheduled first window, so it is
 	// active in both modes; the probe/ACK machinery only with Aeolus.
 	opts := p.opts.Aeolus
 	opts.Enabled = true
-	s.pc = core.NewPreCredit(p.env, f, opts, p.rttBytes)
-	s.pc.SendSeg = s.sendSeg
+	s.Init(p.env, f, opts, p.rttBytes)
+	s.Customize = func(pkt *netem.Packet, seg int, scheduled bool) {
+		prio := s.unschedPrio
+		if scheduled {
+			prio = s.grantPrio
+		}
+		pkt.Prio = prio
+		pkt.PathID = s.p.pathID(s.Flow)
+		pkt.Meta = s.Flow.Size
+	}
 	if p.opts.Aeolus.Enabled {
-		s.pc.SendProbe = s.sendProbe
+		s.CustomizeProbe = func(pr *netem.Packet) {
+			pr.Prio = 0
+			pr.PathID = s.p.pathID(s.Flow)
+		}
 	} else {
 		// Original Homa has no probe and no per-packet ACKs: the burst is
 		// presumed delivered and losses surface only via the receiver RTO.
-		s.pc.SendProbe = func() {}
-		s.pc.DisableUnackedSweep()
+		s.DisableProbe()
 	}
 	return s
 }
 
-func (s *sender) host() *netem.Host { return s.p.env.Net.Host(s.f.Src) }
-
-func (s *sender) start() { s.pc.Start() }
-
-func (s *sender) sendSeg(seg int, scheduled bool) {
-	payload := s.pc.Seg.SegLen(seg)
-	s.p.env.CountSent(payload)
-	prio := s.unschedPrio
-	if scheduled {
-		prio = s.grantPrio
-	}
-	pkt := s.p.env.Pkt()
-	pkt.Type = netem.Data
-	pkt.Flow = s.f.ID
-	pkt.Src = s.f.Src
-	pkt.Dst = s.f.Dst
-	pkt.Seq = s.pc.Seg.Offset(seg)
-	pkt.PayloadLen = payload
-	pkt.WireSize = netem.WireSizeFor(payload)
-	pkt.Scheduled = scheduled
-	pkt.Prio = prio
-	pkt.PathID = s.p.pathID(s.f)
-	pkt.Meta = s.f.Size
-	s.host().Send(pkt)
-}
-
-func (s *sender) sendProbe() {
-	pr := s.pc.MakeProbe()
-	pr.Prio = 0
-	pr.PathID = s.p.pathID(s.f)
-	s.host().Send(pr)
-}
+func (s *sender) start() { s.Start() }
 
 func (s *sender) receive(pkt *netem.Packet) {
 	switch pkt.Type {
 	case netem.Grant:
 		s.onGrant(pkt.Seq, uint8(pkt.Meta))
 	case netem.Ack:
-		if pkt.Meta == probeAckMark {
-			s.pc.OnProbeAck()
+		if s.OnAck(pkt) {
 			s.drainQuota()
-		} else {
-			s.pc.OnAck(pkt.Seq)
 		}
 	case netem.Resend:
-		for _, seg := range pkt.SegList {
-			s.pc.ForceLost(int(seg))
-		}
+		s.ForceLost(pkt.SegList)
 		// Homa retransmits resend-requested packets immediately at the
 		// granted priority, without waiting for fresh grants.
-		for {
-			seg, ok := s.pc.NextLost()
-			if !ok {
-				break
-			}
-			s.sendSeg(seg, true)
-		}
+		s.DrainLost()
 	}
 }
 
 func (s *sender) onGrant(offset int64, prio uint8) {
-	s.pc.StopBurst()
+	s.PC.StopBurst()
 	s.grantPrio = prio
 	if !s.grantBased {
 		// Grants are absolute offsets; the unscheduled burst already
 		// covered everything below its end, so quota starts there.
 		s.grantBased = true
-		s.maxGrant = s.pc.ProbeSeq()
+		s.maxGrant = s.PC.ProbeSeq()
 	}
 	if offset > s.maxGrant {
 		s.quota += offset - s.maxGrant
@@ -323,34 +287,26 @@ func (s *sender) onGrant(offset int64, prio uint8) {
 // the burst end once the probe arrives.
 func (s *sender) drainQuota() {
 	for s.quota > 0 {
-		seg, class := s.pc.Next()
+		seg, class := s.Spend()
 		if class == core.ClassNone {
 			return
 		}
-		s.quota -= int64(s.pc.Seg.SegLen(seg))
-		s.sendSeg(seg, true)
+		s.quota -= int64(s.PC.Seg.SegLen(seg))
 	}
 }
 
-// probeAckMark distinguishes a probe ACK from a per-packet data ACK.
-const probeAckMark = 1
-
 // rxMsg is the receiver-side state of one incoming message.
 type rxMsg struct {
-	f          *transport.Flow
-	tracker    *transport.RxTracker
+	rx         rdbase.Rx
 	granted    int64 // highest grant offset sent
 	burstEnd   int64 // estimated end of the sender's unscheduled burst
 	probeSeen  bool  // burstEnd finalized by the probe
 	lostBytes  int64 // burst bytes lost, latched once when the probe arrives
 	schedBytes int64 // unique bytes delivered by scheduled packets
-	last       sim.Time
-	done       bool
-	rx         *rxHost   // owning per-host scheduler, for the RTO path
-	rto        sim.Timer // receiver-side timeout recovery
+	host       *rxHost
 }
 
-func (m *rxMsg) remaining() int64 { return m.f.Size - m.tracker.Bytes() }
+func (m *rxMsg) remaining() int64 { return m.rx.Flow.Size - m.rx.Tracker.Bytes() }
 
 // wantGrant computes the receiver's grant offset for this message. Grants
 // are self-clocked by *scheduled* progress: the sender may have one RTTbytes
@@ -360,7 +316,7 @@ func (m *rxMsg) remaining() int64 { return m.f.Size - m.tracker.Bytes() }
 // arrives). This keeps retransmissions paced — and therefore protected —
 // without ever stalling on losses.
 func (m *rxMsg) wantGrant(rttBytes int64) int64 {
-	need := m.f.Size - m.burstEnd
+	need := m.rx.Flow.Size - m.burstEnd
 	if need < 0 {
 		need = 0
 	}
@@ -384,24 +340,25 @@ type rxHost struct {
 	msgs map[uint64]*rxMsg
 }
 
-func (r *rxHost) hostNode() *netem.Host { return r.p.env.Net.Host(r.host) }
-
 func (r *rxHost) receive(pkt *netem.Packet) {
 	m := r.msgs[pkt.Flow]
 	if m == nil {
-		f := r.p.flows[pkt.Flow]
+		f := r.p.tbl.Flow(pkt.Flow)
 		if f == nil {
 			return
 		}
-		m = &rxMsg{f: f, tracker: transport.NewRxTracker(f.Size, r.p.env.MSS), rx: r}
-		m.rto.Init(r.p.env.Eng, m.rtoFire)
+		m = &rxMsg{host: r}
+		m.rx.Env = r.p.env
+		m.rx.Flow = f
+		m.rx.Tracker = transport.NewRxTracker(f.Size, r.p.env.MSS)
+		m.rx.RTO.Init(r.p.env.Eng, r.p.opts.RTO, m.rtoExpire)
 		r.msgs[pkt.Flow] = m
-		r.armRTO(m)
+		m.rx.RTO.Arm()
 	}
-	if m.done {
+	if m.rx.Done {
 		return
 	}
-	m.last = r.p.env.Eng.Now()
+	m.rx.RTO.Touch()
 	switch pkt.Type {
 	case netem.Probe:
 		m.burstEnd = pkt.Seq
@@ -411,17 +368,17 @@ func (r *rxHost) receive(pkt *netem.Packet) {
 			// that survived has arrived before its trailing probe: the holes
 			// below the burst end are exactly the selective-dropping losses.
 			if m.burstEnd > 0 {
-				seg := m.tracker.Seg
+				seg := m.rx.Tracker.Seg
 				last := seg.SegOf(m.burstEnd - 1)
-				for _, i := range m.tracker.Missing(last + 1) {
+				for _, i := range m.rx.Missing(last + 1) {
 					m.lostBytes += int64(seg.SegLen(i))
 				}
 			}
 		}
-		r.sendAck(m, pkt.Seq, probeAckMark)
+		m.rx.SendAck(pkt.Seq, rdbase.ProbeAckMark)
 	case netem.Data:
 		if !pkt.Scheduled && r.p.opts.Aeolus.Enabled {
-			r.sendAck(m, pkt.Seq, 0)
+			m.rx.SendAck(pkt.Seq, 0)
 		}
 		if !pkt.Scheduled && !m.probeSeen {
 			// Track the burst extent until the probe pins it exactly.
@@ -429,36 +386,19 @@ func (r *rxHost) receive(pkt *netem.Packet) {
 				m.burstEnd = end
 			}
 		}
-		if n := m.tracker.Accept(pkt.Seq); n > 0 {
-			r.p.env.CountDelivered(n)
-			if pkt.Scheduled {
-				m.schedBytes += int64(n)
-			}
+		if n := m.rx.Accept(pkt.Seq); n > 0 && pkt.Scheduled {
+			m.schedBytes += int64(n)
 		}
-		if m.tracker.Complete() {
+		if m.rx.Complete() {
 			// Mark done but keep the entry: a late duplicate (a spurious
 			// retransmission still in flight) must find the tombstone, not
 			// recreate the message and arm a ghost RTO.
-			m.done = true
-			m.rto.Stop()
-			r.p.env.FlowDone(m.f)
+			m.rx.Done = true
+			m.rx.RTO.Stop()
+			r.p.env.FlowDone(m.rx.Flow)
 		}
 	}
 	r.schedule()
-}
-
-func (r *rxHost) sendAck(m *rxMsg, seq int64, mark int64) {
-	pkt := r.p.env.Pkt()
-	pkt.Type = netem.Ack
-	pkt.Flow = m.f.ID
-	pkt.Src = r.host
-	pkt.Dst = m.f.Src
-	pkt.Seq = seq
-	pkt.WireSize = netem.HeaderSize
-	pkt.Scheduled = true
-	pkt.PathID = m.f.PathID
-	pkt.Meta = mark
-	r.hostNode().Send(pkt)
 }
 
 // schedule runs Homa's grant policy: the Overcommit messages with the least
@@ -470,7 +410,7 @@ func (r *rxHost) schedule() {
 		// Messages longer than the unscheduled window need grants; shorter
 		// ones join the granted set only once a probe reveals holes that
 		// must be retransmitted through scheduled packets.
-		if !m.done && (m.f.Size > r.p.rttBytes || m.burstEnd > 0) {
+		if !m.rx.Done && (m.rx.Flow.Size > r.p.rttBytes || m.burstEnd > 0) {
 			active = append(active, m)
 		}
 	}
@@ -481,7 +421,7 @@ func (r *rxHost) schedule() {
 		if active[i].remaining() != active[j].remaining() {
 			return active[i].remaining() < active[j].remaining()
 		}
-		return active[i].f.ID < active[j].f.ID
+		return active[i].rx.Flow.ID < active[j].rx.Flow.ID
 	})
 	k := r.p.opts.Overcommit
 	if k > len(active) {
@@ -498,80 +438,34 @@ func (r *rxHost) schedule() {
 		want := m.wantGrant(r.p.rttBytes)
 		if want > m.granted {
 			m.granted = want
-			g := r.p.env.Pkt()
-			g.Type = netem.Grant
-			g.Flow = m.f.ID
-			g.Src = r.host
-			g.Dst = m.f.Src
-			g.Seq = want
-			g.WireSize = netem.HeaderSize
-			g.Scheduled = true
-			g.PathID = m.f.PathID
-			g.Meta = int64(prio)
-			r.hostNode().Send(g)
+			m.rx.SendCtrl(netem.Grant, want, int64(prio))
 		}
 	}
 }
 
-// armRTO starts the receiver-side timeout loop for a message: if no packet
-// arrived for a full RTO and the message is incomplete, request the missing
-// segments (counting a timeout against the flow).
-func (r *rxHost) armRTO(m *rxMsg) {
-	if r.p.opts.RTO > 0 {
-		m.rto.Reset(r.p.opts.RTO)
+// rtoExpire is Homa's timeout recovery policy: request every missing
+// segment below the highest expectation — the unscheduled window plus
+// whatever was granted. Idle detection, the done guard and rearming live in
+// rdbase.RTO.
+func (m *rxMsg) rtoExpire() {
+	r := m.host
+	m.rx.Flow.Timeouts++
+	expect := r.p.rttBytes
+	if m.granted > expect {
+		expect = m.granted
 	}
-}
-
-func (m *rxMsg) rtoFire() {
-	r := m.rx
-	rto := r.p.opts.RTO
-	if m.done {
-		return
+	if expect > m.rx.Flow.Size {
+		expect = m.rx.Flow.Size
 	}
-	if r.p.env.Eng.Now().Sub(m.last) >= rto {
-		m.f.Timeouts++
-		// Request every missing segment below the highest expectation:
-		// the unscheduled window plus whatever was granted.
-		expect := r.p.rttBytes
-		if m.granted > expect {
-			expect = m.granted
-		}
-		if expect > m.f.Size {
-			expect = m.f.Size
-		}
-		n := m.tracker.Seg.SegOf(expect - 1)
-		missing := m.tracker.Missing(n + 1)
-		if len(missing) > 0 {
-			pkt := r.p.env.Pkt()
-			pkt.Type = netem.Resend
-			pkt.Flow = m.f.ID
-			pkt.Src = r.host
-			pkt.Dst = m.f.Src
-			pkt.WireSize = netem.HeaderSize
-			pkt.Scheduled = true
-			pkt.PathID = m.f.PathID
-			for _, s := range missing {
-				pkt.SegList = append(pkt.SegList, int32(s))
-			}
-			r.hostNode().Send(pkt)
-		}
+	n := m.rx.Tracker.Seg.SegOf(expect - 1)
+	if missing := m.rx.Missing(n + 1); len(missing) > 0 {
+		m.rx.SendResend(missing)
 	}
-	r.armRTO(m)
 }
 
 // AuditInvariants checks every message's Aeolus state machine for internal
 // consistency, returning one error per violation in flow-ID order.
 func (p *Protocol) AuditInvariants() []error {
-	ids := make([]uint64, 0, len(p.senders))
-	for id := range p.senders {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var errs []error
-	for _, id := range ids {
-		if err := p.senders[id].pc.Audit(); err != nil {
-			errs = append(errs, fmt.Errorf("homa: %w", err))
-		}
-	}
-	return errs
+	return rdbase.AuditPreCredits("homa", p.tbl.Senders(),
+		func(s *sender) *core.PreCredit { return s.PC })
 }

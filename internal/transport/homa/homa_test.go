@@ -305,7 +305,7 @@ func TestLateDuplicateDoesNotResurrectMessage(t *testing.T) {
 	// Drain the events that were still pending when the runner stopped.
 	env.Eng.RunUntil(env.Eng.Now().Add(10 * sim.Millisecond))
 	// Replay a duplicate of the first segment directly into the receiver.
-	rx := p.rx(5)
+	rx := p.rxHosts.Get(5)
 	before := len(rx.msgs)
 	rx.receive(&netem.Packet{
 		Type: netem.Data, Flow: 1, Src: 0, Dst: 5,
@@ -315,10 +315,10 @@ func TestLateDuplicateDoesNotResurrectMessage(t *testing.T) {
 		t.Fatalf("duplicate resurrected message state: %d -> %d entries", before, len(rx.msgs))
 	}
 	m := rx.msgs[1]
-	if m == nil || !m.done {
+	if m == nil || !m.rx.Done {
 		t.Fatal("tombstone missing or not done")
 	}
-	if m.rto.Pending() {
+	if m.rx.RTO.Pending() {
 		t.Fatal("ghost RTO armed by duplicate")
 	}
 	// And the engine must quiesce without generating fresh traffic.

@@ -1,0 +1,67 @@
+package ndp
+
+import (
+	"fmt"
+
+	"github.com/aeolus-transport/aeolus/internal/core"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/scheme"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+)
+
+// Catalogue registration: the NDP family and its Aeolus variant.
+
+func init() {
+	family := scheme.Family[Options]{
+		Base: "ndp",
+		MSS:  MSS,
+		Defaults: func(spec scheme.Spec) Options {
+			opts := DefaultOptions()
+			opts.Seed = spec.Seed
+			if spec.RTO > 0 {
+				opts.RTO = spec.RTO
+			}
+			return opts
+		},
+		Apply: applyOpt,
+		Protocol: func(env *transport.Env, o Options) transport.Protocol {
+			return New(env, o)
+		},
+		Qdisc: func(o Options, buffer int64) netem.QdiscFactory {
+			return QdiscFactory(o, buffer)
+		},
+	}
+	family.Register(
+		scheme.Variant[Options]{
+			Summary: "NDP with switch trimming and per-packet spraying",
+			Name:    func(Options) string { return "NDP" },
+		},
+		scheme.Variant[Options]{
+			Suffix:  "+aeolus",
+			Summary: "NDP with selective dropping instead of trimming",
+			Name:    func(Options) string { return "NDP+Aeolus" },
+			Mutate: func(o *Options, spec scheme.Spec) {
+				o.Aeolus = core.DefaultOptions()
+				// Jumbo frames need a proportionally larger threshold: the
+				// paper's 4-packet intuition at NDP's 9 KB MTU.
+				o.Aeolus.ThresholdBytes = spec.ThresholdOr(4 * netem.JumboMTU)
+			},
+		},
+	)
+}
+
+// applyOpt maps generic -opt keys onto the typed options.
+func applyOpt(o *Options, key, val string) error {
+	var err error
+	switch key {
+	case "trimpkts":
+		o.TrimThresholdPkts, err = scheme.OptInt(key, val)
+	case "spray":
+		o.Spray, err = scheme.OptBool(key, val)
+	case "probetimeout":
+		o.Aeolus.ProbeTimeout, err = scheme.OptDuration(key, val)
+	default:
+		return fmt.Errorf("unknown option %q (NDP takes trimpkts, spray, probetimeout)", key)
+	}
+	return err
+}

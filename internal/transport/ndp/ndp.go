@@ -15,17 +15,21 @@
 // are scheduled and protected, and the probe/per-packet-ACK machinery
 // locates first-window losses that now produce no NACK (§5.4: Aeolus works
 // as an alternative to cutting payload, deployable on commodity switches).
+//
+// The package is a policy layer over the shared receiver-driven substrate
+// (internal/transport/rdbase): rdbase owns the PreCredit binding, packet
+// construction and the RTO lifecycle; this file owns trimming reactions and
+// the pull pacer.
 package ndp
 
 import (
-	"fmt"
 	"math/rand/v2"
-	"sort"
 
 	"github.com/aeolus-transport/aeolus/internal/core"
 	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/transport"
+	"github.com/aeolus-transport/aeolus/internal/transport/rdbase"
 )
 
 // Options configures NDP.
@@ -95,9 +99,8 @@ type Protocol struct {
 	opts Options
 	rng  *rand.Rand
 
-	flows   map[uint64]*transport.Flow
-	senders map[uint64]*sender
-	rxHosts map[netem.NodeID]*rxHost
+	tbl     rdbase.Tables[sender]
+	rxHosts rdbase.HostMap[rxHost]
 }
 
 // New builds the protocol and attaches it to every host of the environment.
@@ -105,11 +108,14 @@ type Protocol struct {
 func New(env *transport.Env, opts Options) *Protocol {
 	p := &Protocol{
 		env: env, opts: opts,
-		rng:     sim.NewRand(opts.Seed, 0xfd9),
-		flows:   make(map[uint64]*transport.Flow),
-		senders: make(map[uint64]*sender),
-		rxHosts: make(map[netem.NodeID]*rxHost),
+		rng: sim.NewRand(opts.Seed, 0xfd9),
+		tbl: rdbase.NewTables[sender](),
 	}
+	p.rxHosts = rdbase.NewHostMap(func(host netem.NodeID) *rxHost {
+		r := &rxHost{p: p, host: host, flows: make(map[uint64]*rxFlow)}
+		r.pullTm.Init(p.env.Eng, r.pacePull)
+		return r
+	})
 	for _, h := range env.Net.Hosts {
 		h.EP = &endpoint{p: p, host: h.ID}
 	}
@@ -126,9 +132,9 @@ func (p *Protocol) Name() string {
 
 // Start implements transport.Protocol.
 func (p *Protocol) Start(f *transport.Flow) {
-	p.flows[f.ID] = f
+	p.tbl.AddFlow(f)
 	s := newSender(p, f)
-	p.senders[f.ID] = s
+	p.tbl.AddSender(f.ID, s)
 	s.start()
 }
 
@@ -150,140 +156,82 @@ type endpoint struct {
 func (ep *endpoint) Receive(pkt *netem.Packet) {
 	switch pkt.Type {
 	case netem.Data, netem.Probe:
-		ep.p.rx(ep.host).receive(pkt)
+		ep.p.rxHosts.Get(ep.host).receive(pkt)
 	case netem.Ack, netem.Nack, netem.Pull:
-		if s := ep.p.senders[pkt.Flow]; s != nil {
+		if s := ep.p.tbl.Sender(pkt.Flow); s != nil {
 			s.receive(pkt)
 		}
 	}
 }
 
-func (p *Protocol) rx(host netem.NodeID) *rxHost {
-	r := p.rxHosts[host]
-	if r == nil {
-		r = &rxHost{p: p, host: host, flows: make(map[uint64]*rxFlow)}
-		r.pullTm.Init(p.env.Eng, r.pacePull)
-		p.rxHosts[host] = r
-	}
-	return r
-}
-
-// sender is the per-flow sender state.
+// sender is the per-flow sender state: the rdbase substrate plus NDP's
+// NACK/pull reactions and the sender-side safety timeout.
 type sender struct {
-	p  *Protocol
-	f  *transport.Flow
-	pc *core.PreCredit
+	rdbase.Sender
+	p *Protocol
 
-	lastActivity sim.Time
-	rto          sim.Timer
-	done         bool
+	rto rdbase.RTO
 }
 
 func newSender(p *Protocol, f *transport.Flow) *sender {
-	s := &sender{p: p, f: f}
-	s.rto.Init(p.env.Eng, s.rtoFire)
+	s := &sender{p: p}
+	s.rto.Init(p.env.Eng, p.opts.RTO, s.rtoExpire)
 	opts := p.opts.Aeolus
 	opts.Enabled = true // the line-rate first window is NDP's own behaviour
-	s.pc = core.NewPreCredit(p.env, f, opts, p.env.Net.BDPBytes())
-	s.pc.SendSeg = s.sendSeg
+	s.Init(p.env, f, opts, p.env.Net.BDPBytes())
+	s.Customize = func(pkt *netem.Packet, seg int, scheduled bool) {
+		pkt.PathID, pkt.Meta = s.p.pathID(s.Flow), s.Flow.Size
+	}
 	if p.opts.Aeolus.Enabled {
-		s.pc.SendProbe = s.sendProbe
+		s.CustomizeProbe = func(pr *netem.Packet) {
+			pr.PathID = s.p.pathID(s.Flow)
+		}
 	} else {
 		// Original NDP: trimming turns every loss into a NACK, so no probe
 		// is needed and blind class-3 retransmissions are never useful.
-		s.pc.SendProbe = func() {}
-		s.pc.DisableUnackedSweep()
+		s.DisableProbe()
 	}
 	return s
 }
 
-func (s *sender) host() *netem.Host { return s.p.env.Net.Host(s.f.Src) }
-
 func (s *sender) start() {
-	s.pc.Start()
-	s.armRTO()
-}
-
-func (s *sender) sendSeg(seg int, scheduled bool) {
-	payload := s.pc.Seg.SegLen(seg)
-	s.p.env.CountSent(payload)
-	p := s.p.env.Pkt()
-	p.Type, p.Flow, p.Src, p.Dst = netem.Data, s.f.ID, s.f.Src, s.f.Dst
-	p.Seq, p.PayloadLen = s.pc.Seg.Offset(seg), payload
-	p.WireSize, p.Scheduled = netem.WireSizeFor(payload), scheduled
-	p.PathID, p.Meta = s.p.pathID(s.f), s.f.Size
-	s.host().Send(p)
-}
-
-func (s *sender) sendProbe() {
-	pr := s.pc.MakeProbe()
-	pr.PathID = s.p.pathID(s.f)
-	s.host().Send(pr)
+	s.Start()
+	s.rto.Arm()
 }
 
 func (s *sender) receive(pkt *netem.Packet) {
-	s.lastActivity = s.p.env.Eng.Now()
+	s.rto.Touch()
 	switch pkt.Type {
 	case netem.Ack:
-		if pkt.Meta == probeAckMark {
-			s.pc.OnProbeAck()
-		} else {
-			s.pc.OnAck(pkt.Seq)
-		}
+		s.OnAck(pkt)
 	case netem.Nack:
-		s.pc.StopBurst()
-		s.pc.ForceLost(s.pc.Seg.SegOf(pkt.Seq))
+		s.PC.StopBurst()
+		s.PC.ForceLost(s.PC.Seg.SegOf(pkt.Seq))
 	case netem.Pull:
-		s.pc.StopBurst()
-		if seg, class := s.pc.Next(); class != core.ClassNone {
-			s.sendSeg(seg, true)
-		}
+		s.PC.StopBurst()
+		s.Spend()
 	}
 }
 
-// armRTO is a safety net: NDP's trimming (or Aeolus's probe) normally makes
-// timeouts unnecessary, but a lost probe ACK or trimmed-header drop under
-// extreme congestion could otherwise strand the flow.
-func (s *sender) armRTO() {
-	if s.p.opts.RTO <= 0 {
-		return
+// rtoExpire is NDP's safety-net recovery policy: trimming (or Aeolus's
+// probe) normally makes timeouts unnecessary, but a lost probe ACK or
+// trimmed-header drop under extreme congestion could otherwise strand the
+// flow. Re-queue everything transmitted but never ACKed — covering losses
+// the trimming/probe machinery left no trace of — and retransmit
+// immediately. Idle detection and rearming live in rdbase.RTO; completion
+// disarms the timer from the receiver path.
+func (s *sender) rtoExpire() {
+	if s.PC.RequeueUnacked() > 0 {
+		s.Flow.Timeouts++
+		s.DrainLost()
+	} else if _, class := s.Spend(); class != core.ClassNone {
+		s.Flow.Timeouts++
 	}
-	s.rto.Reset(s.p.opts.RTO)
 }
-
-func (s *sender) rtoFire() {
-	if s.done {
-		return
-	}
-	if s.p.env.Eng.Now().Sub(s.lastActivity) >= s.p.opts.RTO {
-		// Re-queue everything transmitted but never ACKed — covering
-		// losses the trimming/probe machinery left no trace of — and
-		// retransmit immediately.
-		if n := s.pc.RequeueUnacked(); n > 0 {
-			s.f.Timeouts++
-			for {
-				seg, ok := s.pc.NextLost()
-				if !ok {
-					break
-				}
-				s.sendSeg(seg, true)
-			}
-		} else if seg, class := s.pc.Next(); class != core.ClassNone {
-			s.f.Timeouts++
-			s.sendSeg(seg, true)
-		}
-	}
-	s.armRTO()
-}
-
-// probeAckMark distinguishes a probe ACK from a per-packet data ACK.
-const probeAckMark = 1
 
 // rxFlow is the receiver-side state of one flow.
 type rxFlow struct {
-	f       *transport.Flow
-	tracker *transport.RxTracker
-	done    bool
+	rx rdbase.Rx
 
 	// pullDebt counts the transmissions the sender still needs a pull
 	// token for: the payload beyond its first window, plus one per trimmed
@@ -306,58 +254,59 @@ type rxHost struct {
 	pullSeq int64
 }
 
-func (r *rxHost) hostNode() *netem.Host { return r.p.env.Net.Host(r.host) }
-
 func (r *rxHost) receive(pkt *netem.Packet) {
 	fl := r.flows[pkt.Flow]
 	if fl == nil {
-		f := r.p.flows[pkt.Flow]
+		f := r.p.tbl.Flow(pkt.Flow)
 		if f == nil {
 			return
 		}
-		fl = &rxFlow{f: f, tracker: transport.NewRxTracker(f.Size, r.p.env.MSS)}
+		fl = &rxFlow{}
+		fl.rx.Env = r.p.env
+		fl.rx.Flow = f
+		fl.rx.Tracker = transport.NewRxTracker(f.Size, r.p.env.MSS)
+		// NDP sprays control packets like data.
+		fl.rx.CtrlPath = func() uint32 { return r.p.pathID(f) }
 		// Initial debt: everything beyond the sender's line-rate window.
 		windowSegs := int(r.p.env.Net.BDPBytes()) / r.p.env.MSS
 		if windowSegs < 1 {
 			windowSegs = 1
 		}
-		if n := fl.tracker.Seg.NumSegs() - windowSegs; n > 0 {
+		if n := fl.rx.Tracker.Seg.NumSegs() - windowSegs; n > 0 {
 			fl.pullDebt = n
 		}
 		r.flows[pkt.Flow] = fl
 	}
-	if fl.done {
+	if fl.rx.Done {
 		return
 	}
 	switch {
 	case pkt.Type == netem.Probe:
-		r.sendCtrl(fl, netem.Ack, pkt.Seq, probeAckMark)
+		fl.rx.SendAck(pkt.Seq, rdbase.ProbeAckMark)
 		// Dropped first-window packets produced no trimmed header and
 		// therefore no pull; each observed hole below the burst end adds a
 		// retransmission to the pull debt (NDP+Aeolus, §5.4).
 		if pkt.Seq > 0 {
-			last := fl.tracker.Seg.SegOf(pkt.Seq - 1)
-			fl.pullDebt += len(fl.tracker.Missing(last + 1))
+			last := fl.rx.Tracker.Seg.SegOf(pkt.Seq - 1)
+			fl.pullDebt += len(fl.rx.Missing(last + 1))
 		}
 		r.servePulls(fl)
 	case pkt.Trimmed:
 		// Header of a trimmed packet: NACK triggers retransmission, which
 		// needs one more pull.
-		r.sendCtrl(fl, netem.Nack, pkt.Seq, 0)
+		fl.rx.SendCtrl(netem.Nack, pkt.Seq, 0)
 		fl.pullDebt++
 		r.servePulls(fl)
 	default:
-		r.sendCtrl(fl, netem.Ack, pkt.Seq, 0)
-		if n := fl.tracker.Accept(pkt.Seq); n > 0 {
-			r.p.env.CountDelivered(n)
-		}
-		if fl.tracker.Complete() {
+		fl.rx.SendAck(pkt.Seq, 0)
+		fl.rx.Accept(pkt.Seq)
+		if fl.rx.Complete() {
 			// Keep the tombstoned entry so late duplicates cannot recreate
 			// the flow and restart the pull machinery.
-			fl.done = true
-			r.p.env.FlowDone(fl.f)
-			if s := r.p.senders[pkt.Flow]; s != nil {
-				s.done = true
+			fl.rx.Done = true
+			r.p.env.FlowDone(fl.rx.Flow)
+			if s := r.p.tbl.Sender(pkt.Flow); s != nil {
+				s.rto.Disarm()
 			}
 			return
 		}
@@ -369,16 +318,8 @@ func (r *rxHost) receive(pkt *netem.Packet) {
 func (r *rxHost) servePulls(fl *rxFlow) {
 	for fl.pullDebt > 0 {
 		fl.pullDebt--
-		r.enqueuePull(fl.f.ID)
+		r.enqueuePull(fl.rx.Flow.ID)
 	}
-}
-
-func (r *rxHost) sendCtrl(fl *rxFlow, typ netem.PacketType, seq, mark int64) {
-	p := r.p.env.Pkt()
-	p.Type, p.Flow, p.Src, p.Dst = typ, fl.f.ID, r.host, fl.f.Src
-	p.Seq, p.WireSize, p.Scheduled = seq, netem.HeaderSize, true
-	p.PathID, p.Meta = r.p.pathID(fl.f), mark
-	r.hostNode().Send(p)
 }
 
 // enqueuePull adds a pull slot for the flow and starts the pacer.
@@ -399,13 +340,9 @@ func (r *rxHost) pacePull() {
 	}
 	flow := r.pullQ[0]
 	r.pullQ = r.pullQ[1:]
-	if fl := r.flows[flow]; fl != nil && !fl.done {
+	if fl := r.flows[flow]; fl != nil && !fl.rx.Done {
 		r.pullSeq++
-		p := r.p.env.Pkt()
-		p.Type, p.Flow, p.Src, p.Dst = netem.Pull, flow, r.host, fl.f.Src
-		p.Seq, p.WireSize, p.Scheduled = r.pullSeq, netem.HeaderSize, true
-		p.PathID = r.p.pathID(fl.f)
-		r.hostNode().Send(p)
+		fl.rx.SendCtrl(netem.Pull, r.pullSeq, 0)
 	}
 	gap := sim.TxTime(netem.JumboMTU, r.p.env.Net.HostRate)
 	r.pullTm.Reset(gap)
@@ -414,16 +351,6 @@ func (r *rxHost) pacePull() {
 // AuditInvariants checks every flow's Aeolus state machine for internal
 // consistency, returning one error per violation in flow-ID order.
 func (p *Protocol) AuditInvariants() []error {
-	ids := make([]uint64, 0, len(p.senders))
-	for id := range p.senders {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var errs []error
-	for _, id := range ids {
-		if err := p.senders[id].pc.Audit(); err != nil {
-			errs = append(errs, fmt.Errorf("ndp: %w", err))
-		}
-	}
-	return errs
+	return rdbase.AuditPreCredits("ndp", p.tbl.Senders(),
+		func(s *sender) *core.PreCredit { return s.PC })
 }

@@ -1,0 +1,227 @@
+// Package rdbase is the shared receiver-driven substrate under ExpressPass,
+// Homa and NDP: the per-host flow/sender/receiver state tables, the
+// sender-side send queue and segment iterator bound to the Aeolus PreCredit
+// machine (internal/core), the receiver-side control-packet plumbing, and
+// the retransmission-timeout lifecycle on the pooled sim.Timer.
+//
+// The split with the transport packages is policy versus mechanism: rdbase
+// owns how a segment becomes a wire packet, how the PreCredit burst, probe,
+// selective-ACK and lost-queue interplay is driven, and how an RTO arms,
+// detects idleness and rearms; the transports own *when* those mechanisms
+// fire — credit shaping (ExpressPass), grant scheduling (Homa), trimming
+// and pull pacing (NDP).
+package rdbase
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aeolus-transport/aeolus/internal/core"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+)
+
+// ProbeAckMark distinguishes a probe ACK from a per-packet data ACK in the
+// Meta field of Ack packets. Every transport of the substrate shares it.
+const ProbeAckMark int64 = 1
+
+// Sender is the per-flow sender substrate: the Aeolus PreCredit state
+// machine plus the send queue turning segment indices into wire packets.
+// Transports embed it and customize the packets through the hooks.
+type Sender struct {
+	Env  *transport.Env
+	Flow *transport.Flow
+	PC   *core.PreCredit
+
+	// Customize, when non-nil, decorates an outgoing data packet (priority,
+	// spraying path, piggybacked flow size) after the common fields are set.
+	Customize func(p *netem.Packet, seg int, scheduled bool)
+
+	// CustomizeProbe, when non-nil, decorates the end-of-burst probe.
+	CustomizeProbe func(p *netem.Packet)
+}
+
+// Init wires the sender substrate for one flow: the PreCredit machine is
+// built over window bytes of unscheduled burst and bound to the sender's
+// send queue and probe path.
+func (s *Sender) Init(env *transport.Env, f *transport.Flow, opts core.Options, window int64) {
+	s.Env = env
+	s.Flow = f
+	s.PC = core.NewPreCredit(env, f, opts, window)
+	s.PC.SendSeg = s.SendSeg
+	s.PC.SendProbe = s.SendProbe
+}
+
+// DisableProbe turns off the Aeolus probe/per-packet-ACK loss detection
+// while keeping the burst: no probe is sent and the ClassUnacked sweep is
+// disabled, so losses surface only through ForceLost (receiver resend
+// requests) — the original-transport and RTO-only configurations.
+func (s *Sender) DisableProbe() {
+	s.PC.SendProbe = func() {}
+	s.PC.DisableUnackedSweep()
+}
+
+// Host returns the sending host.
+func (s *Sender) Host() *netem.Host { return s.Env.Net.Host(s.Flow.Src) }
+
+// Start begins the pre-credit phase.
+func (s *Sender) Start() { s.PC.Start() }
+
+// SendSeg transmits one segment, marked scheduled or unscheduled. It is the
+// single place a data packet is built in the substrate.
+func (s *Sender) SendSeg(seg int, scheduled bool) {
+	payload := s.PC.Seg.SegLen(seg)
+	s.Env.CountSent(payload)
+	p := s.Env.Pkt()
+	p.Type, p.Flow, p.Src, p.Dst = netem.Data, s.Flow.ID, s.Flow.Src, s.Flow.Dst
+	p.Seq, p.PayloadLen = s.PC.Seg.Offset(seg), payload
+	p.WireSize, p.Scheduled = netem.WireSizeFor(payload), scheduled
+	p.PathID = s.Flow.PathID
+	if s.Customize != nil {
+		s.Customize(p, seg, scheduled)
+	}
+	s.Host().Send(p)
+}
+
+// SendProbe transmits the end-of-burst probe.
+func (s *Sender) SendProbe() {
+	p := s.PC.MakeProbe()
+	if s.CustomizeProbe != nil {
+		s.CustomizeProbe(p)
+	}
+	s.Host().Send(p)
+}
+
+// OnAck routes an Ack packet into the PreCredit machine: probe ACKs trigger
+// the §3.3 loss inference, data ACKs mark their segment. It reports whether
+// the packet was the probe ACK, so transports can hook phase transitions
+// (Homa drains its grant quota once the probe verdict lands).
+func (s *Sender) OnAck(p *netem.Packet) (probeAck bool) {
+	if p.Meta == ProbeAckMark {
+		s.PC.OnProbeAck()
+		return true
+	}
+	s.PC.OnAck(p.Seq)
+	return false
+}
+
+// ForceLost queues every segment of a receiver resend request for
+// highest-priority retransmission.
+func (s *Sender) ForceLost(segs []int32) {
+	for _, seg := range segs {
+		s.PC.ForceLost(int(seg))
+	}
+}
+
+// Spend spends one scheduled transmission opportunity (credit, pull) on the
+// next segment in the §3.3 priority order, transmitting it as scheduled. It
+// returns the segment and its class; ClassNone means the opportunity found
+// nothing to send (and nothing was transmitted).
+func (s *Sender) Spend() (seg int, class core.RetxClass) {
+	seg, class = s.PC.Next()
+	if class == core.ClassNone {
+		return seg, class
+	}
+	s.SendSeg(seg, true)
+	return seg, class
+}
+
+// DrainLost retransmits every pending loss-queue segment immediately as
+// scheduled packets — the path for transports that answer resend requests
+// or timeouts without waiting for fresh transmission opportunities. It
+// returns the number of segments retransmitted.
+func (s *Sender) DrainLost() int {
+	n := 0
+	for {
+		seg, ok := s.PC.NextLost()
+		if !ok {
+			return n
+		}
+		s.SendSeg(seg, true)
+		n++
+	}
+}
+
+// Ctrl builds and sends a minimum-size control packet for a flow. Control
+// packets are scheduled (protected) and routed on the flow's ECMP path
+// unless the caller overrides path.
+func Ctrl(env *transport.Env, f *transport.Flow, typ netem.PacketType,
+	src, dst netem.NodeID, seq, meta int64, path uint32) {
+	p := env.Pkt()
+	p.Type, p.Flow, p.Src, p.Dst = typ, f.ID, src, dst
+	p.Seq, p.WireSize, p.Scheduled = seq, netem.HeaderSize, true
+	p.PathID, p.Meta = path, meta
+	env.Net.Host(src).Send(p)
+}
+
+// AuditPreCredits checks every per-flow PreCredit machine for internal
+// consistency, in flow-ID order, prefixing violations with the transport
+// name. It is the shared body of the transports' AuditInvariants.
+func AuditPreCredits[S any](name string, senders map[uint64]*S, pc func(*S) *core.PreCredit) []error {
+	ids := make([]uint64, 0, len(senders))
+	for id := range senders {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var errs []error
+	for _, id := range ids {
+		if err := pc(senders[id]).Audit(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	return errs
+}
+
+// Tables are the per-host protocol state tables keyed by flow ID: the flow
+// descriptors and the per-flow sender machines. One Tables instance serves
+// a whole Protocol (all hosts), as is conventional in packet-level
+// simulators — logically distributed state in one object.
+type Tables[S any] struct {
+	flows   map[uint64]*transport.Flow
+	senders map[uint64]*S
+}
+
+// NewTables returns empty state tables.
+func NewTables[S any]() Tables[S] {
+	return Tables[S]{
+		flows:   make(map[uint64]*transport.Flow),
+		senders: make(map[uint64]*S),
+	}
+}
+
+// AddFlow registers a flow descriptor.
+func (t *Tables[S]) AddFlow(f *transport.Flow) { t.flows[f.ID] = f }
+
+// Flow returns the descriptor of a flow, or nil.
+func (t *Tables[S]) Flow(id uint64) *transport.Flow { return t.flows[id] }
+
+// AddSender registers the sender machine of a flow.
+func (t *Tables[S]) AddSender(id uint64, s *S) { t.senders[id] = s }
+
+// Sender returns the sender machine of a flow, or nil.
+func (t *Tables[S]) Sender(id uint64) *S { return t.senders[id] }
+
+// Senders exposes the sender table for audits.
+func (t *Tables[S]) Senders() map[uint64]*S { return t.senders }
+
+// HostMap lazily materializes per-receiving-host state (Homa's message
+// scheduler, NDP's pull pacer).
+type HostMap[R any] struct {
+	m  map[netem.NodeID]*R
+	mk func(host netem.NodeID) *R
+}
+
+// NewHostMap returns a host map materializing entries with mk.
+func NewHostMap[R any](mk func(host netem.NodeID) *R) HostMap[R] {
+	return HostMap[R]{m: make(map[netem.NodeID]*R), mk: mk}
+}
+
+// Get returns the state of a host, materializing it on first use.
+func (h *HostMap[R]) Get(host netem.NodeID) *R {
+	r := h.m[host]
+	if r == nil {
+		r = h.mk(host)
+		h.m[host] = r
+	}
+	return r
+}

@@ -1,0 +1,68 @@
+package rdbase
+
+import "github.com/aeolus-transport/aeolus/internal/sim"
+
+// RTO is the receiver-driven retransmission-timeout lifecycle shared by the
+// transports: a rearmable idle detector on the pooled sim.Timer. Arm starts
+// (or restarts) the countdown; Touch records activity; when the timer fires
+// with no activity for a full period, Expire runs and the timer rearms.
+//
+// Stop and Disarm end the lifecycle in two ways matching the two shutdown
+// idioms of the transports: Stop cancels the pending timer event outright
+// (receiver completion), while Disarm only marks the lifecycle dead and lets
+// an already-scheduled firing lapse as a no-op without rearming (NDP's
+// sender learns of completion from the receiver path, outside its own timer
+// callback).
+type RTO struct {
+	tm      sim.Timer
+	eng     *sim.Engine
+	period  sim.Duration
+	last    sim.Time
+	stopped bool
+
+	// Expire is the policy hook run when a full period passed with no
+	// Touch. The RTO rearms after Expire returns.
+	Expire func()
+}
+
+// Init binds the RTO to the engine with its period and expiry policy. A
+// zero or negative period disables the lifecycle: Arm becomes a no-op.
+func (r *RTO) Init(eng *sim.Engine, period sim.Duration, expire func()) {
+	r.eng = eng
+	r.period = period
+	r.Expire = expire
+	r.tm.Init(eng, r.fire)
+}
+
+// Arm starts (or restarts) the countdown.
+func (r *RTO) Arm() {
+	if r.period > 0 {
+		r.tm.Reset(r.period)
+	}
+}
+
+// Touch records activity, deferring expiry by a full period from now.
+func (r *RTO) Touch() { r.last = r.eng.Now() }
+
+// Stop ends the lifecycle and cancels the pending timer event.
+func (r *RTO) Stop() {
+	r.stopped = true
+	r.tm.Stop()
+}
+
+// Disarm ends the lifecycle without touching the pending timer event: an
+// already-scheduled firing runs as a no-op and does not rearm.
+func (r *RTO) Disarm() { r.stopped = true }
+
+// Pending reports whether a timer event is scheduled.
+func (r *RTO) Pending() bool { return r.tm.Pending() }
+
+func (r *RTO) fire() {
+	if r.stopped {
+		return
+	}
+	if r.eng.Now().Sub(r.last) >= r.period {
+		r.Expire()
+	}
+	r.Arm()
+}

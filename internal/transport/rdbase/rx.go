@@ -1,0 +1,76 @@
+package rdbase
+
+import (
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+)
+
+// Rx is the per-flow receiver substrate: reassembly tracking, the RTO
+// lifecycle, and the control-packet plumbing back to the sender (ACKs,
+// resend requests, transport-specific control like grants and pulls).
+// Transports embed it in their receiver state and keep only policy —
+// crediting, grant scheduling, pull pacing — for themselves.
+type Rx struct {
+	Env     *transport.Env
+	Flow    *transport.Flow
+	Tracker *transport.RxTracker
+	RTO     RTO
+	Done    bool
+
+	// CtrlPath, when non-nil, draws the path for an outgoing control packet
+	// (NDP sprays control like data); nil routes on the flow's ECMP path.
+	CtrlPath func() uint32
+
+	scratch []int
+}
+
+// Accept marks the data at offset off received and meters newly delivered
+// payload. It returns the number of new bytes (0 for duplicates).
+func (r *Rx) Accept(off int64) int {
+	n := r.Tracker.Accept(off)
+	if n > 0 {
+		r.Env.CountDelivered(n)
+	}
+	return n
+}
+
+// Complete reports whether every segment has arrived.
+func (r *Rx) Complete() bool { return r.Tracker.Complete() }
+
+func (r *Rx) path() uint32 {
+	if r.CtrlPath != nil {
+		return r.CtrlPath()
+	}
+	return r.Flow.PathID
+}
+
+// SendCtrl sends a minimum-size control packet back to the sender.
+func (r *Rx) SendCtrl(typ netem.PacketType, seq, meta int64) {
+	Ctrl(r.Env, r.Flow, typ, r.Flow.Dst, r.Flow.Src, seq, meta, r.path())
+}
+
+// SendAck acknowledges one arrival; mark is ProbeAckMark for a probe ACK,
+// 0 for a per-packet data ACK.
+func (r *Rx) SendAck(seq, mark int64) { r.SendCtrl(netem.Ack, seq, mark) }
+
+// Missing returns the segment indices not yet received among the first n,
+// backed by the receiver's scratch buffer: the slice is valid only until
+// the next Missing call on this receiver.
+func (r *Rx) Missing(n int) []int {
+	r.scratch = r.Tracker.Missing(n, r.scratch[:0])
+	return r.scratch
+}
+
+// SendResend requests retransmission of the given segments. The sender
+// answers through Sender.ForceLost.
+func (r *Rx) SendResend(segs []int) {
+	p := r.Env.Pkt()
+	p.Type, p.Flow = netem.Resend, r.Flow.ID
+	p.Src, p.Dst = r.Flow.Dst, r.Flow.Src
+	p.WireSize, p.Scheduled = netem.HeaderSize, true
+	p.PathID = r.path()
+	for _, s := range segs {
+		p.SegList = append(p.SegList, int32(s))
+	}
+	r.Env.Net.Host(r.Flow.Dst).Send(p)
+}

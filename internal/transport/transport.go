@@ -187,13 +187,14 @@ func (t *RxTracker) Complete() bool { return t.remaining == 0 }
 // Bytes returns the unique payload bytes received so far.
 func (t *RxTracker) Bytes() int64 { return t.bytes }
 
-// Missing returns the indices of segments not yet received among the first
-// n segments (n ≤ NumSegs).
-func (t *RxTracker) Missing(n int) []int {
+// Missing appends the indices of segments not yet received among the first
+// n segments (n ≤ NumSegs) to out and returns it. Callers on the receive
+// hot path pass a reusable scratch buffer (sliced to length zero) so loss
+// scans allocate nothing in steady state.
+func (t *RxTracker) Missing(n int, out []int) []int {
 	if n > len(t.got) {
 		n = len(t.got)
 	}
-	var out []int
 	for i := 0; i < n; i++ {
 		if !t.got[i] {
 			out = append(out, i)

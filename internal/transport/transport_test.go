@@ -69,8 +69,12 @@ func TestRxTracker(t *testing.T) {
 	if n := tr.Accept(0); n != 0 {
 		t.Fatalf("duplicate Accept = %d", n)
 	}
-	if got := tr.Missing(3); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+	if got := tr.Missing(3, nil); len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("Missing = %v", got)
+	}
+	scratch := make([]int, 0, 4)
+	if got := tr.Missing(3, scratch); len(got) != 2 || &got[0] != &scratch[:1][0] {
+		t.Fatalf("Missing did not reuse scratch: %v", got)
 	}
 	tr.Accept(2920)
 	tr.Accept(1460)
