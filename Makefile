@@ -2,14 +2,15 @@
 # repository's CI runs: lint (gofmt + vet), full build, full test suite, the
 # race detector over the concurrency-bearing packages (the parallel
 # experiment pool, the event engine it drives, and the workload parser the
-# fuzz target exercises), the packet-conservation audit sweep, and the
-# allocation regression smoke (bench-smoke).
+# fuzz target exercises), the packet-conservation audit sweep, the
+# golden-digest gate under both event schedulers, and the allocation
+# regression smoke (bench-smoke).
 
 GO ?= go
 
-.PHONY: ci lint vet build test race audit fuzz bench bench-smoke
+.PHONY: ci lint vet build test race audit golden fuzz bench bench-smoke
 
-ci: lint build test race audit bench-smoke
+ci: lint build test race audit golden bench-smoke
 
 # gofmt gate (fails listing any unformatted file) + go vet.
 lint:
@@ -36,9 +37,19 @@ race:
 audit:
 	$(GO) test -run 'TestAudit' ./internal/audit ./internal/experiments
 
-# Short fuzz pass over the CDF text parser (CI smoke; raise -fuzztime locally).
+# Golden-digest gate, one explicit invocation per event scheduler: the pinned
+# behavior digests must be byte-identical under the reference heap and the
+# timing wheel (the default). A drift here is a scheduler bug, not a tuning
+# knob — see internal/experiments/golden_test.go.
+golden:
+	$(GO) test -run 'TestGoldenDigests' ./internal/experiments -sched=heap
+	$(GO) test -run 'TestGoldenDigests' ./internal/experiments -sched=wheel
+
+# Short fuzz pass over the CDF text parser and the scheduler differential
+# (CI smoke; raise -fuzztime locally).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCDFParse -fuzztime=30s ./internal/workload
+	$(GO) test -run=^$$ -fuzz=FuzzSchedulerEquivalence -fuzztime=30s ./internal/sim
 
 # Full benchmark ledger: micro (event engine, qdiscs, port path) and macro
 # (per-scheme packets/sec) benchmarks, folded into BENCH_micro.json with the
@@ -49,10 +60,12 @@ bench:
 	| $(GO) run ./cmd/benchjson -o BENCH_micro.json
 
 # Allocation-regression smoke for CI: the port-path allocation gate
-# (TestPortPathAllocs fails above the committed allocs/op ceiling), one
-# quick iteration of the hot-path benchmarks, and the race detector over
-# the packet-pool tests.
+# (TestPortPathAllocs fails above the committed allocs/op ceiling), the
+# event-scheduler hot-path gate (TestSchedulerHotPathGate fails above the
+# committed schedule/cancel ns-per-op and allocs/op ceilings, both
+# schedulers), one quick iteration of the hot-path benchmarks, and the race
+# detector over the packet-pool tests.
 bench-smoke:
 	$(GO) test -bench=BenchmarkPortPath -benchtime=100x -benchmem -run=TestPortPathAllocs ./internal/netem
-	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./internal/sim
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=TestSchedulerHotPathGate ./internal/sim
 	$(GO) test -race -run=TestPool ./internal/netem

@@ -34,6 +34,7 @@ import (
 
 	"github.com/aeolus-transport/aeolus/internal/audit"
 	"github.com/aeolus-transport/aeolus/internal/experiments"
+	"github.com/aeolus-transport/aeolus/internal/sim"
 )
 
 func main() {
@@ -51,8 +52,14 @@ func main() {
 		progress = flag.Bool("progress", stderrIsTerminal(), "report per-run progress on stderr")
 		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
 		nopool   = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
+		schedStr = flag.String("sched", "", "event scheduler: wheel or heap (results are identical; for bisection)")
 	)
 	flag.Parse()
+	sched, err := sim.ParseScheduler(*schedStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {
@@ -79,6 +86,7 @@ func main() {
 	cfg.Quick = *quick
 	cfg.Parallel = *parallel
 	cfg.DisablePool = *nopool
+	cfg.Scheduler = sched
 	if *progress {
 		cfg.Progress = experiments.ProgressPrinter(os.Stderr)
 	}
@@ -138,10 +146,12 @@ func main() {
 	finish()
 }
 
-// printDigests runs the golden trace (pool on and off) and prints the
-// behavior digest per scheme in the goldenDigests table format, for pasting
-// into internal/experiments/golden_test.go after an intentional behavior
-// change. An unknown -scheme gets the catalogue and exit 2.
+// printDigests runs the golden trace — pool on and off, under both event
+// schedulers — and prints the behavior digest per scheme in the goldenDigests
+// table format, for pasting into internal/experiments/golden_test.go after an
+// intentional behavior change. Any divergence across the pool or scheduler
+// matrix is an implementation bug, reported and exit 1. An unknown -scheme
+// gets the catalogue and exit 2.
 func printDigests(id string) {
 	ids := []string{id}
 	if id == "" {
@@ -151,21 +161,23 @@ func printDigests(id string) {
 		}
 	}
 	for _, id := range ids {
-		pooled, err := experiments.GoldenDigest(id, true)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		var ref string
+		for _, sched := range []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap} {
+			for _, pool := range []bool{true, false} {
+				d, err := experiments.GoldenDigestIn(id, pool, sched)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				if ref == "" {
+					ref = d
+				} else if d != ref {
+					fmt.Fprintf(os.Stderr, "%s: digest diverges (sched=%s pool=%v): %s vs %s\n", id, sched, pool, d, ref)
+					os.Exit(1)
+				}
+			}
 		}
-		bare, err := experiments.GoldenDigest(id, false)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if pooled != bare {
-			fmt.Fprintf(os.Stderr, "%s: pooling changes behavior: pool=%s nopool=%s\n", id, pooled, bare)
-			os.Exit(1)
-		}
-		fmt.Printf("%q: %q,\n", id, pooled)
+		fmt.Printf("%q: %q,\n", id, ref)
 	}
 }
 

@@ -51,6 +51,7 @@ func main() {
 		cdf      = flag.Bool("cdf", false, "print the small-flow FCT CDF (the paper's figure format)")
 		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
 		nopool   = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
+		schedStr = flag.String("sched", "", "event scheduler: wheel or heap (results are identical; for bisection)")
 	)
 	opts := map[string]string{}
 	flag.Func("opt", "scheme option as key=value (repeatable; keys are per-scheme)", func(s string) error {
@@ -74,6 +75,12 @@ func main() {
 	cfg.Parallel = *parallel
 	cfg.Audit = *auditOn
 	cfg.DisablePool = *nopool
+	sched, err := sim.ParseScheduler(*schedStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Scheduler = sched
 
 	var wl *workload.CDF
 	if *wlName != "" {

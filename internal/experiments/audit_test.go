@@ -25,10 +25,19 @@ func auditSweepSpecs() []RunSpec {
 // TestAuditSweepAllSchemes runs every scheme in the catalogue under the
 // packet-conservation auditor and requires a clean report: all flows
 // complete, every injected byte accounted, queues and protocol state
-// coherent at drain.
+// coherent at drain. Both event schedulers are swept — the auditor's
+// drain-time invariants lean on Engine.CheckInvariants, which validates
+// whichever queue structure backs the run.
 func TestAuditSweepAllSchemes(t *testing.T) {
+	for _, sched := range []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap} {
+		t.Run(string(sched), func(t *testing.T) { auditSweep(t, sched) })
+	}
+}
+
+func auditSweep(t *testing.T, sched sim.SchedulerKind) {
 	cfg := testConfig()
 	cfg.Audit = true
+	cfg.Scheduler = sched
 	var mu sync.Mutex
 	audited := 0
 	cfg.OnAudit = func(_ RunSpec, rep *audit.Report) {
@@ -72,7 +81,7 @@ func TestAuditCatchesInjectedLoss(t *testing.T) {
 	cfg := testConfig()
 	cfg.Audit = true
 	scheme := mustScheme(SchemeSpec{ID: "xpass+aeolus", Seed: 3})
-	net := buildTopo(TopoMicro, scheme.Factory(netem.DefaultBuffer), netem.WireSizeFor(scheme.MSS))
+	net := buildTopo(TopoMicro, scheme.Factory(netem.DefaultBuffer), netem.WireSizeFor(scheme.MSS), cfg.scheduler())
 	// Sabotage one switch port behind the auditor's back: every packet on
 	// the receiver downlink vanishes without a trace event or counter.
 	pt := net.Switches[0].Ports[0]

@@ -40,14 +40,23 @@ func GoldenSpec(id string) RunSpec {
 }
 
 // GoldenDigest runs the golden trace for a scheme and returns the RunResult
-// digest, with the packet pool on or off.
+// digest, with the packet pool on or off, under the default scheduler.
 func GoldenDigest(id string, pool bool) (string, error) {
+	return GoldenDigestIn(id, pool, sim.DefaultScheduler)
+}
+
+// GoldenDigestIn is GoldenDigest with an explicit event scheduler. The digest
+// must be byte-identical for every scheduler — the wheel and the reference
+// heap fire events in the same (time, seq) order, so a divergence here means
+// a scheduler bug, not a behavior change.
+func GoldenDigestIn(id string, pool bool, sched sim.SchedulerKind) (string, error) {
 	spec := GoldenSpec(id)
 	if _, err := MakeScheme(spec.Scheme); err != nil {
 		return "", err
 	}
 	cfg := GoldenConfig()
 	cfg.DisablePool = !pool
+	cfg.Scheduler = sched
 	r := Run(cfg, spec)
 	return r.Digest(), nil
 }

@@ -1,6 +1,32 @@
 package experiments
 
-import "testing"
+import (
+	"flag"
+	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// -sched restricts the golden-digest matrix to one scheduler, so CI can gate
+// each implementation in a separate, clearly-labeled invocation:
+//
+//	go test ./internal/experiments -run TestGoldenDigests -sched=heap
+//	go test ./internal/experiments -run TestGoldenDigests -sched=wheel
+//
+// Empty (the default) runs the full scheduler matrix.
+var schedFlag = flag.String("sched", "", "restrict golden-digest runs to one scheduler (heap|wheel); empty = all")
+
+// goldenSchedulers resolves the -sched flag to the scheduler set under test.
+func goldenSchedulers(t *testing.T) []sim.SchedulerKind {
+	if *schedFlag == "" {
+		return []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap}
+	}
+	kind, err := sim.ParseScheduler(*schedFlag)
+	if err != nil {
+		t.Fatalf("-sched: %v", err)
+	}
+	return []sim.SchedulerKind{kind}
+}
 
 // goldenDigests pins the complete observable behavior of every scheme on the
 // golden trace (see golden.go). The values were captured before the rdbase /
@@ -23,26 +49,26 @@ var goldenDigests = map[string]string{
 	"ndp+aeolus":   "e9777d4b919b8dfe34ef57a9b07aacf5a421f68b3f6a69a65545e0babfda5e3f",
 }
 
-// TestGoldenDigests runs the golden trace for every pinned scheme, with the
-// packet pool on and off, and compares against the pre-refactor digests.
+// TestGoldenDigests runs the golden trace for every pinned scheme — with the
+// packet pool on and off, under every scheduler the -sched flag selects — and
+// compares against the pre-refactor digests. The digests were pinned under
+// the heap scheduler; the wheel must reproduce them byte for byte.
 func TestGoldenDigests(t *testing.T) {
+	scheds := goldenSchedulers(t)
 	for id, want := range goldenDigests {
 		id, want := id, want
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			pooled, err := GoldenDigest(id, true)
-			if err != nil {
-				t.Fatalf("GoldenDigest(%s, pool): %v", id, err)
-			}
-			bare, err := GoldenDigest(id, false)
-			if err != nil {
-				t.Fatalf("GoldenDigest(%s, nopool): %v", id, err)
-			}
-			if pooled != bare {
-				t.Errorf("pooling changes behavior: pool=%s nopool=%s", pooled, bare)
-			}
-			if pooled != want {
-				t.Errorf("golden digest drifted:\n got  %s\n want %s", pooled, want)
+			for _, sched := range scheds {
+				for _, pool := range []bool{true, false} {
+					got, err := GoldenDigestIn(id, pool, sched)
+					if err != nil {
+						t.Fatalf("GoldenDigestIn(%s, pool=%v, %s): %v", id, pool, sched, err)
+					}
+					if got != want {
+						t.Errorf("golden digest drifted (sched=%s pool=%v):\n got  %s\n want %s", sched, pool, got, want)
+					}
+				}
 			}
 		})
 	}

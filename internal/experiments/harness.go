@@ -54,6 +54,22 @@ type Config struct {
 	// (pooling changes object identity, never event order); the knob exists
 	// to prove exactly that, and to bisect should the two ever diverge.
 	DisablePool bool
+
+	// Scheduler selects the event-queue implementation backing every run's
+	// engine (sim.SchedWheel or sim.SchedHeap); empty means
+	// sim.DefaultScheduler. Results are identical either way — both
+	// schedulers fire events in the same (time, seq) order, and the golden
+	// digest test proves it — so, like DisablePool, the knob exists to keep
+	// proving that and to bisect should the two ever diverge.
+	Scheduler sim.SchedulerKind
+}
+
+// scheduler resolves the configured SchedulerKind, defaulting when unset.
+func (c Config) scheduler() sim.SchedulerKind {
+	if c.Scheduler == "" {
+		return sim.DefaultScheduler
+	}
+	return c.Scheduler
 }
 
 // DefaultConfig returns a configuration sized for single-core bench runs.
@@ -85,9 +101,10 @@ const (
 // buildTopo constructs the named topology with the scheme's qdisc factory.
 // frameBytes is the full on-wire frame size the scheme serializes per hop
 // (netem.WireSizeFor of its MSS); it parameterizes the base-RTT derivation
-// so jumbo-frame schemes (NDP) size their first-RTT window correctly.
-func buildTopo(topo string, qf netem.QdiscFactory, frameBytes int) *netem.Network {
-	eng := sim.NewEngine()
+// so jumbo-frame schemes (NDP) size their first-RTT window correctly. sched
+// picks the engine's event-queue implementation.
+func buildTopo(topo string, qf netem.QdiscFactory, frameBytes int, sched sim.SchedulerKind) *netem.Network {
+	eng := sim.NewEngineWith(sched)
 	switch topo {
 	case TopoFatTree:
 		return netem.BuildFatTree3(eng, netem.ExpressPassShape, netem.TopoConfig{
@@ -223,7 +240,7 @@ func Run(cfg Config, spec RunSpec) RunResult {
 	if buffer <= 0 {
 		buffer = netem.DefaultBuffer
 	}
-	net := buildTopo(spec.Topo, scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS))
+	net := buildTopo(spec.Topo, scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS), cfg.scheduler())
 	if cfg.DisablePool {
 		net.Pool.Disable()
 	}

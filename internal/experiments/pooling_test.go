@@ -5,16 +5,25 @@ import (
 	"testing"
 
 	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
 )
 
 // TestPoolOnOffIdenticalResults is the pooling correctness proof: every
 // scheme in the catalogue, run once with packet recycling and once with
 // Config.DisablePool, must produce byte-identical RunResults — every
 // summary, drop counter, CDF point and raw flow record. Pooling changes
-// which object carries a packet, never what happens to it.
+// which object carries a packet, never what happens to it. The sweep runs
+// under both event schedulers so the pooling proof holds on each.
 func TestPoolOnOffIdenticalResults(t *testing.T) {
+	for _, sched := range []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap} {
+		t.Run(string(sched), func(t *testing.T) { poolOnOffSweep(t, sched) })
+	}
+}
+
+func poolOnOffSweep(t *testing.T, sched sim.SchedulerKind) {
 	cfg := testConfig()
 	cfg.Audit = true
+	cfg.Scheduler = sched
 	off := cfg
 	off.DisablePool = true
 	for _, spec := range auditSweepSpecs() {

@@ -69,6 +69,122 @@ func BenchmarkTimerReset(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkEngineCancel measures schedule-then-cancel round trips — the cost
+// of a retransmission timer that is armed and then satisfied before firing.
+// Cancel is a true removal, so the queue never accumulates dead entries.
+func BenchmarkEngineCancel(b *testing.B) {
+	for _, kind := range []SchedulerKind{SchedWheel, SchedHeap} {
+		b.Run(string(kind), func(b *testing.B) {
+			e := NewEngineWith(kind)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := e.At(e.Now()+Time(1+i%4096), func() {})
+				h.Cancel()
+			}
+			e.Run()
+		})
+	}
+}
+
+// BenchmarkEngineDrain measures pure dispatch: batches of events across a
+// spread of deadlines, drained in one Run. This is the popDue/cascade path.
+func BenchmarkEngineDrain(b *testing.B) {
+	for _, kind := range []SchedulerKind{SchedWheel, SchedHeap} {
+		b.Run(string(kind), func(b *testing.B) {
+			e := NewEngineWith(kind)
+			b.ReportAllocs()
+			const batch = 1024
+			for i := 0; i < b.N; i += batch {
+				n := batch
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					// Deadline spread exercises several wheel levels.
+					e.At(e.Now()+Time(1+(j*2654435761)%(1<<18)), func() {})
+				}
+				e.Run()
+			}
+		})
+	}
+}
+
+// Committed hot-path budgets for the CI smoke gate. The steady state is zero
+// allocations; the ns ceilings are deliberately loose (an order of magnitude
+// above the recorded numbers in BENCH_micro.json) so the gate catches
+// asymptotic regressions — an O(log n) or allocating scheduler sneaking back
+// in — without flaking on machine noise. Raising either is a performance
+// regression and needs a PR justifying why.
+const (
+	schedAllocCeiling   = 0.05 // allocs per schedule+fire / schedule+cancel cycle
+	schedNsCeiling      = 2000 // ns per schedule+fire cycle
+	cancelNsCeiling     = 2000 // ns per schedule+cancel round trip
+	schedGateIterations = 20000
+)
+
+// TestSchedulerHotPathGate is the schedule/cancel regression gate run by
+// `make bench-smoke`: both schedulers must stay allocation-free and within
+// the committed ns-per-op ceilings on the schedule+fire and schedule+cancel
+// hot paths.
+func TestSchedulerHotPathGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	for _, kind := range []SchedulerKind{SchedWheel, SchedHeap} {
+		e := NewEngineWith(kind)
+		var i int
+		fireCycle := func() {
+			e.At(e.Now()+Time(1+i%4096), func() {})
+			i++
+			if i%64 == 0 {
+				e.Run()
+			}
+		}
+		cancelCycle := func() {
+			h := e.At(e.Now()+Time(1+i%4096), func() {})
+			i++
+			h.Cancel()
+		}
+		// Warm the free list before measuring.
+		for j := 0; j < 200; j++ {
+			fireCycle()
+		}
+		e.Run()
+		if avg := testing.AllocsPerRun(1000, fireCycle); avg > schedAllocCeiling {
+			t.Errorf("%s: schedule+fire allocates %.3f objects/op, ceiling %v", kind, avg, schedAllocCeiling)
+		}
+		e.Run()
+		if avg := testing.AllocsPerRun(1000, cancelCycle); avg > schedAllocCeiling {
+			t.Errorf("%s: schedule+cancel allocates %.3f objects/op, ceiling %v", kind, avg, schedAllocCeiling)
+		}
+		e.Run()
+
+		res := testing.Benchmark(func(b *testing.B) {
+			e := NewEngineWith(kind)
+			for n := 0; n < b.N; n++ {
+				e.At(e.Now()+Time(1+n%4096), func() {})
+				if n%64 == 63 {
+					e.Run()
+				}
+			}
+			e.Run()
+		})
+		if ns := res.NsPerOp(); res.N >= schedGateIterations && ns > schedNsCeiling {
+			t.Errorf("%s: schedule+fire %d ns/op, ceiling %d", kind, ns, schedNsCeiling)
+		}
+		res = testing.Benchmark(func(b *testing.B) {
+			e := NewEngineWith(kind)
+			for n := 0; n < b.N; n++ {
+				h := e.At(e.Now()+Time(1+n%4096), func() {})
+				h.Cancel()
+			}
+		})
+		if ns := res.NsPerOp(); res.N >= schedGateIterations && ns > cancelNsCeiling {
+			t.Errorf("%s: schedule+cancel %d ns/op, ceiling %d", kind, ns, cancelNsCeiling)
+		}
+	}
+}
+
 // BenchmarkTxTime measures the serialization-delay helper on the hot path.
 func BenchmarkTxTime(b *testing.B) {
 	var sink Duration

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -12,16 +11,23 @@ import (
 type Handler interface{ Fire() }
 
 // Event is a scheduled callback. Events are owned by the engine and recycled
-// through a free-list once they fire or their cancellation is drained;
-// callers refer to them only through the generation-checked Handle returned
-// by At/After, never by raw pointer.
+// through a free-list once they resolve (fire or cancel); callers refer to
+// them only through the generation-checked Handle returned by At/After,
+// never by raw pointer.
 type Event struct {
-	time     Time
-	seq      uint64
-	fn       func()
-	h        Handler
-	eng      *Engine
-	index    int    // position in the heap, -1 once fired or canceled
+	time Time
+	seq  uint64
+	fn   func()
+	h    Handler
+	eng  *Engine
+
+	// Scheduler residency. The heap uses index; the wheel links the event
+	// into an intrusive list (a slot, the overflow level, or the dispatch
+	// batch). An event outside any queue has index -1 and in == nil.
+	index      int
+	next, prev *Event
+	in         *eventList
+
 	gen      uint32 // bumped each time the event is (re)issued
 	canceled bool
 	fired    bool
@@ -63,55 +69,25 @@ func (h Handle) Canceled() bool {
 	return h.valid() && h.ev.canceled && !h.ev.fired
 }
 
-// Cancel prevents the event from firing. Canceling an already-fired event,
-// an already-canceled event, or through a stale handle is a no-op. The event
-// stays in the scheduling heap until its timestamp is reached (canceling is
-// O(1), not a heap removal), but Pending no longer counts it.
+// Cancel prevents the event from firing and removes it from the scheduler
+// immediately — O(1) on the wheel, O(log n) on the heap — so the event
+// object recycles at once and Pending drops by one. Canceling an
+// already-fired event, an already-canceled event, or through a stale handle
+// is a no-op.
 func (h Handle) Cancel() {
 	if !h.valid() || h.ev.fired || h.ev.canceled {
 		return
 	}
-	h.ev.canceled = true
-	if h.ev.index >= 0 && h.ev.eng != nil {
-		h.ev.eng.canceledLive++
-	}
-}
-
-// eventHeap is a min-heap ordered by (time, seq); seq breaks ties in
-// scheduling order, which makes runs deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	ev := h.ev
+	ev.canceled = true
+	ev.eng.q.remove(ev)
+	ev.eng.release(ev)
 }
 
 // Engine is the discrete-event scheduler. It is not safe for concurrent use;
 // the whole simulation runs on one goroutine.
 type Engine struct {
-	heap    eventHeap
+	q       scheduler
 	now     Time
 	nextSeq uint64
 	fired   uint64
@@ -122,22 +98,37 @@ type Engine struct {
 	// rate is observable (allocs stops growing once the pool warms up).
 	free   []*Event
 	allocs uint64
-
-	// canceledLive counts canceled events still sitting in the heap, so
-	// Pending can report live events without draining the heap.
-	canceledLive int
 }
 
-// NewEngine returns an engine with the clock at zero and no pending events.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an engine with the clock at zero, no pending events, and
+// the default (timing-wheel) scheduler.
+func NewEngine() *Engine { return NewEngineWith(DefaultScheduler) }
+
+// NewEngineWith returns an engine backed by the named scheduler. Both kinds
+// fire events in identical (time, seq) order; see SchedulerKind.
+func NewEngineWith(kind SchedulerKind) *Engine {
+	e := &Engine{}
+	switch kind {
+	case SchedHeap:
+		e.q = &heapQueue{}
+	case SchedWheel, "":
+		e.q = newWheel()
+	default:
+		panic(fmt.Sprintf("sim: unknown scheduler kind %q", kind))
+	}
+	return e
+}
+
+// Scheduler reports which event-queue implementation backs the engine.
+func (e *Engine) Scheduler() SchedulerKind { return e.q.kind() }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of live events waiting to fire. Canceled
-// events that have not yet been drained from the heap are excluded — a
-// simulation with Pending() == 0 will fire nothing more.
-func (e *Engine) Pending() int { return len(e.heap) - e.canceledLive }
+// Pending returns the number of events waiting to fire. Cancellation removes
+// an event from the scheduler immediately, so every counted event will fire:
+// a simulation with Pending() == 0 will fire nothing more.
+func (e *Engine) Pending() int { return e.q.size() }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -162,17 +153,18 @@ func (e *Engine) acquire(t Time) *Event {
 	ev.gen++
 	ev.time = t
 	ev.seq = e.nextSeq
+	ev.index = -1
 	ev.canceled = false
 	ev.fired = false
 	e.nextSeq++
 	return ev
 }
 
-// release returns a resolved (fired or canceled-and-drained) event to the
-// free-list. The callback references are dropped so the engine does not pin
-// closures or handlers alive; the generation is NOT bumped here — it bumps on
-// reissue, so stale handles keep reading the event's final state truthfully
-// until the object is reused.
+// release returns a resolved (fired or canceled) event to the free-list. The
+// callback references are dropped so the engine does not pin closures or
+// handlers alive; the generation is NOT bumped here — it bumps on reissue,
+// so stale handles keep reading the event's final state truthfully until the
+// object is reused.
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
 	ev.h = nil
@@ -186,7 +178,7 @@ func (e *Engine) schedule(t Time, fn func(), h Handler) Handle {
 	ev := e.acquire(t)
 	ev.fn = fn
 	ev.h = h
-	heap.Push(&e.heap, ev)
+	e.q.schedule(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
 
@@ -216,41 +208,19 @@ func (e *Engine) Stop() { e.stopped = true }
 // called. It returns the final simulated time.
 func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 
-// CheckInvariants verifies the engine's internal bookkeeping: the canceled
-// counter stays within [0, heap size] and matches the canceled events actually
-// in the heap, every heap entry knows its own position, no live event is
-// scheduled before the current clock, the heap order itself holds, and the
-// free-list holds only resolved events that are out of the heap. It returns
-// nil when everything is coherent; the audit layer calls it at drain time,
-// and it is cheap enough to call in tests after every run.
+// CheckInvariants verifies the engine's internal bookkeeping: the scheduler's
+// own structure (heap order and index bookkeeping, or wheel slot membership,
+// occupancy bitmaps, cascade currency and overflow horizon), that no pending
+// event is behind the clock, and that the free-list holds only resolved,
+// fully unlinked events. It returns nil when everything is coherent; the
+// audit layer calls it at drain time, and it is cheap enough to call in
+// tests after every run.
 func (e *Engine) CheckInvariants() error {
-	if e.canceledLive < 0 || e.canceledLive > len(e.heap) {
-		return fmt.Errorf("sim: canceledLive %d outside [0, %d]", e.canceledLive, len(e.heap))
+	if err := e.q.check(e.now); err != nil {
+		return err
 	}
-	canceled := 0
-	for i, ev := range e.heap {
-		if ev.index != i {
-			return fmt.Errorf("sim: heap entry %d carries index %d", i, ev.index)
-		}
-		if ev.fired {
-			return fmt.Errorf("sim: fired event at heap position %d", i)
-		}
-		if ev.canceled {
-			canceled++
-			continue
-		}
-		if ev.time < e.now {
-			return fmt.Errorf("sim: live event at %v behind clock %v", ev.time, e.now)
-		}
-	}
-	if canceled != e.canceledLive {
-		return fmt.Errorf("sim: canceledLive %d but %d canceled events in heap", e.canceledLive, canceled)
-	}
-	for i := 1; i < len(e.heap); i++ {
-		parent := (i - 1) / 2
-		if e.heap.Less(i, parent) {
-			return fmt.Errorf("sim: heap order violated between %d and parent %d", i, parent)
-		}
+	if e.q.size() < 0 {
+		return fmt.Errorf("sim: negative pending count %d", e.q.size())
 	}
 	for i, ev := range e.free {
 		if ev == nil {
@@ -258,6 +228,9 @@ func (e *Engine) CheckInvariants() error {
 		}
 		if ev.index != -1 {
 			return fmt.Errorf("sim: free-list entry %d carries heap index %d", i, ev.index)
+		}
+		if ev.in != nil || ev.next != nil || ev.prev != nil {
+			return fmt.Errorf("sim: free-list entry %d still linked into a wheel list", i)
 		}
 		if ev.fn != nil || ev.h != nil {
 			return fmt.Errorf("sim: free-list entry %d retains a callback", i)
@@ -277,24 +250,18 @@ func (e *Engine) CheckInvariants() error {
 // deadline is MaxTime). It returns the final simulated time.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		next := e.heap[0]
-		if next.time > deadline {
+	for !e.stopped {
+		ev := e.q.popDue(deadline)
+		if ev == nil {
 			break
 		}
-		heap.Pop(&e.heap)
-		if next.canceled {
-			e.canceledLive--
-			e.release(next)
-			continue
-		}
-		e.now = next.time
-		next.fired = true
-		fn, h := next.fn, next.h
+		e.now = ev.time
+		ev.fired = true
+		fn, h := ev.fn, ev.h
 		// Release before firing: the callback may immediately reschedule and
 		// reuse this very object (the common timer-rearm pattern), which is
 		// safe because reissue bumps the generation.
-		e.release(next)
+		e.release(ev)
 		if h != nil {
 			h.Fire()
 		} else {

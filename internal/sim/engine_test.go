@@ -154,10 +154,11 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
-// Pending must count live events only: a canceled event still occupies the
-// heap until its timestamp is drained, but it will never fire and must not
-// inflate the count.
-func TestEnginePendingExcludesCanceled(t *testing.T) {
+// Cancel is a true removal: Pending drops the moment Cancel returns — there
+// is no canceled-but-undrained resident state — and a double cancel changes
+// nothing. (PR 1 pinned the older lazy-cancellation exclusion semantics; the
+// observable counts are identical, the removal is just immediate now.)
+func TestEnginePendingDropsOnCancel(t *testing.T) {
 	e := NewEngine()
 	evA := e.At(10, func() {})
 	evB := e.At(20, func() {})
@@ -167,13 +168,19 @@ func TestEnginePendingExcludesCanceled(t *testing.T) {
 	}
 	evB.Cancel()
 	if got := e.Pending(); got != 2 {
-		t.Fatalf("Pending() after cancel = %d, want 2 (canceled event still undrained)", got)
+		t.Fatalf("Pending() after cancel = %d, want 2 (removal is immediate)", got)
+	}
+	if !evB.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
 	}
 	evB.Cancel() // double cancel must not double-count
 	if got := e.Pending(); got != 2 {
 		t.Fatalf("Pending() after double cancel = %d, want 2", got)
 	}
-	e.RunUntil(25) // fires A, drains canceled B
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("after cancel: %v", err)
+	}
+	e.RunUntil(25) // fires A; B is long gone
 	if got := e.Pending(); got != 1 {
 		t.Fatalf("Pending() after RunUntil(25) = %d, want 1", got)
 	}
@@ -307,44 +314,36 @@ func TestExpMean(t *testing.T) {
 }
 
 func TestCheckInvariantsCleanEngine(t *testing.T) {
-	e := NewEngine()
-	if err := e.CheckInvariants(); err != nil {
-		t.Fatalf("fresh engine: %v", err)
-	}
-	for i := 0; i < 10; i++ {
-		e.After(Duration(i)*Microsecond, func() {})
-	}
-	ev := e.After(20*Microsecond, func() {})
-	ev.Cancel()
-	if err := e.CheckInvariants(); err != nil {
-		t.Fatalf("with pending and canceled events: %v", err)
-	}
-	e.RunUntil(Time(5 * Microsecond))
-	if err := e.CheckInvariants(); err != nil {
-		t.Fatalf("mid-run: %v", err)
-	}
-	e.Run()
-	if err := e.CheckInvariants(); err != nil {
-		t.Fatalf("drained: %v", err)
+	for _, kind := range []SchedulerKind{SchedHeap, SchedWheel} {
+		e := NewEngineWith(kind)
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("%s: fresh engine: %v", kind, err)
+		}
+		for i := 0; i < 10; i++ {
+			e.After(Duration(i)*Microsecond, func() {})
+		}
+		ev := e.After(20*Microsecond, func() {})
+		ev.Cancel()
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("%s: with pending and canceled events: %v", kind, err)
+		}
+		e.RunUntil(Time(5 * Microsecond))
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("%s: mid-run: %v", kind, err)
+		}
+		e.Run()
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("%s: drained: %v", kind, err)
+		}
 	}
 }
 
-func TestCheckInvariantsDetectsCorruption(t *testing.T) {
-	e := NewEngine()
+func TestCheckInvariantsDetectsHeapCorruption(t *testing.T) {
+	e := NewEngineWith(SchedHeap)
 	for i := 0; i < 4; i++ {
 		e.After(Duration(i+1)*Microsecond, func() {})
 	}
-
-	// Canceled-counter drift.
-	e.canceledLive = 3
-	if err := e.CheckInvariants(); err == nil {
-		t.Fatal("canceledLive drift not detected")
-	}
-	e.canceledLive = -1
-	if err := e.CheckInvariants(); err == nil {
-		t.Fatal("negative canceledLive not detected")
-	}
-	e.canceledLive = 0
+	q := e.q.(*heapQueue)
 
 	// A live event behind the clock.
 	e.now = Time(10 * Microsecond)
@@ -354,15 +353,15 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 	e.now = 0
 
 	// Broken heap index bookkeeping.
-	e.heap[0].index = 2
+	q.h[0].index = 2
 	if err := e.CheckInvariants(); err == nil {
 		t.Fatal("index corruption not detected")
 	}
-	e.heap[0].index = 0
+	q.h[0].index = 0
 
 	// Heap order violation.
-	e.heap[0].time, e.heap[1].time = e.heap[1].time, e.heap[0].time
-	if e.heap.Less(1, 0) {
+	q.h[0].time, q.h[1].time = q.h[1].time, q.h[0].time
+	if q.h.Less(1, 0) {
 		if err := e.CheckInvariants(); err == nil {
 			t.Fatal("heap order violation not detected")
 		}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// schedTrace is the observable history of one scheduler interpreting an op
+// program: every firing as (label, time, firedSoFar) plus Pending and Now
+// after every op. Two schedulers are equivalent iff their traces are
+// identical.
+type schedTrace struct {
+	Fires    [][3]int64
+	Pendings []int
+	Nows     []Time
+}
+
+// runSchedProgram interprets prog on an engine with the given scheduler.
+// Opcodes (byte % 6), with operands drawn from following bytes:
+//
+//	0: schedule at now+delta (delta exponential in one byte, so every wheel
+//	   level and the overflow list are reachable)
+//	1: cancel the k-th live handle
+//	2: RunUntil(now+delta)
+//	3: reset the shared rearmable timer to now+delta
+//	4: stop the shared timer
+//	5: schedule at now (zero delay)
+func runSchedProgram(kind SchedulerKind, prog []byte) schedTrace {
+	e := NewEngineWith(kind)
+	var tr schedTrace
+	var handles []Handle
+	label := int64(0)
+
+	var tm Timer
+	tm.Init(e, func() { tr.Fires = append(tr.Fires, [3]int64{-1, int64(e.Now()), int64(e.Fired())}) })
+
+	record := func(lbl int64) func() {
+		return func() { tr.Fires = append(tr.Fires, [3]int64{lbl, int64(e.Now()), int64(e.Fired())}) }
+	}
+	delta := func(b byte) Duration {
+		// Exponential spread: shifts 0..51 cover every level plus overflow.
+		return (Duration(1) << (b % 52)) + Duration(b%7)
+	}
+
+	for i := 0; i+1 < len(prog); i += 2 {
+		op, arg := prog[i], prog[i+1]
+		switch op % 6 {
+		case 0:
+			label++
+			handles = append(handles, e.At(e.Now().Add(delta(arg)), record(label)))
+		case 1:
+			if len(handles) > 0 {
+				k := int(arg) % len(handles)
+				handles[k].Cancel()
+				handles = append(handles[:k], handles[k+1:]...)
+			}
+		case 2:
+			e.RunUntil(e.Now().Add(delta(arg)))
+		case 3:
+			tm.Reset(delta(arg))
+		case 4:
+			tm.Stop()
+		case 5:
+			label++
+			handles = append(handles, e.At(e.Now(), record(label)))
+		}
+		tr.Pendings = append(tr.Pendings, e.Pending())
+		tr.Nows = append(tr.Nows, e.Now())
+	}
+	e.RunUntil(e.Now() + (1 << 53)) // drain everything, overflow included
+	tr.Pendings = append(tr.Pendings, e.Pending())
+	tr.Nows = append(tr.Nows, e.Now())
+	return tr
+}
+
+// FuzzSchedulerEquivalence replays random schedule/cancel/reset/advance
+// programs on the heap and the wheel and requires identical firing sequences
+// and identical Pending()/Now() after every step — the differential proof
+// that the wheel is a drop-in replacement for the reference heap.
+func FuzzSchedulerEquivalence(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 10, 2, 20})                      // same-time pair, then run
+	f.Add([]byte{0, 1, 0, 48, 1, 0, 2, 50})                 // overflow + cancel
+	f.Add([]byte{3, 9, 2, 3, 3, 12, 2, 40, 4, 0})           // timer rearm across levels
+	f.Add([]byte{5, 0, 5, 0, 2, 1, 0, 30, 1, 1, 2, 51})     // zero-delay batch
+	f.Add([]byte{0, 12, 0, 24, 0, 36, 0, 51, 2, 13, 2, 37}) // one event per tier
+	f.Add([]byte{0, 6, 1, 0, 0, 6, 1, 0, 0, 6, 2, 8, 0, 6}) // churny cancel/replace
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 512 {
+			prog = prog[:512]
+		}
+		heapTr := runSchedProgram(SchedHeap, prog)
+		wheelTr := runSchedProgram(SchedWheel, prog)
+		if !reflect.DeepEqual(heapTr.Fires, wheelTr.Fires) {
+			t.Fatalf("firing sequences diverge:\nheap:  %v\nwheel: %v", heapTr.Fires, wheelTr.Fires)
+		}
+		if !reflect.DeepEqual(heapTr.Pendings, wheelTr.Pendings) {
+			t.Fatalf("Pending() diverges:\nheap:  %v\nwheel: %v", heapTr.Pendings, wheelTr.Pendings)
+		}
+		if !reflect.DeepEqual(heapTr.Nows, wheelTr.Nows) {
+			t.Fatalf("Now() diverges:\nheap:  %v\nwheel: %v", heapTr.Nows, wheelTr.Nows)
+		}
+	})
+}
+
+// TestSchedulerEquivalenceSeeds runs the fuzz seed corpus as a plain test so
+// the differential check is part of every `go test` run, not only -fuzz.
+func TestSchedulerEquivalenceSeeds(t *testing.T) {
+	seeds := [][]byte{
+		{0, 10, 0, 10, 2, 20},
+		{0, 1, 0, 48, 1, 0, 2, 50},
+		{3, 9, 2, 3, 3, 12, 2, 40, 4, 0},
+		{5, 0, 5, 0, 2, 1, 0, 30, 1, 1, 2, 51},
+		{0, 12, 0, 24, 0, 36, 0, 51, 2, 13, 2, 37},
+		{0, 6, 1, 0, 0, 6, 1, 0, 0, 6, 2, 8, 0, 6},
+	}
+	// A deterministic pseudo-random program sweep on top of the hand seeds.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() byte {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return byte(state)
+	}
+	for round := 0; round < 50; round++ {
+		prog := make([]byte, 64)
+		for i := range prog {
+			prog[i] = next()
+		}
+		seeds = append(seeds, prog)
+	}
+	for i, prog := range seeds {
+		heapTr := runSchedProgram(SchedHeap, prog)
+		wheelTr := runSchedProgram(SchedWheel, prog)
+		if !reflect.DeepEqual(heapTr, wheelTr) {
+			t.Fatalf("seed %d: schedulers diverge on %v\nheap:  %+v\nwheel: %+v", i, prog, heapTr, wheelTr)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// heapQueue is the container/heap reference scheduler: a binary min-heap over
+// (time, seq). Every operation is O(log n); Cancel is a true removal via the
+// event's stored heap index, so — like the wheel — the heap never holds a
+// canceled event. It exists as the differential baseline for the wheel
+// (FuzzSchedulerEquivalence, the golden digests) and as the -sched=heap
+// escape hatch.
+type heapQueue struct {
+	h eventHeap
+}
+
+// eventHeap is a min-heap ordered by (time, seq); seq breaks ties in
+// scheduling order, which makes runs deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+func (q *heapQueue) schedule(ev *Event) { heap.Push(&q.h, ev) }
+
+func (q *heapQueue) remove(ev *Event) { heap.Remove(&q.h, ev.index) }
+
+func (q *heapQueue) popDue(limit Time) *Event {
+	if len(q.h) == 0 || q.h[0].time > limit {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+func (q *heapQueue) size() int { return len(q.h) }
+
+func (q *heapQueue) kind() SchedulerKind { return SchedHeap }
+
+// check verifies the heap's bookkeeping: every entry knows its own position,
+// no resolved event is resident, no pending event is behind the clock, and
+// the heap order itself holds.
+func (q *heapQueue) check(now Time) error {
+	for i, ev := range q.h {
+		if ev.index != i {
+			return fmt.Errorf("sim: heap entry %d carries index %d", i, ev.index)
+		}
+		if ev.fired || ev.canceled {
+			return fmt.Errorf("sim: resolved event at heap position %d", i)
+		}
+		if ev.time < now {
+			return fmt.Errorf("sim: live event at %v behind clock %v", ev.time, now)
+		}
+	}
+	for i := 1; i < len(q.h); i++ {
+		parent := (i - 1) / 2
+		if q.h.Less(i, parent) {
+			return fmt.Errorf("sim: heap order violated between %d and parent %d", i, parent)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package sim
+
+import "fmt"
+
+// SchedulerKind selects the event-queue implementation backing an Engine.
+// Both schedulers fire events in identical (time, seq) order — the golden
+// digest test and FuzzSchedulerEquivalence prove it — so the choice is purely
+// a performance knob with the heap retained as the reference implementation.
+type SchedulerKind string
+
+const (
+	// SchedWheel is the hierarchical timing wheel: O(1) schedule, O(1) true
+	// removal on cancel, amortized O(levels) dispatch. The default.
+	SchedWheel SchedulerKind = "wheel"
+
+	// SchedHeap is the container/heap reference implementation: O(log n)
+	// schedule, removal and dispatch.
+	SchedHeap SchedulerKind = "heap"
+)
+
+// DefaultScheduler is what NewEngine uses.
+const DefaultScheduler = SchedWheel
+
+// ParseScheduler maps a -sched flag value to a SchedulerKind. The empty
+// string selects the default; anything else must name a known scheduler.
+func ParseScheduler(s string) (SchedulerKind, error) {
+	switch SchedulerKind(s) {
+	case "":
+		return DefaultScheduler, nil
+	case SchedWheel:
+		return SchedWheel, nil
+	case SchedHeap:
+		return SchedHeap, nil
+	default:
+		return "", fmt.Errorf("sim: unknown scheduler %q (want %q or %q)", s, SchedWheel, SchedHeap)
+	}
+}
+
+// scheduler is the event-queue contract the Engine drives. Exactly the events
+// that were scheduled and not removed are pending; Cancel is a true removal,
+// so a scheduler never holds fired or canceled events.
+type scheduler interface {
+	// schedule inserts a pending event. The engine guarantees ev.time is not
+	// in the past and ev.seq is strictly larger than every earlier event's.
+	schedule(ev *Event)
+
+	// remove deletes a pending event before it fires.
+	remove(ev *Event)
+
+	// popDue removes and returns the earliest pending event by (time, seq)
+	// if its time is ≤ limit, or nil (leaving the queue untouched in any
+	// observable way) when the queue is empty or the earliest event is later.
+	popDue(limit Time) *Event
+
+	// size is the number of pending events.
+	size() int
+
+	// kind names the implementation.
+	kind() SchedulerKind
+
+	// check validates the implementation's structural invariants: membership
+	// bookkeeping, ordering, and that no pending event is behind now.
+	check(now Time) error
+}
+
+// eventList is an intrusive doubly-linked list of pending events, used by the
+// timing wheel for its slots, its overflow level and its same-timestamp
+// dispatch batch. Links live on the Event itself, so membership changes are
+// pointer writes with no allocation. A list backing a wheel slot knows its
+// (wheel, level, slot) so emptying it can clear the occupancy bitmap bit.
+type eventList struct {
+	head, tail *Event
+	wh         *wheel // non-nil for wheel slot lists
+	level      uint8
+	slot       uint8
+}
+
+// pushBack appends ev and records the owning list on the event.
+func (l *eventList) pushBack(ev *Event) {
+	ev.in = l
+	ev.prev = l.tail
+	ev.next = nil
+	if l.tail != nil {
+		l.tail.next = ev
+	} else {
+		l.head = ev
+	}
+	l.tail = ev
+}
+
+// unlink removes ev from this list in O(1) and clears its links. When a wheel
+// slot empties, the level's occupancy bit is cleared so the bitmap scans stay
+// truthful.
+func (l *eventList) unlink(ev *Event) {
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		l.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		l.tail = ev.prev
+	}
+	ev.next, ev.prev, ev.in = nil, nil, nil
+	if l.head == nil && l.wh != nil {
+		l.wh.occupied[l.level] &^= 1 << l.slot
+	}
+}
+
+// checkLinks validates the list's internal pointer structure and returns the
+// number of events it holds.
+func (l *eventList) checkLinks(what string) (int, error) {
+	n := 0
+	var prev *Event
+	for ev := l.head; ev != nil; ev = ev.next {
+		if ev.in != l {
+			return n, fmt.Errorf("sim: %s entry %d claims a different owning list", what, n)
+		}
+		if ev.prev != prev {
+			return n, fmt.Errorf("sim: %s entry %d has a broken prev link", what, n)
+		}
+		prev = ev
+		n++
+	}
+	if l.tail != prev {
+		return n, fmt.Errorf("sim: %s tail does not reach the last entry", what)
+	}
+	if (l.head == nil) != (l.tail == nil) {
+		return n, fmt.Errorf("sim: %s head/tail nil mismatch", what)
+	}
+	return n, nil
+}

@@ -63,31 +63,37 @@ func TestStaleHandleIsInertAfterRecycle(t *testing.T) {
 	}
 }
 
-// Canceled-and-drained events must recycle too, and a stale handle to one
-// keeps reporting Canceled until reuse, then goes inert.
-func TestStaleHandleAfterCanceledDrain(t *testing.T) {
+// Cancel is a true removal: the object recycles immediately (no
+// canceled-but-undrained residency), and a stale handle to it keeps
+// reporting Canceled until the object is reused, then goes inert.
+func TestStaleHandleAfterCancel(t *testing.T) {
 	e := NewEngine()
 	h1 := e.At(10, func() { t.Fatal("canceled event fired") })
 	h1.Cancel()
-	e.At(15, func() {}) // allocates a second object; the canceled one is still in the heap
-	e.Run()
 	if !h1.Canceled() {
 		t.Fatal("Canceled() = false before the object is reused")
 	}
-	h2 := e.At(30, func() {})
-	// Two objects are free; the drained-canceled one is reused eventually.
-	h3 := e.At(40, func() {})
-	if e.EventAllocs() != 2 {
-		t.Fatalf("EventAllocs() = %d, want 2", e.EventAllocs())
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancel, want 0 (removal is immediate)", e.Pending())
 	}
-	reusedCanceled := h2.ev == h1.ev || h3.ev == h1.ev
-	if !reusedCanceled {
+	h2 := e.At(15, func() {}) // reuses the canceled object at once
+	if e.EventAllocs() != 1 {
+		t.Fatalf("EventAllocs() = %d, want 1 (canceled object recycled immediately)", e.EventAllocs())
+	}
+	if h2.ev != h1.ev {
 		t.Fatal("canceled event object was not recycled")
 	}
 	if h1.Canceled() {
 		t.Fatal("stale handle still reports Canceled after reuse")
 	}
+	h1.Cancel() // stale cancel must not touch the new occupant
+	if !h2.Pending() {
+		t.Fatal("stale Cancel hit the recycled event's new occupant")
+	}
 	e.Run()
+	if !h2.Fired() {
+		t.Fatal("recycled event did not fire")
+	}
 }
 
 func TestEngineEventAllocsSteadyState(t *testing.T) {

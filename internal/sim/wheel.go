@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+// Wheel geometry. Eight levels of 64 slots cover deltas up to 2^48
+// picoseconds (≈ 281 simulated seconds) — far beyond any simulation horizon
+// in this repository; anything further sits on an overflow list until the
+// clock gets close enough. Level l slots are 64^l ticks wide, so level 0
+// slots hold exactly one timestamp and a dispatch batch is exactly the
+// same-time events.
+const (
+	wheelBits        = 6
+	wheelSlots       = 1 << wheelBits
+	wheelMask        = wheelSlots - 1
+	wheelLevels      = 8
+	wheelHorizonBits = wheelBits * wheelLevels // 48
+)
+
+// wheel is the hierarchical timing-wheel scheduler. Placement uses the
+// classic highest-differing-bit-group rule: an event at time t goes to the
+// level of the top 6-bit group where t differs from the wheel clock cur,
+// at slot (t >> 6·level) & 63. Because every resident event shares all
+// higher groups with cur, slots within a level are strictly ordered in time
+// from the clock's own slot upward — there is no circular wraparound to
+// disambiguate, and the lowest set bit of a level's occupancy bitmap is
+// always that level's earliest window.
+//
+// Costs: schedule and remove are O(1); popDue advances the clock straight to
+// the next event time (this is a discrete-event simulator — no tick parade)
+// and cascades at most one slot per level, so each event is relinked at most
+// wheelLevels times over its whole life.
+type wheel struct {
+	cur      Time
+	slots    [wheelLevels][wheelSlots]eventList
+	occupied [wheelLevels]uint64 // bit s set iff slots[l][s] is nonempty
+
+	// overflow holds events beyond the top level's horizon, unordered; they
+	// migrate into the wheel when the clock crosses a horizon boundary.
+	// overflowMin caches the earliest overflow deadline so the common
+	// popDue path never walks the list; a removal of the cached minimum
+	// marks it dirty for lazy recomputation.
+	overflow      eventList
+	overflowMin   Time
+	overflowDirty bool
+
+	// due is the same-timestamp dispatch batch: the level-0 slot at cur,
+	// detached and sorted by seq. popDue serves from it until it drains;
+	// events scheduled at the current instant mid-batch land back in the
+	// level-0 slot and form the next batch, preserving seq order.
+	due eventList
+
+	count   int
+	scratch []*Event // reusable sort buffer for dispatch batches
+}
+
+func newWheel() *wheel {
+	w := &wheel{}
+	for l := range w.slots {
+		for s := range w.slots[l] {
+			li := &w.slots[l][s]
+			li.wh, li.level, li.slot = w, uint8(l), uint8(s)
+		}
+	}
+	return w
+}
+
+func (w *wheel) schedule(ev *Event) {
+	w.count++
+	w.place(ev)
+}
+
+// place links ev into the slot its deadline selects relative to the current
+// wheel clock, or onto the overflow list when it is beyond the horizon.
+func (w *wheel) place(ev *Event) {
+	d := uint64(ev.time ^ w.cur)
+	if d>>wheelHorizonBits != 0 {
+		if !w.overflowDirty && (w.overflow.head == nil || ev.time < w.overflowMin) {
+			w.overflowMin = ev.time
+		}
+		w.overflow.pushBack(ev)
+		return
+	}
+	l := 0
+	if d != 0 {
+		l = (63 - bits.LeadingZeros64(d)) / wheelBits
+	}
+	s := (uint64(ev.time) >> (l * wheelBits)) & wheelMask
+	w.slots[l][s].pushBack(ev)
+	w.occupied[l] |= 1 << s
+}
+
+func (w *wheel) remove(ev *Event) {
+	if ev.in == &w.overflow && !w.overflowDirty && ev.time == w.overflowMin {
+		w.overflowDirty = true
+	}
+	ev.in.unlink(ev)
+	w.count--
+}
+
+// nextTime returns the earliest pending deadline without mutating the wheel.
+// The XOR placement rule makes levels strictly ordered in time: every level-l
+// resident precedes every level-(l+1) resident (they differ from the clock in
+// a higher bit group), and overflow events lie beyond all of them. So the
+// earliest event lives in the lowest occupied slot of the lowest occupied
+// level — and at level 0 that slot holds a single timestamp, making the
+// common case a bitmap scan plus one pointer chase.
+func (w *wheel) nextTime() (Time, bool) {
+	for l := 0; l < wheelLevels; l++ {
+		occ := w.occupied[l]
+		if occ == 0 {
+			continue
+		}
+		s := bits.TrailingZeros64(occ)
+		if l == 0 {
+			return w.slots[0][s].head.time, true
+		}
+		best := MaxTime
+		for ev := w.slots[l][s].head; ev != nil; ev = ev.next {
+			if ev.time < best {
+				best = ev.time
+			}
+		}
+		return best, true
+	}
+	if w.overflow.head != nil {
+		if w.overflowDirty {
+			w.overflowMin = MaxTime
+			for ev := w.overflow.head; ev != nil; ev = ev.next {
+				if ev.time < w.overflowMin {
+					w.overflowMin = ev.time
+				}
+			}
+			w.overflowDirty = false
+		}
+		return w.overflowMin, true
+	}
+	return MaxTime, false
+}
+
+// advance jumps the wheel clock to t (the next deadline) and cascades: the
+// slot containing t at each level may hold events that now share a narrower
+// window with the clock, so they re-place strictly downward. Crossing a
+// horizon boundary first migrates overflow events that have come into range.
+func (w *wheel) advance(t Time) {
+	if (uint64(w.cur^t))>>wheelHorizonBits != 0 {
+		w.cur = t
+		w.migrateOverflow()
+	} else {
+		w.cur = t
+	}
+	for l := wheelLevels - 1; l >= 1; l-- {
+		s := (uint64(t) >> (l * wheelBits)) & wheelMask
+		if w.occupied[l]&(1<<s) == 0 {
+			continue
+		}
+		li := &w.slots[l][s]
+		for ev := li.head; ev != nil; {
+			next := ev.next
+			li.unlink(ev)
+			w.place(ev)
+			ev = next
+		}
+	}
+}
+
+// migrateOverflow re-places every overflow event now within the horizon and
+// refreshes the cached minimum of whatever stays behind.
+func (w *wheel) migrateOverflow() {
+	w.overflowMin = MaxTime
+	for ev := w.overflow.head; ev != nil; {
+		next := ev.next
+		if uint64(ev.time^w.cur)>>wheelHorizonBits == 0 {
+			w.overflow.unlink(ev)
+			w.place(ev)
+		} else if ev.time < w.overflowMin {
+			w.overflowMin = ev.time
+		}
+		ev = next
+	}
+	w.overflowDirty = false
+}
+
+func (w *wheel) popDue(limit Time) *Event {
+	if head := w.due.head; head != nil {
+		if head.time > limit {
+			return nil
+		}
+		w.due.unlink(head)
+		w.count--
+		return head
+	}
+	t, ok := w.nextTime()
+	if !ok || t > limit {
+		return nil
+	}
+	w.advance(t)
+
+	// Detach the level-0 slot at the clock — exactly the events at time t —
+	// and sort it by seq into the dispatch batch. Direct schedules append in
+	// seq order already; cascaded arrivals can interleave, hence the sort
+	// (pdqsort, linear on the already-sorted common case).
+	li := &w.slots[0][uint64(t)&wheelMask]
+	if head := li.head; head != nil && head == li.tail {
+		// Lone event at this timestamp — the overwhelmingly common case in a
+		// simulation with picosecond resolution. No batch, no sort.
+		li.unlink(head)
+		w.count--
+		return head
+	}
+	w.scratch = w.scratch[:0]
+	for ev := li.head; ev != nil; {
+		next := ev.next
+		li.unlink(ev)
+		w.scratch = append(w.scratch, ev)
+		ev = next
+	}
+	slices.SortFunc(w.scratch, func(a, b *Event) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for _, ev := range w.scratch {
+		w.due.pushBack(ev)
+	}
+	head := w.due.head
+	w.due.unlink(head)
+	w.count--
+	return head
+}
+
+func (w *wheel) size() int { return w.count }
+
+func (w *wheel) kind() SchedulerKind { return SchedWheel }
+
+// check validates the wheel's structural invariants: occupancy bits mirror
+// slot contents, every resident event is pending, in the slot its deadline
+// selects, within its level's window of the clock (no overdue cascade), and
+// not behind the clock; the dispatch batch holds only current-instant events
+// in seq order; overflow events are genuinely beyond the horizon with a
+// truthful cached minimum; and the total count matches size.
+func (w *wheel) check(now Time) error {
+	if w.cur > now {
+		return fmt.Errorf("sim: wheel clock %v ahead of engine clock %v", w.cur, now)
+	}
+	count := 0
+	for l := 0; l < wheelLevels; l++ {
+		for s := 0; s < wheelSlots; s++ {
+			li := &w.slots[l][s]
+			occupied := w.occupied[l]&(1<<s) != 0
+			if occupied != (li.head != nil) {
+				return fmt.Errorf("sim: wheel level %d slot %d occupancy bit %v disagrees with contents", l, s, occupied)
+			}
+			n, err := li.checkLinks(fmt.Sprintf("wheel level %d slot %d", l, s))
+			if err != nil {
+				return err
+			}
+			count += n
+			for ev := li.head; ev != nil; ev = ev.next {
+				if ev.fired || ev.canceled {
+					return fmt.Errorf("sim: resolved event resident at wheel level %d slot %d", l, s)
+				}
+				if ev.time < w.cur {
+					return fmt.Errorf("sim: wheel event at %v behind wheel clock %v", ev.time, w.cur)
+				}
+				if got := int((uint64(ev.time) >> (l * wheelBits)) & wheelMask); got != s {
+					return fmt.Errorf("sim: event at %v in wheel level %d slot %d, deadline selects slot %d", ev.time, l, s, got)
+				}
+				if uint64(ev.time^w.cur)>>((l+1)*wheelBits) != 0 {
+					return fmt.Errorf("sim: event at %v overdue for cascade out of level %d (clock %v)", ev.time, l, w.cur)
+				}
+			}
+		}
+	}
+	n, err := w.due.checkLinks("wheel dispatch batch")
+	if err != nil {
+		return err
+	}
+	count += n
+	var prevSeq uint64
+	for ev := w.due.head; ev != nil; ev = ev.next {
+		if ev.time != w.cur {
+			return fmt.Errorf("sim: dispatch-batch event at %v, wheel clock %v", ev.time, w.cur)
+		}
+		if ev.fired || ev.canceled {
+			return fmt.Errorf("sim: resolved event in the dispatch batch")
+		}
+		if ev != w.due.head && ev.seq <= prevSeq {
+			return fmt.Errorf("sim: dispatch batch out of seq order (%d after %d)", ev.seq, prevSeq)
+		}
+		prevSeq = ev.seq
+	}
+	n, err = w.overflow.checkLinks("wheel overflow")
+	if err != nil {
+		return err
+	}
+	count += n
+	min := MaxTime
+	for ev := w.overflow.head; ev != nil; ev = ev.next {
+		if ev.fired || ev.canceled {
+			return fmt.Errorf("sim: resolved event on the overflow list")
+		}
+		if uint64(ev.time^w.cur)>>wheelHorizonBits == 0 {
+			return fmt.Errorf("sim: overflow event at %v already within the wheel horizon (clock %v)", ev.time, w.cur)
+		}
+		if ev.time < min {
+			min = ev.time
+		}
+	}
+	if w.overflow.head != nil && !w.overflowDirty && w.overflowMin != min {
+		return fmt.Errorf("sim: cached overflow minimum %v, actual %v", w.overflowMin, min)
+	}
+	if count != w.count {
+		return fmt.Errorf("sim: wheel holds %d events but count says %d", count, w.count)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// wheelHorizon is the first delta that no longer fits in the wheel's levels
+// and must ride the overflow list.
+const wheelHorizon = Time(1) << wheelHorizonBits
+
+// TestWheelFarFutureOverflow schedules events beyond the top level's horizon
+// and checks they park on the overflow list, survive invariant checks, and
+// fire in order once the clock gets there — interleaved with near events.
+func TestWheelFarFutureOverflow(t *testing.T) {
+	e := NewEngine()
+	w := e.q.(*wheel)
+	var order []int
+	e.At(5, func() { order = append(order, 1) })
+	e.At(wheelHorizon+7, func() { order = append(order, 3) })    // one horizon out
+	e.At(3*wheelHorizon+11, func() { order = append(order, 4) }) // several horizons out
+	e.At(Time(1000*Microsecond), func() { order = append(order, 2) })
+	if w.overflow.head == nil {
+		t.Fatal("far-future events did not land on the overflow list")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("with overflow residents: %v", err)
+	}
+	e.Run()
+	if len(order) != 4 {
+		t.Fatalf("fired %d of 4 events", len(order))
+	}
+	for i, want := range []int{1, 2, 3, 4} {
+		if order[i] != want {
+			t.Fatalf("firing order %v, want [1 2 3 4]", order)
+		}
+	}
+	if w.overflow.head != nil {
+		t.Fatal("overflow list not drained")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("drained: %v", err)
+	}
+}
+
+// TestWheelOverflowCancel removes overflow residents (including the cached
+// minimum, forcing the lazy rescan) and checks the remaining events still
+// fire correctly.
+func TestWheelOverflowCancel(t *testing.T) {
+	e := NewEngine()
+	hMin := e.At(wheelHorizon+1, func() { t.Fatal("canceled overflow event fired") })
+	fired := false
+	e.At(wheelHorizon+2, func() { fired = true })
+	hMin.Cancel() // cancels the cached overflow minimum
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("after canceling the overflow minimum: %v", err)
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1", got)
+	}
+	if end := e.Run(); end != wheelHorizon+2 {
+		t.Fatalf("run ended at %v, want %v", end, wheelHorizon+2)
+	}
+	if !fired {
+		t.Fatal("surviving overflow event did not fire")
+	}
+}
+
+// TestWheelZeroDelay pins At(now): an event at the current instant fires in
+// the same Run, after already-pending same-time events with smaller seq and
+// before anything later — including when scheduled from inside a callback at
+// the same timestamp.
+func TestWheelZeroDelay(t *testing.T) {
+	for _, kind := range []SchedulerKind{SchedHeap, SchedWheel} {
+		e := NewEngineWith(kind)
+		var order []int
+		e.At(10, func() {
+			order = append(order, 1)
+			e.At(10, func() { order = append(order, 3) }) // zero delay, mid-dispatch
+			e.At(e.Now(), func() { order = append(order, 4) })
+		})
+		e.At(10, func() { order = append(order, 2) })
+		e.At(11, func() { order = append(order, 5) })
+		e.At(0, func() { order = append(order, 0) }) // zero-delay at a fresh engine's now
+		e.Run()
+		want := []int{0, 1, 2, 3, 4, 5}
+		if len(order) != len(want) {
+			t.Fatalf("%s: fired %d of %d events: %v", kind, len(order), len(want), order)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("%s: firing order %v, want %v", kind, order, want)
+			}
+		}
+	}
+}
+
+// TestTimerResetAcrossCascadeBoundary arms a rearmable Timer, lets the clock
+// approach a high-level slot boundary, and Resets the deadline across it —
+// the cancel-and-reinsert must survive the cascade that rebases the wheel.
+func TestTimerResetAcrossCascadeBoundary(t *testing.T) {
+	e := NewEngine()
+	var tm Timer
+	fired := 0
+	tm.Init(e, func() { fired++ })
+
+	// Park the deadline just past a level-2 boundary (64^2 = 4096 ticks),
+	// then walk the clock toward the boundary with plain events, rearming the
+	// timer each step so its event keeps crossing the cascade.
+	boundary := Time(1) << (2 * wheelBits)
+	tm.ResetAt(boundary + 100)
+	for step := Time(1); step < 10; step++ {
+		at := boundary - 10 + step
+		e.At(at, func() { tm.ResetAt(boundary + 100) })
+	}
+	e.RunUntil(boundary + 50)
+	if fired != 0 {
+		t.Fatalf("timer fired %d times before its deadline", fired)
+	}
+	if !tm.Pending() || tm.When() != boundary+100 {
+		t.Fatalf("timer pending=%v when=%v, want armed at %v", tm.Pending(), tm.When(), boundary+100)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("mid-run: %v", err)
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("timer fired %d times, want exactly 1", fired)
+	}
+	if e.Now() != boundary+100 {
+		t.Fatalf("run ended at %v, want %v", e.Now(), boundary+100)
+	}
+}
+
+// TestWheelInvariantsUnderChurn hammers the wheel with a random
+// schedule/cancel/advance mix and validates the full structural invariant
+// set after every burst.
+func TestWheelInvariantsUnderChurn(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewPCG(11, 7))
+	var handles []Handle
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 20; i++ {
+			// Deltas spread across every level and into overflow.
+			d := Duration(1) << rng.Uint64N(52)
+			handles = append(handles, e.After(d+Duration(rng.Uint64N(1000)), func() {}))
+		}
+		for i := 0; i < 8 && len(handles) > 0; i++ {
+			j := rng.IntN(len(handles))
+			handles[j].Cancel()
+			handles[j] = handles[len(handles)-1]
+			handles = handles[:len(handles)-1]
+		}
+		e.RunUntil(e.Now() + Time(rng.Uint64N(1<<20)))
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	e.Run()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("drained: %v", err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after full drain", e.Pending())
+	}
+}
+
+// TestCheckInvariantsDetectsWheelCorruption pokes the wheel's structure
+// directly and checks each corruption is caught: occupancy-bit drift, slot
+// mismembership, count drift, and an overdue cascade.
+func TestCheckInvariantsDetectsWheelCorruption(t *testing.T) {
+	newPopulated := func() (*Engine, *wheel) {
+		e := NewEngine()
+		e.At(100, func() {})
+		e.At(5000, func() {})
+		e.At(wheelHorizon+3, func() {})
+		return e, e.q.(*wheel)
+	}
+
+	e, w := newPopulated()
+	w.occupied[0] |= 1 << 7 // bit set for an empty slot
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("occupancy-bit drift not detected")
+	}
+
+	e, w = newPopulated()
+	w.count++
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("count drift not detected")
+	}
+
+	e, w = newPopulated()
+	// Relocate an event into a slot its deadline does not select.
+	ev := w.slots[1][1].head
+	if ev == nil {
+		t.Fatal("test premise broken: expected a level-1 resident at slot 1")
+	}
+	w.slots[1][1].unlink(ev)
+	w.slots[1][9].pushBack(ev)
+	w.occupied[1] |= 1 << 9
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("slot mismembership not detected")
+	}
+
+	e, w = newPopulated()
+	// An overflow resident whose delta now fits the horizon is an overdue
+	// migration.
+	ev = w.overflow.head
+	ev.time = 200
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("overdue overflow migration not detected")
+	}
+
+	e, w = newPopulated()
+	// A wheel clock ahead of the engine clock means popDue overshot.
+	w.cur = 50
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("wheel clock ahead of engine clock not detected")
+	}
+	_ = e
+}
+
+// TestWheelPendingAcrossLevels cross-checks Pending and EventAllocs while
+// events sit at different levels and in overflow.
+func TestWheelPendingAcrossLevels(t *testing.T) {
+	e := NewEngine()
+	deltas := []Duration{1, 63, 64, 4095, 4096, 1 << 18, 1 << 30, 1 << 47, 1 << 50}
+	for _, d := range deltas {
+		e.After(d, func() {})
+	}
+	if got := e.Pending(); got != len(deltas) {
+		t.Fatalf("Pending() = %d, want %d", got, len(deltas))
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("populated: %v", err)
+	}
+	e.Run()
+	if e.Fired() != uint64(len(deltas)) {
+		t.Fatalf("Fired() = %d, want %d", e.Fired(), len(deltas))
+	}
+}
