@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race audit golden fuzz bench bench-smoke
+.PHONY: ci lint vet build test race audit golden impair degrade fuzz bench bench-smoke
 
-ci: lint build test race audit golden bench-smoke
+ci: lint build test race audit golden impair bench-smoke
 
 # gofmt gate (fails listing any unformatted file) + go vet.
 lint:
@@ -45,11 +45,27 @@ golden:
 	$(GO) test -run 'TestGoldenDigests' ./internal/experiments -sched=heap
 	$(GO) test -run 'TestGoldenDigests' ./internal/experiments -sched=wheel
 
-# Short fuzz pass over the CDF text parser and the scheduler differential
-# (CI smoke; raise -fuzztime locally).
+# Impairment-layer gate: the timeline-parser seed corpus (the checked-in
+# fuzz inputs as a plain test), the impaired-run determinism contract across
+# both schedulers, and the short loss-sweep smoke (one scheme per transport
+# family completes under 5% injected loss with a clean audit).
+impair:
+	$(GO) test -run 'TestImpairmentTimelineSeeds|TestImpairedGoldenDeterminism|TestLossSweepSmoke|TestImpairmentDropsExactlyOnce' \
+		./internal/netem ./internal/experiments
+
+# Degradation sweep (loss rate x scheme FCT/goodput table plus link-flap
+# recovery), written as JSON for plotting.
+degrade:
+	mkdir -p results
+	$(GO) run ./cmd/aeolusbench -exp degrade -json > results/degradation.json
+	@echo "wrote results/degradation.json"
+
+# Short fuzz pass over the CDF text parser, the scheduler differential and
+# the impairment-timeline parser (CI smoke; raise -fuzztime locally).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCDFParse -fuzztime=30s ./internal/workload
 	$(GO) test -run=^$$ -fuzz=FuzzSchedulerEquivalence -fuzztime=30s ./internal/sim
+	$(GO) test -run=^$$ -fuzz=FuzzImpairmentTimeline -fuzztime=30s ./internal/netem
 
 # Full benchmark ledger: micro (event engine, qdiscs, port path) and macro
 # (per-scheme packets/sec) benchmarks, folded into BENCH_micro.json with the

@@ -10,6 +10,7 @@
 //	aeolusbench -exp fig9
 //	aeolusbench -exp all -budget 512 -csv
 //	aeolusbench -exp all -quick -parallel 8
+//	aeolusbench -exp degrade -json > results/degradation.json
 //	aeolusbench -digest -scheme homa+aeolus
 //
 // -digest prints the golden-trace behavior digest for one scheme (or, with
@@ -25,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +36,7 @@ import (
 
 	"github.com/aeolus-transport/aeolus/internal/audit"
 	"github.com/aeolus-transport/aeolus/internal/experiments"
+	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 )
 
@@ -53,9 +56,17 @@ func main() {
 		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
 		nopool   = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
 		schedStr = flag.String("sched", "", "event scheduler: wheel or heap (results are identical; for bisection)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON array of tables instead of aligned text")
+		impair   = flag.String("impair", "", "inline impairment timeline applied to every run, ';'-separated steps")
+		impFile  = flag.String("impair-file", "", "impairment timeline file, text or JSON (see internal/netem/timeline.go)")
 	)
 	flag.Parse()
 	sched, err := sim.ParseScheduler(*schedStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	timeline, err := netem.LoadTimeline(*impair, *impFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -87,6 +98,7 @@ func main() {
 	cfg.Parallel = *parallel
 	cfg.DisablePool = *nopool
 	cfg.Scheduler = sched
+	cfg.Impair = timeline
 	if *progress {
 		cfg.Progress = experiments.ProgressPrinter(os.Stderr)
 	}
@@ -106,17 +118,22 @@ func main() {
 		}
 	}
 
+	var jsonTables []experiments.Table
 	run := func(e experiments.Experiment) {
 		start := time.Now()
 		tables := e.Fn(cfg)
 		for _, t := range tables {
-			if *csv {
+			switch {
+			case *jsonOut:
+				jsonTables = append(jsonTables, t)
+			case *csv:
 				fmt.Printf("# %s,%s\n", t.ID, t.Title)
 				t.CSV(os.Stdout)
-			} else {
+				fmt.Println()
+			default:
 				t.Fprint(os.Stdout)
+				fmt.Println()
 			}
-			fmt.Println()
 		}
 		if *progress {
 			fmt.Fprint(os.Stderr, "\r                                \r")
@@ -125,6 +142,14 @@ func main() {
 	}
 
 	finish := func() {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(jsonTables); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		if violated > 0 {
 			fmt.Fprintf(os.Stderr, "audit: %d run(s) violated conservation invariants\n", violated)
 			os.Exit(1)

@@ -7,12 +7,19 @@
 //	aeolussim -topo leafspine -scheme homa+aeolus -workload WebSearch -load 0.5 -flows 2000
 //	aeolussim -topo single -scheme xpass+aeolus -incast 7 -msg 40000
 //	aeolussim -topo fattree -scheme xpass -workload my-trace.cdf -runs 8 -parallel 4
+//	aeolussim -topo micro -scheme ndp+aeolus -incast 16 -audit \
+//	    -impair '0s sw0->* loss rate=0.01; 50us sw0->h0 fail; 150us sw0->h0 restore'
 //
 // -workload accepts either a built-in name or the path of a CDF file in the
 // "<bytes> <cumulative probability>" text format. With -runs N the same
 // experiment repeats over N consecutive seeds — executed concurrently on
 // -parallel workers — and a cross-run summary is appended; results are
 // independent of -parallel.
+//
+// -impair (inline steps) or -impair-file (text or JSON file) script link
+// impairments — loss, failure, rate caps, delay — on the built topology; see
+// internal/netem/timeline.go for the grammar. Injected drops show up in the
+// drops line as impair=N and are audit-accounted like any other drop.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"strings"
 
 	"github.com/aeolus-transport/aeolus/internal/experiments"
+	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/stats"
 	"github.com/aeolus-transport/aeolus/internal/workload"
@@ -52,6 +60,8 @@ func main() {
 		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
 		nopool   = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
 		schedStr = flag.String("sched", "", "event scheduler: wheel or heap (results are identical; for bisection)")
+		impair   = flag.String("impair", "", "inline impairment timeline, ';'-separated steps (e.g. '0s sw0->* loss rate=0.01; 50us sw0->h0 fail; 150us sw0->h0 restore')")
+		impFile  = flag.String("impair-file", "", "impairment timeline file, text or JSON (see internal/netem/timeline.go)")
 	)
 	opts := map[string]string{}
 	flag.Func("opt", "scheme option as key=value (repeatable; keys are per-scheme)", func(s string) error {
@@ -81,6 +91,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Scheduler = sched
+	tl, err := netem.LoadTimeline(*impair, *impFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Impair = tl
 
 	var wl *workload.CDF
 	if *wlName != "" {
@@ -122,9 +138,14 @@ func main() {
 		return spec
 	}
 
-	// Validate the scheme (ID and -opt values) up front: a bad spec gets the
-	// full catalogue on stderr instead of a panic mid-run.
+	// Validate the scheme (ID and -opt values) and the impairment timeline's
+	// targets up front: a bad spec gets a one-line error on stderr instead of
+	// a panic mid-run.
 	if _, err := experiments.MakeScheme(specFor(*seed).Scheme); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := experiments.CheckImpair(cfg, specFor(*seed)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -190,8 +211,8 @@ func print1(r experiments.RunResult, cdf bool) {
 	fmt.Printf("efficiency   %.3f\n", r.Efficiency)
 	fmt.Printf("goodput      %.3f (whole run)   %.3f (steady window)\n", r.Goodput, r.WindowGoodput)
 	fmt.Printf("timeouts     %d flows\n", r.TimeoutFlows)
-	fmt.Printf("drops        tail=%d selective=%d credit=%d trim-fail=%d\n",
-		r.Drops[0], r.Drops[1], r.Drops[2], r.Drops[3])
+	fmt.Printf("drops        tail=%d selective=%d credit=%d trim-fail=%d impair=%d\n",
+		r.Drops[0], r.Drops[1], r.Drops[2], r.Drops[3], r.Drops[4])
 	if a := r.Audit; a != nil {
 		fmt.Printf("audit        %d events: injected=%d delivered=%d (unique %d) dropped=%d trimmed=%d residual=%d violations=%d\n",
 			a.Events, a.InjectedPayload, a.DeliveredPayload, a.UniquePayload,

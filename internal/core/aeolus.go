@@ -48,12 +48,19 @@ type Options struct {
 // 6 KB ≈ 4 full-size packets.
 const DefaultThreshold int64 = 6 << 10
 
+// DefaultProbeTimeout is the default §6 probe safety timer: several base
+// RTTs on every topology of this repo, so it never fires on a healthy path
+// (the probe ACK cancels it within one RTT), yet it recovers a flow whose
+// entire first RTT — burst, probe and all — was wiped out, the one situation
+// no receiver-driven timer can see.
+const DefaultProbeTimeout = 100 * sim.Microsecond
+
 // DefaultOptions returns the paper's default Aeolus configuration.
 func DefaultOptions() Options {
 	return Options{
 		Enabled:         true,
 		ThresholdBytes:  DefaultThreshold,
-		ProbeTimeout:    0,
+		ProbeTimeout:    DefaultProbeTimeout,
 		MaxProbeResends: 3,
 	}
 }

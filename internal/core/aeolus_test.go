@@ -49,8 +49,10 @@ func TestPreCreditBurstsBDPAtLineRate(t *testing.T) {
 			t.Fatalf("burst packet %d = %+v, want unscheduled seg %d", i, s, i)
 		}
 	}
-	if *probes != 1 {
-		t.Fatalf("probes = %d, want 1 at end of burst", *probes)
+	// One probe ends the burst; nothing ever answers in this harness, so the
+	// default-on §6 safety timer then resends to its cap.
+	if want := 1 + DefaultOptions().MaxProbeResends; *probes != want {
+		t.Fatalf("probes = %d, want %d (end of burst + safety resends)", *probes, want)
 	}
 	// The burst is paced at line rate: the last send happens one tx-gap per
 	// segment after the start.
@@ -67,8 +69,8 @@ func TestPreCreditSmallFlowBurstsEverything(t *testing.T) {
 	if len(*sent) != 3 { // 1460+1460+80
 		t.Fatalf("sent %d segments, want 3", len(*sent))
 	}
-	if *probes != 1 {
-		t.Fatalf("probes = %d", *probes)
+	if want := 1 + DefaultOptions().MaxProbeResends; *probes != want {
+		t.Fatalf("probes = %d, want %d (end of burst + safety resends)", *probes, want)
 	}
 	// ProbeSeq is clamped to the flow size (the last segment is partial).
 	if pc.ProbeSeq() != 3000 {

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"testing"
 
+	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 )
 
@@ -36,17 +37,21 @@ func goldenSchedulers(t *testing.T) []sim.SchedulerKind {
 // If a change is *supposed* to alter behavior (a bug fix, a model change),
 // regenerate with `aeolusbench -digest` and update the table in the same
 // commit, explaining the change.
+//
+// Regenerated with the impairment layer: the digest's drop vector grew a
+// fifth reason (DropImpairment, always zero on the pristine golden trace),
+// which shifts every hash even though no packet-level behavior changed.
 var goldenDigests = map[string]string{
-	"xpass":        "5f651fc5b1168836b21579347e8d927f137bcae9dbfa378da133af9cdd5e2813",
-	"xpass+aeolus": "f7f71c0827ad5350cf5f63e45928029e9026b99eedd09c860bcaa5bc9bf5ccd4",
-	"xpass+oracle": "9648f7b028b679944841a49ed0f6ce348cf479635446dd4af97599ebf38c78fd",
-	"xpass+prio":   "a71fb50fd91f62c293f88ecf853444a30bd3f979afb7c8f6a210b9982ba2314a",
-	"homa":         "266e434546bc612b8418b5a1ee1e7782a2a5c988f8691970869d54c7b865fb58",
-	"homa+aeolus":  "eec23276e6baa1adb090795db3cce019e91d2beb26771a64dd622fd1d84984c4",
-	"homa+oracle":  "228ed0eeceb32d65ded973abb5a1b2d414b7986035fc8cb76cc5589fdaf5f310",
-	"homa-eager":   "896da01b7dd77ed74a22b4149a67edf1cf2fd9059abdb9c86b05259ef629f413",
-	"ndp":          "11a96cbba2585c2adc6285e179cce279fb37e6db3e6e47e013e743a4ef20f65d",
-	"ndp+aeolus":   "e9777d4b919b8dfe34ef57a9b07aacf5a421f68b3f6a69a65545e0babfda5e3f",
+	"xpass":        "8fbf3366030d23a91ef80fc665ae6abe2a2c9b4fc4b25842540b965d3f651fa3",
+	"xpass+aeolus": "be7545217c2a82faaff9666e2054b47262073a82b13d2c740fe4caf05ca4e578",
+	"xpass+oracle": "33108e6655512da8d0c3c06eed369e447494f7939b64ecaa6612a31bc59e9eaf",
+	"xpass+prio":   "ff18fe24db191f938317b4c669648960230283b8c646772f38e9a019a3ec7cd9",
+	"homa":         "a0b3612b891918631882c3ff4177772775610816a5d52b33f641ea7861905c14",
+	"homa+aeolus":  "47c3898a300b26c25876faaa20f76e21a2364b2650477d0d9015a5d8b5c95947",
+	"homa+oracle":  "56d865f3550c862feec62bfed8b207ba33de7e17cddce5ac6cff13af290cf197",
+	"homa-eager":   "3568f68bc0b8f5d2ffeb6309d44b5ec3bf69ff03836aa93ed1ee3b1e7e4c4382",
+	"ndp":          "f0b9beccf99a87a6fd2f3f2384d032f9c1b182e0ed137d979317d60729669738",
+	"ndp+aeolus":   "0740894edfe49822c0b7e80770a6af5adc314bed5fff540c166b997cae81a2c3",
 }
 
 // TestGoldenDigests runs the golden trace for every pinned scheme — with the
@@ -69,6 +74,66 @@ func TestGoldenDigests(t *testing.T) {
 						t.Errorf("golden digest drifted (sched=%s pool=%v):\n got  %s\n want %s", sched, pool, got, want)
 					}
 				}
+			}
+		})
+	}
+}
+
+// chaosTimeline is the canonical impairment scenario scaled to the golden
+// trace: 1% random loss on every switch port throughout, plus a failure of
+// the receiver downlink at t=50µs restored at t=150µs. Parsed from text so
+// the digest test exercises the same path as -impair-file.
+func chaosTimeline(t *testing.T) *netem.Timeline {
+	t.Helper()
+	tl, err := netem.ParseTimeline("chaos", []byte(
+		"0s sw0->* loss rate=0.01\n"+
+			"50us sw0->h0 fail\n"+
+			"150us sw0->h0 restore\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+// TestImpairedGoldenDeterminism pins the determinism contract under injected
+// chaos: the same (scenario, seed, timeline) must digest byte-identical
+// across heap vs wheel schedulers and pool on/off, and the impaired digest
+// must differ from the pristine baseline (the chaos actually happened).
+func TestImpairedGoldenDeterminism(t *testing.T) {
+	tl := chaosTimeline(t)
+	for _, id := range []string{"xpass+aeolus", "homa+aeolus", "ndp+aeolus"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			spec := GoldenSpec(id)
+			spec.Impair = tl
+			digest := func(pool bool, sched sim.SchedulerKind) string {
+				cfg := GoldenConfig()
+				cfg.DisablePool = !pool
+				cfg.Scheduler = sched
+				r := Run(cfg, spec)
+				if r.Completed != r.Total {
+					t.Fatalf("impaired run incomplete: %d of %d (sched=%s pool=%v)",
+						r.Completed, r.Total, sched, pool)
+				}
+				if r.Drops[netem.DropImpairment] == 0 {
+					t.Fatalf("no impairment drops recorded; the timeline was inert")
+				}
+				return r.Digest()
+			}
+			ref := digest(true, sim.SchedWheel)
+			for _, sched := range []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap} {
+				for _, pool := range []bool{true, false} {
+					if got := digest(pool, sched); got != ref {
+						t.Errorf("impaired digest diverged (sched=%s pool=%v):\n got  %s\n want %s",
+							sched, pool, got, ref)
+					}
+				}
+			}
+			if pristine, err := GoldenDigest(id, true); err != nil {
+				t.Fatal(err)
+			} else if pristine == ref {
+				t.Errorf("impaired digest equals pristine digest; impairments had no observable effect")
 			}
 		})
 	}

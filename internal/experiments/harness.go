@@ -55,6 +55,13 @@ type Config struct {
 	// to prove exactly that, and to bisect should the two ever diverge.
 	DisablePool bool
 
+	// Impair, when non-nil, applies a scripted link-impairment timeline
+	// (netem.Timeline) to every run — the CLIs' -impair/-impair-file knob.
+	// Per-run RunSpec.Impair takes precedence. The timeline is applied after
+	// the topology is built and before audit instrumentation, so injected
+	// drops stay visible to the conservation checks.
+	Impair *netem.Timeline
+
 	// Scheduler selects the event-queue implementation backing every run's
 	// engine (sim.SchedWheel or sim.SchedHeap); empty means
 	// sim.DefaultScheduler. Results are identical either way — both
@@ -186,6 +193,10 @@ type RunSpec struct {
 	Incast   *workload.IncastConfig
 	Deadline sim.Duration // extra simulated time after the last arrival
 
+	// Impair, when non-nil, scripts link impairments for this run and
+	// overrides Config.Impair (the degradation experiments set it per run).
+	Impair *netem.Timeline
+
 	// TraceFlow, when nonzero, prints every port/host event of that flow —
 	// the packet-level debugging view. Output goes to TraceTo, or to a
 	// mutex-guarded os.Stderr so traced runs stay legible under a Pool.
@@ -233,6 +244,31 @@ type RunResult struct {
 // Records exposes the raw flow records of the run.
 func (r *RunResult) Records() []stats.FlowRecord { return r.records }
 
+// CheckImpair dry-builds the run's topology and applies its impairment
+// timeline to it, returning the error Run would panic with — the CLIs'
+// up-front validation hook, mirroring the MakeScheme check (a target
+// matching no port of the chosen topology is a spec bug, not a run result).
+func CheckImpair(cfg Config, spec RunSpec) error {
+	impair := spec.Impair
+	if impair == nil {
+		impair = cfg.Impair
+	}
+	if impair == nil {
+		return nil
+	}
+	scheme, err := MakeScheme(spec.Scheme)
+	if err != nil {
+		return err
+	}
+	buffer := spec.Buffer
+	if buffer <= 0 {
+		buffer = netem.DefaultBuffer
+	}
+	net := buildTopo(spec.Topo, scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS), cfg.scheduler())
+	_, err = impair.Apply(net, cfg.Seed^spec.Scheme.Seed)
+	return err
+}
+
 // Run executes one simulation and collects the metrics.
 func Run(cfg Config, spec RunSpec) RunResult {
 	scheme := mustScheme(spec.Scheme)
@@ -246,6 +282,17 @@ func Run(cfg Config, spec RunSpec) RunResult {
 	}
 	env := transport.NewEnv(net, scheme.MSS)
 	proto := scheme.New(env)
+	impair := spec.Impair
+	if impair == nil {
+		impair = cfg.Impair
+	}
+	if impair != nil {
+		// Install before trace/audit instrumentation wraps the qdiscs, so
+		// injected drops are traced and attributed like any other drop.
+		if _, err := impair.Apply(net, cfg.Seed^spec.Scheme.Seed); err != nil {
+			panic("experiments: " + err.Error())
+		}
+	}
 	if spec.TraceFlow != 0 {
 		w := spec.TraceTo
 		if w == nil {

@@ -34,6 +34,7 @@ var Registry = []Experiment{
 	{"fig17", "Heavy-incast FCT slowdown, six schemes", Fig17},
 	{"fig18", "Goodput vs offered load, six schemes", Fig18},
 	{"ablation", "Design-choice ablation: threshold sweep, probe vs RTO-only recovery", Ablation},
+	{"degrade", "Degradation sweep under injected loss and link flap (not in the paper)", Degradation},
 }
 
 // ByID returns the experiment with the given ID.

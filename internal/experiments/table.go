@@ -17,10 +17,10 @@ import (
 
 // Table is one result table: the rows a figure plots or a table prints.
 type Table struct {
-	ID      string // experiment ID, e.g. "fig9"
-	Title   string
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"` // experiment ID, e.g. "fig9"
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // Add appends a row; it panics on column-count mismatch so experiments fail

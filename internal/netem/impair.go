@@ -1,0 +1,208 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// This file is the link-impairment layer: a per-port controller that injects
+// the failure modes a healthy fabric never exhibits — random and
+// deterministic-nth packet loss, blackholes, full link failure (queue frozen),
+// rate degradation, and added delay with jitter. Impairments compose on one
+// port, can be reconfigured mid-run (scripted via Timeline in timeline.go),
+// and stay visible to the conservation auditor: every injected discard goes
+// through the qdisc drop machinery under DropImpairment, so byte accounting
+// and drop-counter coherence hold under injected chaos.
+//
+// Composition order on the arrival path is fixed: link failure, then
+// blackhole, then deterministic-nth loss, then random loss, then the inner
+// discipline. Rate caps and delay/jitter act on the serializer side (the Port
+// consults the controller when it transmits) and never discard packets.
+
+// LinkImpairment is the impairment controller of one port. Install it with
+// InstallImpairment, then configure it directly (tests) or let a Timeline
+// drive it (experiments). All mutators are safe to call mid-run from
+// simulation events.
+type LinkImpairment struct {
+	port *Port
+	q    *ImpairedQdisc
+	rng  *rand.Rand
+
+	origRate sim.Rate
+
+	// Loss process: matching packets are dropped every Nth arrival when
+	// nth > 0, else with probability lossRate.
+	lossRate float64
+	nth      int64
+	nthSeen  int64
+	match    func(*Packet) bool
+
+	down      bool // link failed: arrivals dropped, queue frozen
+	blackhole bool // arrivals dropped, queue keeps draining
+
+	addDelay sim.Duration
+	jitter   sim.Duration
+}
+
+// ImpairedQdisc interposes a LinkImpairment between a port and its queueing
+// discipline. It owns a DropCounter so injected discards are tallied and
+// hooked exactly once, under DropImpairment, at the Enqueue boundary — where
+// Port.Send releases refused packets back to the pool.
+type ImpairedQdisc struct {
+	inner Qdisc
+	li    *LinkImpairment
+	dc    DropCounter
+}
+
+// InstallImpairment wraps the port's current qdisc with an impairment stage
+// and returns the controller. The zero configuration impairs nothing; seed
+// drives the (per-port) loss and jitter processes deterministically. Install
+// before audit instrumentation (audit.Attach) so injected drops are traced.
+func InstallImpairment(pt *Port, seed uint64) *LinkImpairment {
+	li := &LinkImpairment{
+		port:     pt,
+		rng:      sim.NewRand(seed, 0x105e),
+		origRate: pt.Rate,
+	}
+	li.q = &ImpairedQdisc{inner: pt.Q, li: li}
+	pt.Q = li.q
+	pt.Imp = li
+	return li
+}
+
+// SetLoss configures the loss process for matching packets (nil match means
+// every packet): drop every nth arrival when nth > 0, else drop with
+// probability rate. The nth counter restarts, so reconfiguring mid-run is
+// reproducible.
+func (li *LinkImpairment) SetLoss(rate float64, nth int64, match func(*Packet) bool) {
+	li.lossRate, li.nth, li.nthSeen, li.match = rate, nth, 0, match
+}
+
+// Fail takes the link down: arrivals are dropped and the queue freezes (the
+// backlog is preserved and drains after Restore), modeling a dead link whose
+// buffer survives.
+func (li *LinkImpairment) Fail() { li.down = true }
+
+// SetBlackhole switches silent discard of all arrivals on or off; unlike
+// Fail, the queue keeps draining.
+func (li *LinkImpairment) SetBlackhole(on bool) { li.blackhole = on }
+
+// Restore brings the link back up, clearing failure and blackhole states, and
+// kicks the port so a frozen backlog resumes draining.
+func (li *LinkImpairment) Restore() {
+	li.down, li.blackhole = false, false
+	li.port.kick()
+}
+
+// SetRate degrades the link to the given rate; 0 restores the rate the port
+// had when the impairment was installed. Takes effect from the next
+// serialization.
+func (li *LinkImpairment) SetRate(cap sim.Rate) {
+	if cap <= 0 {
+		li.port.Rate = li.origRate
+		return
+	}
+	li.port.Rate = cap
+}
+
+// SetDelay adds a fixed extra propagation delay plus a uniformly distributed
+// jitter in [0, jitter] to every transmitted packet. Jitter can reorder
+// deliveries — that is the point.
+func (li *LinkImpairment) SetDelay(add, jitter sim.Duration) {
+	li.addDelay, li.jitter = add, jitter
+}
+
+// Injected returns the number of packets this impairment discarded.
+func (li *LinkImpairment) Injected() uint64 { return li.q.dc.Drops[DropImpairment] }
+
+// Port returns the impaired port.
+func (li *LinkImpairment) Port() *Port { return li.port }
+
+// dropOnArrival decides the fate of an arriving packet.
+func (li *LinkImpairment) dropOnArrival(p *Packet) bool {
+	if li.down || li.blackhole {
+		return true
+	}
+	if li.match != nil && !li.match(p) {
+		return false
+	}
+	if li.nth > 0 {
+		li.nthSeen++
+		if li.nthSeen%li.nth == 0 {
+			return true
+		}
+		return false
+	}
+	return li.lossRate > 0 && li.rng.Float64() < li.lossRate
+}
+
+// wireDelay returns the extra delivery delay for one transmission.
+func (li *LinkImpairment) wireDelay() sim.Duration {
+	d := li.addDelay
+	if li.jitter > 0 {
+		d += sim.Duration(li.rng.Int64N(int64(li.jitter) + 1))
+	}
+	return d
+}
+
+// Enqueue implements Qdisc: impairment drops are counted and hooked under
+// DropImpairment, then refused so the port terminates the packet (releasing
+// it to the pool).
+func (q *ImpairedQdisc) Enqueue(p *Packet, now sim.Time) bool {
+	if q.li.dropOnArrival(p) {
+		q.dc.Drop(p, DropImpairment)
+		return false
+	}
+	return q.inner.Enqueue(p, now)
+}
+
+// Dequeue implements Qdisc; a failed link yields nothing.
+func (q *ImpairedQdisc) Dequeue(now sim.Time) *Packet {
+	if q.li.down {
+		return nil
+	}
+	return q.inner.Dequeue(now)
+}
+
+// NextWake implements Qdisc. While the link is down there is no wake-up:
+// Restore kicks the port explicitly.
+func (q *ImpairedQdisc) NextWake(now sim.Time) sim.Time {
+	if q.li.down {
+		return sim.MaxTime
+	}
+	return q.inner.NextWake(now)
+}
+
+// Backlog implements Qdisc.
+func (q *ImpairedQdisc) Backlog() Backlog { return q.inner.Backlog() }
+
+// SetDropHook implements Qdisc: the hook observes both injected drops and the
+// inner discipline's own drops, each exactly once.
+func (q *ImpairedQdisc) SetDropHook(h DropHook) {
+	q.dc.SetDropHook(h)
+	q.inner.SetDropHook(h)
+}
+
+// Inner returns the wrapped discipline (diagnostics and audits).
+func (q *ImpairedQdisc) Inner() Qdisc { return q.inner }
+
+// Packet match classes for impairment targeting. MatchClass resolves the
+// class names accepted by the timeline format.
+func MatchClass(name string) (func(*Packet) bool, error) {
+	switch name {
+	case "", "all":
+		return nil, nil
+	case "data":
+		return func(p *Packet) bool { return p.Type == Data }, nil
+	case "ctrl":
+		return func(p *Packet) bool { return p.Type.IsControl() }, nil
+	case "sched":
+		return func(p *Packet) bool { return p.Scheduled }, nil
+	case "unsched":
+		return func(p *Packet) bool { return p.Type == Data && !p.Scheduled }, nil
+	default:
+		return nil, fmt.Errorf("netem: unknown match class %q (want all, data, ctrl, sched or unsched)", name)
+	}
+}

@@ -187,8 +187,15 @@ func dropCounterOf(q Qdisc) (*DropCounter, bool) {
 	switch v := q.(type) {
 	case *tracedQdisc:
 		return dropCounterOf(v.Qdisc)
-	case *LossyQdisc:
-		return dropCounterOf(v.Qdisc)
+	case *ImpairedQdisc:
+		// Includes injected-drop tallies plus the inner discipline's.
+		sum := v.dc
+		if inner, ok := dropCounterOf(v.inner); ok {
+			for i, n := range inner.Drops {
+				sum.Drops[i] += n
+			}
+		}
+		return &sum, true
 	case *XPassQdisc:
 		// Includes the inner data qdisc's counter too.
 		var sum DropCounter

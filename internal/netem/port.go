@@ -23,6 +23,11 @@ type Port struct {
 	Pool  *PacketPool // releases dropped packets; nil is valid (no recycling)
 	Label string      // e.g. "leaf3->spine1", for diagnostics
 
+	// Imp, when non-nil, is the link-impairment controller installed by
+	// InstallImpairment: it may mutate Rate and add per-packet delivery
+	// delay. Unimpaired ports pay nothing for it.
+	Imp *LinkImpairment
+
 	busy   bool
 	wake   sim.Handle
 	wakeAt sim.Time
@@ -63,9 +68,15 @@ func (pt *Port) Send(p *Packet) {
 	if pt.Q.Enqueue(p, pt.Eng.Now()) {
 		pt.kick()
 	} else {
-		pt.Pool.Put(p)
+		pt.ReleasePacket(p)
 	}
 }
+
+// ReleasePacket terminates the life of a packet refused by the port's qdisc
+// stack and returns it to the pool. Any drop hook or trace must already have
+// fired (inside Enqueue); this is the single terminal release point for
+// drops, mirroring Host.deliver for deliveries.
+func (pt *Port) ReleasePacket(p *Packet) { pt.Pool.Put(p) }
 
 // kick starts the serializer if it is idle and a packet is eligible. If the
 // qdisc is holding shaped packets, a wake-up is scheduled instead.
@@ -97,7 +108,11 @@ func (pt *Port) kick() {
 	tx := sim.TxTime(p.WireSize, pt.Rate)
 	pt.Eng.AfterHandler(tx, (*portTxDone)(pt))
 	p.next = pt.Dst
-	pt.Eng.AfterHandler(tx+pt.Delay, p)
+	delay := pt.Delay
+	if pt.Imp != nil {
+		delay += pt.Imp.wireDelay()
+	}
+	pt.Eng.AfterHandler(tx+delay, p)
 }
 
 // Backlog reports the qdisc occupancy.

@@ -13,6 +13,7 @@ const (
 	DropSelective                    // Aeolus selective dropping (unscheduled over threshold)
 	DropCreditOver                   // ExpressPass credit queue overflow
 	DropTrimFail                     // NDP control queue full, trimmed header lost
+	DropImpairment                   // injected by the link-impairment layer (loss, blackhole, failed link)
 
 	numDropReasons // sentinel: must stay last
 )
@@ -21,7 +22,7 @@ const (
 // by-reason counter array is sized from it.
 const NumDropReasons = int(numDropReasons)
 
-var dropReasonNames = [...]string{"tail", "selective", "credit", "trim-fail"}
+var dropReasonNames = [...]string{"tail", "selective", "credit", "trim-fail", "impair"}
 
 // Compile-time guard: dropReasonNames must name every DropReason. Each line
 // overflows uint (a compile error) if one side lags the other.

@@ -98,37 +98,6 @@ func TestTraceTrimEvent(t *testing.T) {
 	}
 }
 
-func TestLossyQdiscTargetedLoss(t *testing.T) {
-	inner := NewFIFO(0)
-	// Drop every matching packet (rate 1) but only probes.
-	q := NewLossyQdisc(inner, 1.0, 7, func(p *Packet) bool { return p.Type == Probe })
-	if q.Enqueue(&Packet{Type: Probe, WireSize: 64}, 0) {
-		t.Fatal("probe survived rate-1 loss")
-	}
-	if !q.Enqueue(dataPkt(1, 1538, true), 0) {
-		t.Fatal("non-matching packet dropped")
-	}
-	if q.Injected != 1 {
-		t.Fatalf("injected = %d", q.Injected)
-	}
-}
-
-func TestLossyQdiscStatisticalRate(t *testing.T) {
-	inner := NewFIFO(0)
-	q := NewLossyQdisc(inner, 0.3, 11, nil)
-	dropped := 0
-	const n = 20000
-	for i := 0; i < n; i++ {
-		if !q.Enqueue(dataPkt(uint64(i), 100, false), 0) {
-			dropped++
-		}
-	}
-	got := float64(dropped) / n
-	if got < 0.27 || got > 0.33 {
-		t.Fatalf("empirical loss %0.3f, want ≈0.30", got)
-	}
-}
-
 func TestTraceEventString(t *testing.T) {
 	if TraceEnqueue.String() != "ENQ" || TraceEvent(99).String() != "?" {
 		t.Fatal("TraceEvent.String mismatch")

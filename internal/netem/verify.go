@@ -39,8 +39,8 @@ func AuditQdisc(q Qdisc) error {
 	switch v := q.(type) {
 	case *tracedQdisc:
 		return AuditQdisc(v.Qdisc)
-	case *LossyQdisc:
-		return AuditQdisc(v.Qdisc)
+	case *ImpairedQdisc:
+		return AuditQdisc(v.inner)
 	case *FIFO:
 		return v.q.audit("fifo")
 	case *SelectiveDrop:

@@ -57,7 +57,7 @@ func TestAuditQdiscDetectsCounterDrift(t *testing.T) {
 
 func TestAuditQdiscUnwrapsInstrumentation(t *testing.T) {
 	f := NewFIFO(0)
-	q := Qdisc(&tracedQdisc{Qdisc: &LossyQdisc{Qdisc: f}, tracer: NewCountingTracer(), where: "t"})
+	q := Qdisc(&tracedQdisc{Qdisc: &ImpairedQdisc{inner: f, li: &LinkImpairment{}}, tracer: NewCountingTracer(), where: "t"})
 	f.Enqueue(dataPkt(1, 1538, false), 0)
 	if err := AuditQdisc(q); err != nil {
 		t.Fatalf("wrapped clean queue failed audit: %v", err)

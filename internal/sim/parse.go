@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file is the textual side of the time and rate types: parsers for the
+// "<number><unit>" forms humans write in CLIs and scenario files, and exact
+// renderers whose output round-trips through the parsers bit for bit. The
+// impairment-timeline format (internal/netem) is built on them and its fuzz
+// target leans on the round-trip guarantee.
+
+// durUnits maps duration suffixes to their picosecond multiplier, longest
+// suffix first so "ms" is not mistaken for "s".
+var durUnits = []struct {
+	suffix string
+	mul    Duration
+}{
+	{"ps", Picosecond},
+	{"ns", Nanosecond},
+	{"us", Microsecond},
+	{"µs", Microsecond},
+	{"ms", Millisecond},
+	{"s", Second},
+}
+
+// ParseDuration parses a non-negative duration written as "<number><unit>"
+// with unit ps, ns, us (or µs), ms or s — e.g. "50ms", "1.5us", "123ps". A
+// bare number is picoseconds. Integer values are parsed exactly (no float
+// rounding), so any ExactString output round-trips losslessly.
+func ParseDuration(s string) (Duration, error) {
+	num, mul := s, Duration(0)
+	for _, u := range durUnits {
+		if strings.HasSuffix(s, u.suffix) && len(s) > len(u.suffix) {
+			num, mul = s[:len(s)-len(u.suffix)], u.mul
+			break
+		}
+	}
+	if mul == 0 {
+		if _, err := strconv.ParseFloat(s, 64); err != nil {
+			return 0, fmt.Errorf("sim: bad duration %q (want e.g. \"50ms\", \"1.5us\", \"123ps\")", s)
+		}
+		mul = Picosecond
+	}
+	// Exact integer path first: "9223372036854775807ps" and every
+	// ExactString rendering must survive unharmed by float precision.
+	if iv, err := strconv.ParseInt(num, 10, 64); err == nil {
+		if iv < 0 {
+			return 0, fmt.Errorf("sim: negative duration %q", s)
+		}
+		if iv > math.MaxInt64/int64(mul) {
+			return 0, fmt.Errorf("sim: duration %q overflows", s)
+		}
+		return Duration(iv) * mul, nil
+	}
+	fv, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sim: bad duration %q: %v", s, err)
+	}
+	ps := fv * float64(mul)
+	if math.IsNaN(ps) || ps < 0 {
+		return 0, fmt.Errorf("sim: negative or NaN duration %q", s)
+	}
+	if ps >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("sim: duration %q overflows", s)
+	}
+	return Duration(math.Round(ps)), nil
+}
+
+// ExactString renders the duration as an integer count of the largest unit
+// that divides it evenly: 50 ms renders "50ms", 1234 ps renders "1234ps".
+// Unlike String (which rounds to three decimals for display), the output is
+// lossless: ParseDuration(d.ExactString()) == d for every non-negative d.
+func (d Duration) ExactString() string {
+	if d < 0 {
+		return "-" + (-d).ExactString()
+	}
+	for i := len(durUnits) - 1; i >= 0; i-- {
+		u := durUnits[i]
+		if u.suffix == "µs" {
+			continue // "us" is the canonical spelling
+		}
+		if d%u.mul == 0 {
+			return strconv.FormatInt(int64(d/u.mul), 10) + u.suffix
+		}
+	}
+	return strconv.FormatInt(int64(d), 10) + "ps"
+}
+
+// rateUnits maps rate suffixes to bits per second, longest first.
+var rateUnits = []struct {
+	suffix string
+	mul    Rate
+}{
+	{"Gbps", Gbps},
+	{"Mbps", Mbps},
+	{"Kbps", Kbps},
+	{"bps", BitPerSecond},
+}
+
+// ParseRate parses a non-negative rate written as "<number><unit>" with unit
+// bps, Kbps, Mbps or Gbps (e.g. "100Gbps", "2.5Gbps"). A bare number is bits
+// per second. Integer values parse exactly, so Rate.String output (which is
+// always an integer count of an exact unit) round-trips losslessly.
+func ParseRate(s string) (Rate, error) {
+	num, mul := s, Rate(0)
+	for _, u := range rateUnits {
+		if strings.HasSuffix(s, u.suffix) && len(s) > len(u.suffix) {
+			num, mul = s[:len(s)-len(u.suffix)], u.mul
+			break
+		}
+	}
+	if mul == 0 {
+		if _, err := strconv.ParseFloat(s, 64); err != nil {
+			return 0, fmt.Errorf("sim: bad rate %q (want e.g. \"100Gbps\", \"2.5Gbps\")", s)
+		}
+		mul = BitPerSecond
+	}
+	if iv, err := strconv.ParseInt(num, 10, 64); err == nil {
+		if iv < 0 {
+			return 0, fmt.Errorf("sim: negative rate %q", s)
+		}
+		if iv > math.MaxInt64/int64(mul) {
+			return 0, fmt.Errorf("sim: rate %q overflows", s)
+		}
+		return Rate(iv) * mul, nil
+	}
+	fv, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sim: bad rate %q: %v", s, err)
+	}
+	bps := fv * float64(mul)
+	if math.IsNaN(bps) || bps < 0 {
+		return 0, fmt.Errorf("sim: negative or NaN rate %q", s)
+	}
+	if bps >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("sim: rate %q overflows", s)
+	}
+	return Rate(math.Round(bps)), nil
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Duration
+	}{
+		{"0s", 0},
+		{"123ps", 123},
+		{"1ns", Nanosecond},
+		{"1.5us", 1500 * Picosecond * 1000},
+		{"1.5µs", 1500 * Nanosecond},
+		{"50ms", 50 * Millisecond},
+		{"2s", 2 * Second},
+		{"42", 42}, // bare number is picoseconds
+		{"9223372036854775807ps", Duration(math.MaxInt64)},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDuration(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "ms", "-1ms", "xns", "1e400s", "NaNs", "9300000s"} {
+		if d, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) accepted as %d", bad, d)
+		}
+	}
+}
+
+func TestDurationExactStringRoundTrip(t *testing.T) {
+	for _, d := range []Duration{0, 1, 999, Nanosecond, 1500 * Nanosecond,
+		Microsecond, 50 * Millisecond, 3 * Second, Duration(math.MaxInt64)} {
+		s := d.ExactString()
+		got, err := ParseDuration(s)
+		if err != nil {
+			t.Fatalf("%d.ExactString() = %q failed to parse: %v", d, s, err)
+		}
+		if got != d {
+			t.Fatalf("round trip %d -> %q -> %d", d, s, got)
+		}
+	}
+	if s := (50 * Millisecond).ExactString(); s != "50ms" {
+		t.Errorf("50ms renders %q", s)
+	}
+	if s := Duration(1234).ExactString(); s != "1234ps" {
+		t.Errorf("1234ps renders %q", s)
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Rate
+	}{
+		{"0bps", 0},
+		{"100Gbps", 100 * Gbps},
+		{"2.5Gbps", 2500 * Mbps},
+		{"640Kbps", 640 * Kbps},
+		{"7", 7}, // bare number is bits/sec
+	}
+	for _, c := range cases {
+		got, err := ParseRate(c.in)
+		if err != nil {
+			t.Errorf("ParseRate(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseRate(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "Gbps", "-1Gbps", "1e400Gbps", "xbps"} {
+		if r, err := ParseRate(bad); err == nil {
+			t.Errorf("ParseRate(%q) accepted as %d", bad, r)
+		}
+	}
+	// Rate.String is exact for any value, so it must round-trip.
+	for _, r := range []Rate{0, 1, 999, Kbps, 25 * Gbps, 2500 * Mbps, Rate(12345678901)} {
+		got, err := ParseRate(r.String())
+		if err != nil || got != r {
+			t.Errorf("round trip %d -> %q -> %d (%v)", r, r.String(), got, err)
+		}
+	}
+}

@@ -163,17 +163,20 @@ func (ep *endpoint) Receive(pkt *netem.Packet) {
 }
 
 // sender is the per-flow sender state: the rdbase substrate plus the
-// credit-stop handshake.
+// credit-stop handshake and the credit-request retry timer.
 type sender struct {
 	rdbase.Sender
 	p *Protocol
 
 	stopSent bool
+	heard    bool // any receiver packet arrived: the request survived
+	reqTm    sim.Timer
 }
 
 func newSender(p *Protocol, f *transport.Flow) *sender {
 	s := &sender{p: p}
 	s.Init(p.env, f, p.opts.Aeolus, p.env.Net.BDPBytes())
+	s.reqTm.Init(p.env.Eng, s.reqExpire)
 	if p.opts.RTOOnly {
 		// No probe, no selective ACKs: the burst is presumed delivered and
 		// losses surface only through receiver RTO resend requests.
@@ -183,13 +186,39 @@ func newSender(p *Protocol, f *transport.Flow) *sender {
 }
 
 func (s *sender) start() {
-	// Credit request first (in-order fabric: it precedes the burst).
+	s.sendReq()
+	s.Start()
+	// The credit request is the flow's only handle on the receiver-driven
+	// recovery machinery: until it arrives, no credits flow and no receiver
+	// RTO is armed, so a lost request would stall the flow forever. Retry it
+	// on the RTO timescale until any receiver packet proves it (or the
+	// backup probe) got through.
+	if s.p.opts.RTO > 0 {
+		s.reqTm.Reset(s.p.opts.RTO)
+	}
+}
+
+// sendReq sends the credit request (in-order fabric: it precedes the burst).
+func (s *sender) sendReq() {
 	rdbase.Ctrl(s.Env, s.Flow, netem.CreditReq,
 		s.Flow.Src, s.Flow.Dst, 0, s.Flow.Size, s.Flow.PathID)
-	s.Start()
+}
+
+func (s *sender) reqExpire() {
+	if s.heard {
+		return
+	}
+	s.sendReq()
+	s.reqTm.Reset(s.p.opts.RTO)
 }
 
 func (s *sender) receive(pkt *netem.Packet) {
+	if !s.heard {
+		// Credit, Ack and Resend each imply the receiver established the
+		// flow, which arms its RTO — the request needs no more retries.
+		s.heard = true
+		s.reqTm.Stop()
+	}
 	switch pkt.Type {
 	case netem.Credit:
 		s.onCredit()
@@ -256,6 +285,13 @@ func (r *receiver) receive(pkt *netem.Packet) {
 	case netem.Probe:
 		r.establish(pkt.Meta)
 		r.rx.SendAck(pkt.Seq, rdbase.ProbeAckMark)
+		// The probe carries the flow size, so it doubles as a backup credit
+		// request when the request itself was lost: without this, first-RTT
+		// losses would sit in the sender's lost queue with no credits ever
+		// coming to spend on them. On the in-order fabric the request (a
+		// scheduled control packet) precedes the unscheduled burst and
+		// probe, so this is a no-op on an unimpaired path.
+		r.startCrediting()
 	case netem.Data:
 		r.onData(pkt)
 	case netem.CtrlOther:

@@ -10,13 +10,14 @@ import (
 	"github.com/aeolus-transport/aeolus/internal/workload"
 )
 
-// injectLoss wraps every switch port with targeted random loss.
-func injectLoss(net *netem.Network, rate float64, seed uint64, match func(*netem.Packet) bool) []*netem.LossyQdisc {
-	var out []*netem.LossyQdisc
+// injectLoss installs a loss impairment with targeted random loss on every
+// switch port.
+func injectLoss(net *netem.Network, rate float64, seed uint64, match func(*netem.Packet) bool) []*netem.LinkImpairment {
+	var out []*netem.LinkImpairment
 	for _, pt := range net.SwitchPorts() {
-		lq := netem.NewLossyQdisc(pt.Q, rate, seed, match)
-		pt.Q = lq
-		out = append(out, lq)
+		li := netem.InstallImpairment(pt, seed)
+		li.SetLoss(rate, 0, match)
+		out = append(out, li)
 		seed++
 	}
 	return out
