@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race audit golden impair degrade fuzz bench bench-smoke
+.PHONY: ci lint vet build test race audit golden impair degrade fuzz bench bench-smoke scale scale-smoke
 
-ci: lint build test race audit golden impair bench-smoke
+ci: lint build test race audit golden impair bench-smoke scale-smoke
 
 # gofmt gate (fails listing any unformatted file) + go vet.
 lint:
@@ -84,4 +84,17 @@ bench:
 bench-smoke:
 	$(GO) test -bench=BenchmarkPortPath -benchtime=100x -benchmem -run=TestPortPathAllocs ./internal/netem
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=TestSchedulerHotPathGate ./internal/sim
+	$(GO) test -run=TestCollectorScratchAllocs ./internal/stats
 	$(GO) test -race -run=TestPool ./internal/netem
+
+# Full scale sweep: the open-loop {64,256,1024}-host x {0.4,0.8}-load grid,
+# folded into BENCH_scale.json with the committed baseline preserved. Cells
+# run serially (wall-clock and RSS are process-wide), so expect minutes.
+scale:
+	$(GO) run ./cmd/aeolusscale -o BENCH_scale.json
+
+# Scale-regression smoke for CI: the smallest fabric of the grid, both load
+# points, gated against the committed BENCH_scale.json baseline (events/sec
+# floor, heap / scheduler-pressure / per-flow-state ceilings).
+scale-smoke:
+	$(GO) test -run=TestScaleSmoke -v ./internal/experiments

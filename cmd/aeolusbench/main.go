@@ -45,6 +45,7 @@ func main() {
 		exp      = flag.String("exp", "", "experiment ID (fig1..fig18, table1..table5) or \"all\"")
 		list     = flag.Bool("list", false, "list available experiments")
 		listSch  = flag.Bool("list-schemes", false, "print the scheme catalogue and exit")
+		listTopo = flag.Bool("list-topos", false, "print the topology catalogue and exit")
 		digest   = flag.Bool("digest", false, "print golden-trace digests (see -scheme)")
 		schemeID = flag.String("scheme", "", "with -digest: restrict to this scheme ID")
 		budget   = flag.Int64("budget", 150, "offered traffic per run, MiB")
@@ -80,6 +81,10 @@ func main() {
 	}
 	if *listSch {
 		fmt.Println(experiments.SchemeCatalog())
+		return
+	}
+	if *listTopo {
+		fmt.Println(experiments.TopoCatalog())
 		return
 	}
 	if *digest {

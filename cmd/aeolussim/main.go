@@ -7,8 +7,13 @@
 //	aeolussim -topo leafspine -scheme homa+aeolus -workload WebSearch -load 0.5 -flows 2000
 //	aeolussim -topo single -scheme xpass+aeolus -incast 7 -msg 40000
 //	aeolussim -topo fattree -scheme xpass -workload my-trace.cdf -runs 8 -parallel 4
+//	aeolussim -topo 'clos:16x2g8/8/4,hosts=8,rate=100Gbps' -scheme xpass+aeolus -workload WebServer
 //	aeolussim -topo micro -scheme ndp+aeolus -incast 16 -audit \
 //	    -impair '0s sw0->* loss rate=0.01; 50us sw0->h0 fail; 150us sw0->h0 restore'
+//
+// -topo accepts a catalogue name (-list-topos for the catalogue) or an ad-hoc
+// parameterized Clos spec in the "clos:" grammar of internal/netem; an
+// unknown name is rejected up front with the catalogue listing.
 //
 // -workload accepts either a built-in name or the path of a CDF file in the
 // "<bytes> <cumulative probability>" text format. With -runs N the same
@@ -39,9 +44,10 @@ import (
 
 func main() {
 	var (
-		topo     = flag.String("topo", "leafspine", "topology: fattree, leafspine, single, incastfabric, micro")
+		topo     = flag.String("topo", "leafspine", "topology: catalogue name (-list-topos) or clos:<spec>")
 		scheme   = flag.String("scheme", "xpass+aeolus", "scheme ID (-list-schemes for the catalogue)")
 		listSch  = flag.Bool("list-schemes", false, "print the scheme catalogue and exit")
+		listTopo = flag.Bool("list-topos", false, "print the topology catalogue and exit")
 		wlName   = flag.String("workload", "", "workload name (WebServer, CacheFollower, WebSearch, DataMining) or CDF file path")
 		load     = flag.Float64("load", 0.4, "core load for the Poisson workload")
 		flows    = flag.Int("flows", 0, "flow count (0 = derive from -budget)")
@@ -76,6 +82,10 @@ func main() {
 
 	if *listSch {
 		fmt.Println(experiments.SchemeCatalog())
+		return
+	}
+	if *listTopo {
+		fmt.Println(experiments.TopoCatalog())
 		return
 	}
 
@@ -138,9 +148,13 @@ func main() {
 		return spec
 	}
 
-	// Validate the scheme (ID and -opt values) and the impairment timeline's
-	// targets up front: a bad spec gets a one-line error on stderr instead of
-	// a panic mid-run.
+	// Validate the topology, the scheme (ID and -opt values) and the
+	// impairment timeline's targets up front: a bad spec gets an error on
+	// stderr instead of a panic mid-run.
+	if _, err := experiments.ResolveTopo(*topo); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if _, err := experiments.MakeScheme(specFor(*seed).Scheme); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

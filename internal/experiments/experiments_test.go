@@ -32,8 +32,8 @@ func cellF(tt *testing.T, t *Table, row int, col string) float64 {
 }
 
 func TestRegistryResolves(t *testing.T) {
-	if len(Registry) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(Registry))
+	if len(Registry) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(Registry))
 	}
 	for _, e := range Registry {
 		got, err := ByID(e.ID)

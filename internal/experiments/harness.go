@@ -69,6 +69,12 @@ type Config struct {
 	// digest test proves it — so, like DisablePool, the knob exists to keep
 	// proving that and to bisect should the two ever diverge.
 	Scheduler sim.SchedulerKind
+
+	// Observe, when non-nil, is invoked after the topology, transport and
+	// instrumentation are built but before any flow starts, giving callers a
+	// window onto the run's internals (the scale sweep hangs its footprint
+	// probes here). It must not schedule engine events.
+	Observe func(net *netem.Network, env *transport.Env, proto transport.Protocol)
 }
 
 // scheduler resolves the configured SchedulerKind, defaulting when unset.
@@ -109,77 +115,11 @@ const (
 // frameBytes is the full on-wire frame size the scheme serializes per hop
 // (netem.WireSizeFor of its MSS); it parameterizes the base-RTT derivation
 // so jumbo-frame schemes (NDP) size their first-RTT window correctly. sched
-// picks the engine's event-queue implementation.
+// picks the engine's event-queue implementation. The name resolves through
+// the topology catalogue (see topo.go); an unknown name panics with the
+// catalogue listing — the CLIs validate up front via ResolveTopo.
 func buildTopo(topo string, qf netem.QdiscFactory, frameBytes int, sched sim.SchedulerKind) *netem.Network {
-	eng := sim.NewEngineWith(sched)
-	switch topo {
-	case TopoFatTree:
-		return netem.BuildFatTree3(eng, netem.ExpressPassShape, netem.TopoConfig{
-			HostRate: 100 * sim.Gbps, LinkDelay: 4 * sim.Microsecond,
-			HostDelay: sim.Microsecond, MakeQdisc: qf, FrameBytes: frameBytes,
-		})
-	case TopoLeafSpine:
-		return netem.BuildLeafSpine(eng, 8, 8, 8, netem.TopoConfig{
-			HostRate: 100 * sim.Gbps, LinkDelay: 500 * sim.Nanosecond,
-			MakeQdisc: qf, FrameBytes: frameBytes,
-		})
-	case TopoSingleSwitch:
-		return netem.BuildSingleSwitch(eng, 8, netem.TopoConfig{
-			HostRate: 10 * sim.Gbps, LinkDelay: 3 * sim.Microsecond,
-			MakeQdisc: qf, FrameBytes: frameBytes,
-		})
-	case TopoIncastFabric:
-		return netem.BuildLeafSpine(eng, 4, 9, 16, netem.TopoConfig{
-			HostRate: 100 * sim.Gbps, CoreRate: 400 * sim.Gbps,
-			LinkDelay: 200 * sim.Nanosecond, SwitchPipe: 250 * sim.Nanosecond,
-			MakeQdisc: qf, FrameBytes: frameBytes,
-		})
-	case TopoMicro:
-		return netem.BuildSingleSwitch(eng, 24, netem.TopoConfig{
-			HostRate: 100 * sim.Gbps, LinkDelay: sim.Microsecond,
-			MakeQdisc: qf, FrameBytes: frameBytes,
-		})
-	default:
-		panic("experiments: unknown topology " + topo)
-	}
-}
-
-// edgeLoadFor converts the paper's quoted core load into the edge load the
-// Poisson generator targets, accounting for topology oversubscription and
-// the fraction of traffic that crosses the core.
-func edgeLoadFor(topo string, coreLoad float64) float64 {
-	switch topo {
-	case TopoFatTree:
-		// 3:1 oversubscribed ToRs; ~97% of random pairs cross the ToR.
-		return coreLoad / (3.0 * 186.0 / 191.0)
-	case TopoLeafSpine:
-		// Non-blocking; 7/8 of random pairs cross the core.
-		return coreLoad / (7.0 / 8.0)
-	case TopoIncastFabric:
-		// 16x100G hosts per leaf against 4x400G uplinks: non-blocking; only
-		// the cross-leaf fraction of traffic exercises the core.
-		return coreLoad / (128.0 / 143.0)
-	default:
-		return coreLoad
-	}
-}
-
-// hostsIn returns the host count of a topology.
-func hostsIn(topo string) int {
-	switch topo {
-	case TopoFatTree:
-		return 192
-	case TopoLeafSpine:
-		return 64
-	case TopoSingleSwitch:
-		return 8
-	case TopoIncastFabric:
-		return 144
-	case TopoMicro:
-		return 24
-	default:
-		return 0
-	}
+	return mustTopo(topo).Build(qf, frameBytes, sched)
 }
 
 // RunSpec describes one simulation run.
@@ -260,11 +200,15 @@ func CheckImpair(cfg Config, spec RunSpec) error {
 	if err != nil {
 		return err
 	}
+	topo, err := ResolveTopo(spec.Topo)
+	if err != nil {
+		return err
+	}
 	buffer := spec.Buffer
 	if buffer <= 0 {
 		buffer = netem.DefaultBuffer
 	}
-	net := buildTopo(spec.Topo, scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS), cfg.scheduler())
+	net := topo.Build(scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS), cfg.scheduler())
 	_, err = impair.Apply(net, cfg.Seed^spec.Scheme.Seed)
 	return err
 }
@@ -272,11 +216,12 @@ func CheckImpair(cfg Config, spec RunSpec) error {
 // Run executes one simulation and collects the metrics.
 func Run(cfg Config, spec RunSpec) RunResult {
 	scheme := mustScheme(spec.Scheme)
+	topo := mustTopo(spec.Topo)
 	buffer := spec.Buffer
 	if buffer <= 0 {
 		buffer = netem.DefaultBuffer
 	}
-	net := buildTopo(spec.Topo, scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS), cfg.scheduler())
+	net := topo.Build(scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS), cfg.scheduler())
 	if cfg.DisablePool {
 		net.Pool.Disable()
 	}
@@ -307,6 +252,9 @@ func Run(cfg Config, spec RunSpec) RunResult {
 	if cfg.Audit {
 		aud = audit.Attach(net)
 	}
+	if cfg.Observe != nil {
+		cfg.Observe(net, env, proto)
+	}
 
 	var trace []workload.FlowSpec
 	if spec.Workload != nil {
@@ -315,9 +263,9 @@ func Run(cfg Config, spec RunSpec) RunResult {
 			flows = cfg.flowsFor(spec.Workload)
 		}
 		pc := workload.PoissonConfig{
-			CDF: spec.Workload, Hosts: hostsIn(spec.Topo),
+			CDF: spec.Workload, Hosts: topo.Hosts(),
 			HostRate: net.HostRate,
-			Load:     edgeLoadFor(spec.Topo, spec.CoreLoad),
+			Load:     topo.EdgeLoad(spec.CoreLoad),
 			Flows:    flows, Seed: cfg.Seed ^ spec.Scheme.Seed,
 			StartAt: sim.Time(10 * sim.Microsecond),
 		}
@@ -325,7 +273,7 @@ func Run(cfg Config, spec RunSpec) RunResult {
 	}
 	if spec.Incast != nil {
 		ic := *spec.Incast
-		ic.Hosts = hostsIn(spec.Topo)
+		ic.Hosts = topo.Hosts()
 		ic.BaseID = uint64(len(trace)) + 1000000
 		trace = workload.Merge(trace, ic.Generate())
 	}
@@ -355,6 +303,9 @@ func Run(cfg Config, spec RunSpec) RunResult {
 			aud.RegisterFlow(f.ID, f.Size)
 		}
 	}
+	// Pre-size the FCT collector for the whole trace so completion recording
+	// never grows the heap mid-run.
+	env.FCT.Reserve(len(trace))
 	start := env.Eng.Now()
 	transport.Runner(env, proto, trace, last.Add(deadline))
 	endTime := env.Eng.Now()
@@ -374,9 +325,11 @@ func Run(cfg Config, spec RunSpec) RunResult {
 		baseRTT:   net.BaseRTT,
 		records:   env.FCT.Records(),
 	}
+	// Metric extraction runs on the collector's scratch buffers: the CDF
+	// consumes the filtered view before the next Filter call invalidates it.
 	small := env.FCT.Filter(0, 100_000)
-	res.Small = stats.Summarize(small)
-	res.All = stats.Summarize(env.FCT.Records())
+	res.Small = env.FCT.Summarize(small)
+	res.All = env.FCT.Summarize(env.FCT.Records())
 	if len(small) > 0 {
 		n := 0
 		for _, r := range small {

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary runs under the race detector, whose
+// 10-20x slowdown and shadow-memory overhead make wall-clock and heap gates
+// meaningless.
+const raceEnabled = true

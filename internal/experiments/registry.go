@@ -35,6 +35,7 @@ var Registry = []Experiment{
 	{"fig18", "Goodput vs offered load, six schemes", Fig18},
 	{"ablation", "Design-choice ablation: threshold sweep, probe vs RTO-only recovery", Ablation},
 	{"degrade", "Degradation sweep under injected loss and link flap (not in the paper)", Degradation},
+	{"scale", "Open-loop scale sweep: simulator throughput and memory vs fabric size (not in the paper)", ScaleSweep},
 }
 
 // ByID returns the experiment with the given ID.

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// The scale sweep (ROADMAP "paper-scale and beyond") answers the question the
+// paper's fixed 64..192-host fabrics cannot: how does the simulator itself
+// hold up as the fabric grows — events per wall-clock second, scheduler
+// pressure (peak pending events, timing-wheel overflow spill), heap and RSS
+// high-water marks, and the per-flow state the transports retain. Each cell
+// is one open-loop run: an n-leaf/n-spine non-blocking Clos (n² hosts) under
+// a Poisson WebServer workload at a fixed per-host flow count, so offered
+// work scales linearly with the host count and cells are comparable across
+// fabric sizes.
+//
+// Unlike every other experiment, the sweep runs its cells serially and owns
+// the whole process while doing so: wall-clock throughput, sampled heap peaks
+// and the kernel's VmHWM are process-wide measurements that concurrent runs
+// would corrupt. Cells run smallest fabric first so the monotone RSS
+// high-water mark still says something about the small cells.
+
+// ScaleFlowsPerHost is the open-loop offered work per host: every cell runs
+// hosts × ScaleFlowsPerHost Poisson flows, keeping per-host load identical
+// across fabric sizes.
+const ScaleFlowsPerHost = 100
+
+// scaleLoads is the core-load grid of the sweep.
+var scaleLoads = []float64{0.4, 0.8}
+
+// scaleWidths returns the leaf/spine widths of the sweep grid (n² hosts):
+// 64, 256 and 1024 hosts, trimmed to 64 and 256 under -quick.
+func scaleWidths(quick bool) []int {
+	if quick {
+		return []int{8, 16}
+	}
+	return []int{8, 16, 32}
+}
+
+// ScaleFabric returns the sweep's fabric at width n: an n-leaf/n-spine
+// non-blocking Clos with n hosts per leaf (n² hosts total), the leafspine
+// catalogue geometry scaled out. 100G links, 500ns per-hop delay.
+func ScaleFabric(n int) netem.TopoSpec {
+	return netem.TopoSpec{
+		HostsPerEdge: n,
+		Tiers:        []netem.TierSpec{{Switches: n}, {Switches: n}},
+		HostRate:     100 * sim.Gbps,
+		LinkDelay:    500 * sim.Nanosecond,
+	}
+}
+
+// ScalePoint is one measured cell of the sweep — the record BENCH_scale.json
+// stores and the smoke gates compare against.
+type ScalePoint struct {
+	Topo  string  `json:"topo"`
+	Hosts int     `json:"hosts"`
+	Load  float64 `json:"load"`
+	Flows int     `json:"flows"`
+
+	Completed    int     `json:"completed"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Scheduler pressure: the engine's peak simultaneous pending events and,
+	// for the timing wheel, the peak population of the far-future overflow
+	// list (see sim.SchedStats).
+	PeakPending  int `json:"peak_pending"`
+	PeakOverflow int `json:"peak_overflow"`
+
+	// HeapPeakBytes is the maximum live-heap size sampled during the run;
+	// RSSPeakBytes is the kernel's VmHWM — process-wide and monotone, so only
+	// the first (smallest) cells bound their own fabric (0 where /proc is
+	// unavailable).
+	HeapPeakBytes uint64 `json:"heap_peak_bytes"`
+	RSSPeakBytes  uint64 `json:"rss_peak_bytes"`
+
+	// StateBytesPerFlow is the retained heap growth across the run divided by
+	// the flow count — the per-flow footprint of transport tables, FCT
+	// records and trace, measured after a settling GC. The transport's own
+	// resident-object counts come from transport.FootprintReporter.
+	StateBytesPerFlow float64 `json:"state_bytes_per_flow"`
+	StateFlows        int     `json:"state_flows"`
+	StateSenders      int     `json:"state_senders"`
+	StateReceivers    int     `json:"state_receivers"`
+
+	AuditClean bool `json:"audit_clean"`
+}
+
+// Key is the ledger key of the cell, e.g. "h1024/l0.8".
+func (p ScalePoint) Key() string { return fmt.Sprintf("h%d/l%g", p.Hosts, p.Load) }
+
+// MeasureScale runs one sweep cell and returns its measurements. The scheme
+// is ExpressPass+Aeolus — the paper's primary integration and the cheapest of
+// the three transports per packet, so the sweep stresses the simulator rather
+// than one transport's scheduling policy.
+func MeasureScale(cfg Config, width int, load float64) ScalePoint {
+	spec := ScaleFabric(width)
+	pt := ScalePoint{Topo: spec.String(), Hosts: spec.Hosts(), Load: load}
+	pt.Flows = pt.Hosts * ScaleFlowsPerHost
+
+	var eng *sim.Engine
+	var proto transport.Protocol
+	var heapStart uint64
+	run := cfg
+	run.Audit = true
+	run.Observe = func(_ *netem.Network, env *transport.Env, p transport.Protocol) {
+		eng, proto = env.Eng, p
+		heapStart = heapSettled()
+	}
+
+	sampler := startHeapSampler(5 * time.Millisecond)
+	start := time.Now()
+	res := Run(run, RunSpec{
+		Scheme:   SchemeSpec{ID: "xpass+aeolus", Workload: workload.WebServer, Seed: cfg.Seed},
+		Topo:     pt.Topo,
+		Workload: workload.WebServer,
+		CoreLoad: load,
+		Flows:    pt.Flows,
+	})
+	pt.WallSeconds = time.Since(start).Seconds()
+	sampled := sampler.stop()
+	heapEnd := heapSettled()
+
+	pt.Completed = res.Completed
+	pt.Events = eng.Fired()
+	if pt.WallSeconds > 0 {
+		pt.EventsPerSec = float64(pt.Events) / pt.WallSeconds
+	}
+	ss := eng.SchedStats()
+	pt.PeakPending, pt.PeakOverflow = ss.PeakPending, ss.PeakOverflow
+	pt.HeapPeakBytes = max(sampled, heapEnd)
+	pt.RSSPeakBytes = vmHWMBytes()
+	if heapEnd > heapStart && pt.Flows > 0 {
+		pt.StateBytesPerFlow = float64(heapEnd-heapStart) / float64(pt.Flows)
+	}
+	if fr, ok := proto.(transport.FootprintReporter); ok {
+		fp := fr.Footprint()
+		pt.StateFlows, pt.StateSenders, pt.StateReceivers = fp.Flows, fp.Senders, fp.Receivers
+	}
+	pt.AuditClean = res.Audit != nil && res.Audit.Ok()
+	return pt
+}
+
+// ScaleSweep is the "scale" registry entry: the full grid, serially,
+// smallest fabric first, one table row per cell.
+func ScaleSweep(cfg Config) []Table {
+	points := RunScaleGrid(cfg)
+	t := Table{ID: "scale",
+		Title: "Open-loop scale sweep: simulator throughput and memory vs fabric size (WebServer, xpass+aeolus)",
+		Columns: []string{"hosts", "load", "flows", "completed", "events", "wall/s",
+			"events/s", "peakPending", "peakOverflow", "heapPeak/MB", "state/flow", "audit"}}
+	for _, p := range points {
+		t.Add(fmt.Sprint(p.Hosts), fmt.Sprintf("%g", p.Load), fmt.Sprint(p.Flows),
+			fmt.Sprintf("%d/%d", p.Completed, p.Flows), fmt.Sprint(p.Events),
+			f2(p.WallSeconds), fmt.Sprintf("%.3g", p.EventsPerSec),
+			fmt.Sprint(p.PeakPending), fmt.Sprint(p.PeakOverflow),
+			f1(float64(p.HeapPeakBytes)/(1<<20)), f1(p.StateBytesPerFlow),
+			auditMark(p.AuditClean))
+	}
+	return []Table{t}
+}
+
+// RunScaleGrid measures every cell of the (width, load) grid in order —
+// smallest first — reporting per-cell completion through cfg.Progress.
+func RunScaleGrid(cfg Config) []ScalePoint {
+	widths := scaleWidths(cfg.Quick)
+	total := len(widths) * len(scaleLoads)
+	start := time.Now()
+	points := make([]ScalePoint, 0, total)
+	for _, n := range widths {
+		for _, load := range scaleLoads {
+			points = append(points, MeasureScale(cfg, n, load))
+			if cfg.Progress != nil {
+				cfg.Progress(len(points), total, time.Since(start))
+			}
+		}
+	}
+	return points
+}
+
+func auditMark(clean bool) string {
+	if clean {
+		return "clean"
+	}
+	return "VIOLATED"
+}
+
+// heapSettled returns the live heap after a full GC — the retained-state
+// measurement points on either side of a run.
+func heapSettled() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// heapSampler polls the live heap from a background goroutine while a run
+// executes on the calling goroutine, tracking the high-water mark. It samples
+// wall-clock time rather than scheduling engine events: an engine-driven
+// sampler would keep the event queue nonempty and stall the post-run audit
+// drain, and would perturb the very peak-pending statistic being measured.
+type heapSampler struct {
+	quit chan struct{}
+	peak chan uint64
+}
+
+func startHeapSampler(every time.Duration) *heapSampler {
+	s := &heapSampler{quit: make(chan struct{}), peak: make(chan uint64)}
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		var m runtime.MemStats
+		var peak uint64
+		for {
+			select {
+			case <-tick.C:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+			case <-s.quit:
+				s.peak <- peak
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// stop ends the sampling and returns the observed heap high-water mark.
+func (s *heapSampler) stop() uint64 {
+	close(s.quit)
+	return <-s.peak
+}
+
+// vmHWMBytes reads the process's peak resident set (VmHWM) from
+// /proc/self/status, returning 0 where the file or field is unavailable.
+func vmHWMBytes() uint64 {
+	buf, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// ScaleLedger is the BENCH_scale.json layout, mirroring cmd/benchjson: a
+// frozen baseline section committed with the repo plus the latest run, so
+// scale regressions stay visible against the reference numbers.
+type ScaleLedger struct {
+	Note     string                `json:"note,omitempty"`
+	Baseline map[string]ScalePoint `json:"baseline,omitempty"`
+	Current  map[string]ScalePoint `json:"current"`
+}
+
+// LoadScaleLedger reads a ledger file.
+func LoadScaleLedger(path string) (ScaleLedger, error) {
+	var led ScaleLedger
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return led, err
+	}
+	if err := json.Unmarshal(buf, &led); err != nil {
+		return led, fmt.Errorf("experiments: unparsable ledger %s: %w", path, err)
+	}
+	return led, nil
+}
+
+// WriteScaleLedger stores the points as the ledger's current section,
+// preserving an existing file's note and baseline; the first write seeds the
+// baseline, and committing it freezes the reference.
+func WriteScaleLedger(path, note string, points []ScalePoint) error {
+	led, err := LoadScaleLedger(path)
+	if err != nil {
+		led = ScaleLedger{}
+	}
+	if led.Note == "" {
+		led.Note = note
+	}
+	led.Current = make(map[string]ScalePoint, len(points))
+	for _, p := range points {
+		led.Current[p.Key()] = p
+	}
+	if led.Baseline == nil {
+		led.Baseline = led.Current
+	}
+	buf, err := json.MarshalIndent(&led, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

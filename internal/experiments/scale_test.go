@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// ledgerPath is the committed scale ledger at the repo root, relative to this
+// package's test working directory.
+const ledgerPath = "../../BENCH_scale.json"
+
+// TestScaleSmoke is the CI tier of the scale sweep: the smallest fabric of
+// the grid, both load points, gated against the committed BENCH_scale.json
+// baseline. The gates are deliberately loose — events/sec may legitimately
+// wobble 2x across machines and CI noise — but a real capacity regression
+// (events/sec collapse, heap or scheduler-pressure blow-up) trips them.
+func TestScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke runs full simulations; skipped in -short")
+	}
+	led, err := LoadScaleLedger(ledgerPath)
+	if err != nil {
+		t.Fatalf("scale ledger missing or unreadable (regenerate with `make scale`): %v", err)
+	}
+	cfg := DefaultConfig()
+	for _, load := range scaleLoads {
+		pt := MeasureScale(cfg, 8, load)
+		t.Logf("%s: %d events in %.2fs (%.3g ev/s), peak pending %d, heap peak %.1f MB, %.0f B/flow",
+			pt.Key(), pt.Events, pt.WallSeconds, pt.EventsPerSec,
+			pt.PeakPending, float64(pt.HeapPeakBytes)/(1<<20), pt.StateBytesPerFlow)
+		if pt.Completed != pt.Flows {
+			t.Errorf("%s: %d/%d flows completed", pt.Key(), pt.Completed, pt.Flows)
+		}
+		if !pt.AuditClean {
+			t.Errorf("%s: audit violations", pt.Key())
+		}
+		if pt.StateFlows != pt.Flows || pt.StateSenders != pt.Flows {
+			t.Errorf("%s: footprint reports %d flows / %d senders, want %d",
+				pt.Key(), pt.StateFlows, pt.StateSenders, pt.Flows)
+		}
+		base, ok := led.Baseline[pt.Key()]
+		if !ok {
+			t.Errorf("%s: no baseline in %s", pt.Key(), ledgerPath)
+			continue
+		}
+		// Simulation-deterministic metrics gate unconditionally; wall-clock
+		// and heap gates are skipped under the race detector, whose 10-20x
+		// slowdown and shadow memory would trip them on a healthy build.
+		// Behavior changes legitimately move the event count (golden digests
+		// own exact behavior); a blow-up in events per flow is a scale bug.
+		if float64(pt.Events) > 1.5*float64(base.Events) {
+			t.Errorf("%s: %d events exceeds 1.5x baseline %d — event efficiency regressed",
+				pt.Key(), pt.Events, base.Events)
+		}
+		if float64(pt.PeakPending) > 2*float64(base.PeakPending) {
+			t.Errorf("%s: peak pending %d exceeds 2x baseline %d",
+				pt.Key(), pt.PeakPending, base.PeakPending)
+		}
+		if raceEnabled {
+			t.Logf("%s: race detector on; skipping events/sec and heap gates", pt.Key())
+			continue
+		}
+		if pt.EventsPerSec < base.EventsPerSec/2.5 {
+			t.Errorf("%s: events/sec collapsed: %.3g, baseline %.3g (gate: ≥ baseline/2.5)",
+				pt.Key(), pt.EventsPerSec, base.EventsPerSec)
+		}
+		if float64(pt.HeapPeakBytes) > 2*float64(base.HeapPeakBytes) {
+			t.Errorf("%s: heap peak %.1f MB exceeds 2x baseline %.1f MB",
+				pt.Key(), float64(pt.HeapPeakBytes)/(1<<20), float64(base.HeapPeakBytes)/(1<<20))
+		}
+		if pt.StateBytesPerFlow > 2*base.StateBytesPerFlow {
+			t.Errorf("%s: per-flow state %.0f B exceeds 2x baseline %.0f B",
+				pt.Key(), pt.StateBytesPerFlow, base.StateBytesPerFlow)
+		}
+	}
+}
+
+// TestScaleLedgerRoundTrip pins the ledger file mechanics: the first write
+// seeds the baseline, later writes replace current while preserving the
+// frozen baseline and note.
+func TestScaleLedgerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	first := []ScalePoint{{Topo: "clos:8/8,hosts=8", Hosts: 64, Load: 0.4, EventsPerSec: 1e6}}
+	if err := WriteScaleLedger(path, "test note", first); err != nil {
+		t.Fatal(err)
+	}
+	second := []ScalePoint{{Topo: "clos:8/8,hosts=8", Hosts: 64, Load: 0.4, EventsPerSec: 2e6}}
+	if err := WriteScaleLedger(path, "other note", second); err != nil {
+		t.Fatal(err)
+	}
+	led, err := LoadScaleLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := first[0].Key()
+	if key != "h64/l0.4" {
+		t.Fatalf("key = %q, want h64/l0.4", key)
+	}
+	if led.Note != "test note" {
+		t.Errorf("note overwritten: %q", led.Note)
+	}
+	if got := led.Baseline[key].EventsPerSec; got != 1e6 {
+		t.Errorf("baseline not preserved: %g, want 1e6", got)
+	}
+	if got := led.Current[key].EventsPerSec; got != 2e6 {
+		t.Errorf("current not updated: %g, want 2e6", got)
+	}
+	if _, err := LoadScaleLedger(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
+		t.Errorf("missing ledger: err = %v, want IsNotExist", err)
+	}
+}

@@ -1,0 +1,561 @@
+package netem
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+)
+
+// This file is the parameterized Clos generator: one data-driven builder that
+// subsumes BuildSingleSwitch, BuildLeafSpine and BuildFatTree3. The legacy
+// builders remain as hand-written references — clos_test.go proves BuildClos
+// reproduces each of them byte-identically (same labels, node IDs, port
+// orders, routing tables and BaseRTT) — but new shapes, in particular the
+// scale-sweep fabrics, are expressed as TopoSpec values instead of new code.
+
+// TierSpec sizes one switch tier of a Clos fabric and describes its wiring to
+// the tier above. Uplinks and Groups apply to the boundary between this tier
+// and the next; on the top tier both are ignored.
+//
+// The Groups field partitions the boundary: the tier's switches are split
+// into Groups equal contiguous groups, the parent tier likewise, and group i
+// below is fully meshed (with Uplinks parallel links per pair) to group i
+// above. Groups=1 is the familiar full leaf–spine mesh; Groups=Switches with
+// a one-switch parent group is the fat-tree ToR→leaf star; intermediate
+// values give k-ary fat-tree pods.
+type TierSpec struct {
+	Switches int // switches in this tier
+	Uplinks  int // parallel links to each parent switch (0 = 1)
+	Groups   int // boundary groups toward the tier above (0 = 1)
+}
+
+// TopoSpec is a complete parameterized Clos topology: the tier stack plus the
+// link-timing knobs shared with TopoConfig. Tiers[0] is the edge (host-facing)
+// tier; Tiers[len-1] is the top. It is pure data — the CLIs parse one from a
+// "clos:" spec string, the experiment catalogue declares them as literals, and
+// BuildClos turns one into a Network.
+type TopoSpec struct {
+	HostsPerEdge int // hosts under each edge switch
+	Tiers        []TierSpec
+
+	HostRate   sim.Rate     // edge link rate
+	CoreRate   sim.Rate     // fabric link rate; 0 means same as HostRate
+	LinkDelay  sim.Duration // per-link propagation delay
+	HostDelay  sim.Duration // end-host stack latency
+	SwitchPipe sim.Duration // switching pipeline latency
+}
+
+// normalized returns a copy with the boundary defaults applied (Uplinks and
+// Groups floor at 1) so the geometry helpers never divide by zero.
+func (s TopoSpec) normalized() TopoSpec {
+	tiers := make([]TierSpec, len(s.Tiers))
+	copy(tiers, s.Tiers)
+	for i := range tiers {
+		if tiers[i].Uplinks < 1 {
+			tiers[i].Uplinks = 1
+		}
+		if tiers[i].Groups < 1 {
+			tiers[i].Groups = 1
+		}
+	}
+	s.Tiers = tiers
+	return s
+}
+
+// Hosts returns the total host count.
+func (s TopoSpec) Hosts() int {
+	if len(s.Tiers) == 0 {
+		return 0
+	}
+	return s.HostsPerEdge * s.Tiers[0].Switches
+}
+
+// NumSwitches returns the total switch count across all tiers.
+func (s TopoSpec) NumSwitches() int {
+	n := 0
+	for _, t := range s.Tiers {
+		n += t.Switches
+	}
+	return n
+}
+
+func (s TopoSpec) coreRate() sim.Rate {
+	if s.CoreRate > 0 {
+		return s.CoreRate
+	}
+	return s.HostRate
+}
+
+// reachGeometry computes, per tier, the span of consecutive host IDs one
+// switch reaches going down and how many switches of the tier share one such
+// reach. Edge switches each own a distinct HostsPerEdge-host span; a boundary
+// with G groups gives each parent the union of its group's child reaches.
+// Requires a normalized, validated spec.
+func (s TopoSpec) reachGeometry() (spans, perReach []int) {
+	T := len(s.Tiers)
+	spans = make([]int, T)
+	perReach = make([]int, T)
+	spans[0], perReach[0] = s.HostsPerEdge, 1
+	for t := 0; t < T-1; t++ {
+		g := s.Tiers[t].Groups
+		cpg := s.Tiers[t].Switches / g
+		spans[t+1] = cpg / perReach[t] * spans[t]
+		perReach[t+1] = s.Tiers[t+1].Switches / g
+	}
+	return spans, perReach
+}
+
+// Validate checks the spec describes a well-formed, fully connected fabric:
+// positive sizes, boundary group counts that divide both tiers evenly and do
+// not split a set of reach-sharing switches, and a top tier whose switches
+// each reach every host (anything less partitions the fabric).
+func (s TopoSpec) Validate() error {
+	n := s.normalized()
+	if len(n.Tiers) == 0 {
+		return fmt.Errorf("clos spec: no tiers")
+	}
+	if n.HostsPerEdge < 1 {
+		return fmt.Errorf("clos spec: hosts per edge switch must be >= 1, got %d", n.HostsPerEdge)
+	}
+	if n.HostRate <= 0 {
+		return fmt.Errorf("clos spec: host rate must be positive")
+	}
+	for t, tier := range n.Tiers {
+		if tier.Switches < 1 {
+			return fmt.Errorf("clos spec: tier %d has %d switches", t, tier.Switches)
+		}
+	}
+	spans := make([]int, len(n.Tiers))
+	perReach := make([]int, len(n.Tiers))
+	spans[0], perReach[0] = n.HostsPerEdge, 1
+	for t := 0; t < len(n.Tiers)-1; t++ {
+		g := n.Tiers[t].Groups
+		if n.Tiers[t].Switches%g != 0 {
+			return fmt.Errorf("clos spec: tier %d's %d switches do not split into %d groups",
+				t, n.Tiers[t].Switches, g)
+		}
+		if n.Tiers[t+1].Switches%g != 0 {
+			return fmt.Errorf("clos spec: tier %d's %d switches do not split into tier %d's %d groups",
+				t+1, n.Tiers[t+1].Switches, t, g)
+		}
+		cpg := n.Tiers[t].Switches / g
+		if cpg%perReach[t] != 0 {
+			return fmt.Errorf("clos spec: tier %d groups of %d split a set of %d reach-sharing switches",
+				t, cpg, perReach[t])
+		}
+		spans[t+1] = cpg / perReach[t] * spans[t]
+		perReach[t+1] = n.Tiers[t+1].Switches / g
+	}
+	if top := spans[len(spans)-1]; top != n.Hosts() {
+		return fmt.Errorf("clos spec: top-tier switches reach only %d of %d hosts — the fabric is partitioned (top-boundary groups must be 1-connected)",
+			top, n.Hosts())
+	}
+	return nil
+}
+
+// Oversubscription returns the worst-case downlink:uplink capacity ratio over
+// all tier boundaries, floored at 1 (an undersubscribed boundary is not a
+// bottleneck). A single-tier fabric has no boundary and reports 1.
+func (s TopoSpec) Oversubscription() float64 {
+	n := s.normalized()
+	T := len(n.Tiers)
+	if T == 1 {
+		return 1
+	}
+	core := float64(n.coreRate())
+	worst := 1.0
+	for t := 0; t < T-1; t++ {
+		g := n.Tiers[t].Groups
+		ppg := n.Tiers[t+1].Switches / g
+		up := float64(ppg*n.Tiers[t].Uplinks) * core
+		var down float64
+		if t == 0 {
+			down = float64(n.HostsPerEdge) * float64(n.HostRate)
+		} else {
+			gBelow := n.Tiers[t-1].Groups
+			cpgBelow := n.Tiers[t-1].Switches / gBelow
+			down = float64(cpgBelow*n.Tiers[t-1].Uplinks) * core
+		}
+		if r := down / up; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// CrossEdgeFraction returns the fraction of uniformly random host pairs whose
+// traffic leaves the source's edge switch — the share of offered load that
+// exercises the fabric above the edge tier.
+func (s TopoSpec) CrossEdgeFraction() float64 {
+	h := s.Hosts()
+	if h <= 1 {
+		return 0
+	}
+	return float64(h-s.HostsPerEdge) / float64(h-1)
+}
+
+// CoreLoadFactor converts a target core load into the edge load a uniform
+// traffic generator must offer: edgeLoad = coreLoad / CoreLoadFactor. It is
+// the oversubscription times the cross-edge traffic fraction; fabrics where
+// no traffic crosses the core (single tier, single edge switch) report 1 so
+// the conversion is the identity.
+func (s TopoSpec) CoreLoadFactor() float64 {
+	f := s.Oversubscription() * s.CrossEdgeFraction()
+	if f <= 0 {
+		return 1
+	}
+	return f
+}
+
+// tierNames returns the per-tier label prefixes. The one-, two- and
+// three-tier names match the hand-written builders ("sw"; "leaf"/"spine";
+// "tor"/"leaf"/"spine"); deeper stacks fall back to "t<tier>".
+func (s TopoSpec) tierNames() []string {
+	switch len(s.Tiers) {
+	case 1:
+		return []string{"sw"}
+	case 2:
+		return []string{"leaf", "spine"}
+	case 3:
+		return []string{"tor", "leaf", "spine"}
+	}
+	names := make([]string, len(s.Tiers))
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	return names
+}
+
+// idSpacing returns the NodeID stride between tiers: tier t switch i gets ID
+// spacing*(t+1)+i. The legacy builders hard-coded 1000, which collides switch
+// IDs with host IDs once a fabric exceeds 1000 hosts (or 1000 switches in a
+// tier); the stride grows in 1000-steps so the sub-1000-host legacy shapes
+// keep their exact historical IDs while larger fabrics stay collision-free.
+func (s TopoSpec) idSpacing() int {
+	need := s.Hosts()
+	for _, t := range s.Tiers {
+		if t.Switches > need {
+			need = t.Switches
+		}
+	}
+	spacing := 1000
+	for spacing < need {
+		spacing += 1000
+	}
+	return spacing
+}
+
+// BuildClos wires the fabric a TopoSpec describes. The wiring order — switch
+// creation tier by tier, hosts with their edge down-ports, edge uplinks,
+// middle tiers' down-then-up ports per switch, top-tier down-ports — mirrors
+// the hand-written builders exactly, so for their shapes the result is
+// byte-identical (clos_test.go pins this with structure digests). A spec that
+// fails Validate panics: topology construction errors are program bugs, never
+// run results.
+func BuildClos(eng *sim.Engine, spec TopoSpec, qf QdiscFactory, frameBytes int) *Network {
+	sp := spec.normalized()
+	if err := sp.Validate(); err != nil {
+		panic("netem: " + err.Error())
+	}
+	cfg := TopoConfig{
+		HostRate: sp.HostRate, CoreRate: sp.CoreRate,
+		LinkDelay: sp.LinkDelay, HostDelay: sp.HostDelay, SwitchPipe: sp.SwitchPipe,
+		MakeQdisc: qf, FrameBytes: frameBytes,
+	}
+	core := cfg.core()
+	T := len(sp.Tiers)
+	nHosts := sp.Hosts()
+	spans, perReach := sp.reachGeometry()
+	names := sp.tierNames()
+	spacing := sp.idSpacing()
+
+	net := &Network{Eng: eng, HostRate: cfg.HostRate}
+	sw := make([][]*Switch, T)
+	for t := 0; t < T; t++ {
+		sw[t] = make([]*Switch, sp.Tiers[t].Switches)
+		for i := range sw[t] {
+			sw[t][i] = &Switch{ID: NodeID(spacing*(t+1) + i), Eng: eng, PipeDelay: cfg.SwitchPipe,
+				Label: fmt.Sprintf("%s%d", names[t], i), Table: make([][]int32, nHosts)}
+		}
+	}
+
+	// reach returns the contiguous host-ID window switch i of tier t serves.
+	reach := func(t, i int) (lo, hi int) {
+		lo = i / perReach[t] * spans[t]
+		return lo, lo + spans[t]
+	}
+
+	// linkLabel names the port from switch a toward switch b on a boundary
+	// with u parallel links; the ".n" suffix appears only on parallel links,
+	// matching the legacy single-link labels.
+	linkLabel := func(a, b *Switch, u, uplinks int) string {
+		if uplinks > 1 {
+			return fmt.Sprintf("%s->%s.%d", a.Label, b.Label, u)
+		}
+		return fmt.Sprintf("%s->%s", a.Label, b.Label)
+	}
+
+	// Hosts and edge down-ports.
+	for e, edge := range sw[0] {
+		for k := 0; k < sp.HostsPerEdge; k++ {
+			id := NodeID(e*sp.HostsPerEdge + k)
+			h := newHost(eng, id, &cfg)
+			h.NIC = NewPort(eng, cfg.qdisc(HostNIC, cfg.HostRate), cfg.HostRate, cfg.LinkDelay,
+				edge, fmt.Sprintf("h%d->%s", id, edge.Label))
+			down := NewPort(eng, cfg.qdisc(SwitchToHost, cfg.HostRate), cfg.HostRate, cfg.LinkDelay,
+				h, fmt.Sprintf("%s->h%d", edge.Label, id))
+			edge.Ports = append(edge.Ports, down)
+			edge.Table[id] = []int32{int32(len(edge.Ports) - 1)}
+			net.Hosts = append(net.Hosts, h)
+		}
+	}
+
+	// addUplinks wires switch c of tier t to every parent in its boundary
+	// group and points all out-of-reach hosts at the (shared) uplink set.
+	addUplinks := func(t, c int) {
+		me := sw[t][c]
+		uplinks := sp.Tiers[t].Uplinks
+		g := c / (sp.Tiers[t].Switches / sp.Tiers[t].Groups)
+		ppg := sp.Tiers[t+1].Switches / sp.Tiers[t].Groups
+		var ups []int32
+		for pi := g * ppg; pi < (g+1)*ppg; pi++ {
+			for u := 0; u < uplinks; u++ {
+				up := NewPort(eng, cfg.qdisc(SwitchToSwitch, core), core, cfg.LinkDelay,
+					sw[t+1][pi], linkLabel(me, sw[t+1][pi], u, uplinks))
+				me.Ports = append(me.Ports, up)
+				ups = append(ups, int32(len(me.Ports)-1))
+			}
+		}
+		lo, hi := reach(t, c)
+		for id := 0; id < nHosts; id++ {
+			if id < lo || id >= hi {
+				me.Table[id] = ups
+			}
+		}
+	}
+
+	// addDownlinks wires switch p of tier t to every child in its boundary
+	// group, routing each child's reach through the child's parallel ports.
+	addDownlinks := func(t, p int) {
+		me := sw[t][p]
+		uplinks := sp.Tiers[t-1].Uplinks
+		g := p / (sp.Tiers[t].Switches / sp.Tiers[t-1].Groups)
+		cpg := sp.Tiers[t-1].Switches / sp.Tiers[t-1].Groups
+		for c := g * cpg; c < (g+1)*cpg; c++ {
+			child := sw[t-1][c]
+			var downs []int32
+			for u := 0; u < uplinks; u++ {
+				down := NewPort(eng, cfg.qdisc(SwitchToSwitch, core), core, cfg.LinkDelay,
+					child, linkLabel(me, child, u, uplinks))
+				me.Ports = append(me.Ports, down)
+				downs = append(downs, int32(len(me.Ports)-1))
+			}
+			lo, hi := reach(t-1, c)
+			for id := lo; id < hi; id++ {
+				me.Table[id] = append(me.Table[id], downs...)
+			}
+		}
+	}
+
+	if T > 1 {
+		for e := range sw[0] {
+			addUplinks(0, e)
+		}
+		for t := 1; t < T-1; t++ {
+			for p := range sw[t] {
+				addDownlinks(t, p)
+				addUplinks(t, p)
+			}
+		}
+		for p := range sw[T-1] {
+			addDownlinks(T-1, p)
+		}
+	}
+
+	for t := 0; t < T; t++ {
+		net.Switches = append(net.Switches, sw[t]...)
+	}
+	rates := make([]sim.Rate, 0, 2*T)
+	rates = append(rates, cfg.HostRate)
+	for i := 0; i < 2*(T-1); i++ {
+		rates = append(rates, core)
+	}
+	rates = append(rates, cfg.HostRate)
+	net.BaseRTT = baseRTT(&cfg, rates, 2*T-1)
+	net.attachPool(NewPacketPool())
+	return net
+}
+
+// ParseTopoSpec parses the CLI "clos:" spec grammar:
+//
+//	clos:<tier>/<tier>/...[,key=value]...
+//	tier: <switches>[x<uplinks>][g<groups>]      (edge tier first)
+//	keys: hosts=<n>        hosts per edge switch          (default 8)
+//	      rate=<rate>      edge link rate                 (default 100Gbps)
+//	      core=<rate>      fabric link rate               (default same as rate)
+//	      delay=<dur>      per-link propagation delay     (default 1us)
+//	      hostdelay=<dur>  end-host stack latency         (default 0)
+//	      pipe=<dur>       switching pipeline latency     (default 0)
+//
+// For example "clos:32x2g16/16/8,hosts=6,rate=100Gbps,delay=4us,hostdelay=1us"
+// is the ExpressPass 192-host fat-tree, and "clos:32/32,hosts=32,delay=500ns"
+// is a 1024-host leaf-spine. Rates and durations use the sim package's units
+// ("100Gbps", "500ns"). The leading "clos:" is optional.
+func ParseTopoSpec(s string) (TopoSpec, error) {
+	raw := strings.TrimPrefix(s, "clos:")
+	spec := TopoSpec{HostsPerEdge: 8, HostRate: 100 * sim.Gbps, LinkDelay: sim.Microsecond}
+	fields := strings.Split(raw, ",")
+	if fields[0] == "" {
+		return TopoSpec{}, fmt.Errorf("clos spec %q: missing tier list", s)
+	}
+	for _, ts := range strings.Split(fields[0], "/") {
+		tier, err := parseTier(ts)
+		if err != nil {
+			return TopoSpec{}, fmt.Errorf("clos spec %q: %v", s, err)
+		}
+		spec.Tiers = append(spec.Tiers, tier)
+	}
+	for _, kv := range fields[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return TopoSpec{}, fmt.Errorf("clos spec %q: field %q is not key=value", s, kv)
+		}
+		var err error
+		switch key {
+		case "hosts":
+			spec.HostsPerEdge, err = strconv.Atoi(val)
+		case "rate":
+			spec.HostRate, err = sim.ParseRate(val)
+		case "core":
+			spec.CoreRate, err = sim.ParseRate(val)
+		case "delay":
+			spec.LinkDelay, err = sim.ParseDuration(val)
+		case "hostdelay":
+			spec.HostDelay, err = sim.ParseDuration(val)
+		case "pipe":
+			spec.SwitchPipe, err = sim.ParseDuration(val)
+		default:
+			err = fmt.Errorf("unknown key %q (want hosts, rate, core, delay, hostdelay or pipe)", key)
+		}
+		if err != nil {
+			return TopoSpec{}, fmt.Errorf("clos spec %q: %v", s, err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return TopoSpec{}, fmt.Errorf("%v (in %q)", err, s)
+	}
+	return spec, nil
+}
+
+// parseTier parses one "<switches>[x<uplinks>][g<groups>]" tier term.
+func parseTier(s string) (TierSpec, error) {
+	var t TierSpec
+	rest := s
+	if i := strings.IndexByte(rest, 'g'); i >= 0 {
+		g, err := strconv.Atoi(rest[i+1:])
+		if err != nil {
+			return t, fmt.Errorf("bad tier %q: groups: %v", s, err)
+		}
+		t.Groups = g
+		rest = rest[:i]
+	}
+	if i := strings.IndexByte(rest, 'x'); i >= 0 {
+		u, err := strconv.Atoi(rest[i+1:])
+		if err != nil {
+			return t, fmt.Errorf("bad tier %q: uplinks: %v", s, err)
+		}
+		t.Uplinks = u
+		rest = rest[:i]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return t, fmt.Errorf("bad tier %q: switches: %v", s, err)
+	}
+	t.Switches = n
+	return t, nil
+}
+
+// String renders the spec in the ParseTopoSpec grammar. The output is
+// canonical (defaults for uplinks/groups omitted, optional keys only when
+// set) and round-trips: ParseTopoSpec(s.String()) builds the same fabric.
+func (s TopoSpec) String() string {
+	n := s.normalized()
+	var b strings.Builder
+	b.WriteString("clos:")
+	for i, t := range n.Tiers {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%d", t.Switches)
+		if i < len(n.Tiers)-1 {
+			if t.Uplinks != 1 {
+				fmt.Fprintf(&b, "x%d", t.Uplinks)
+			}
+			if t.Groups != 1 {
+				fmt.Fprintf(&b, "g%d", t.Groups)
+			}
+		}
+	}
+	fmt.Fprintf(&b, ",hosts=%d,rate=%v", n.HostsPerEdge, n.HostRate)
+	if n.CoreRate != 0 {
+		fmt.Fprintf(&b, ",core=%v", n.CoreRate)
+	}
+	fmt.Fprintf(&b, ",delay=%s", n.LinkDelay.ExactString())
+	if n.HostDelay != 0 {
+		fmt.Fprintf(&b, ",hostdelay=%s", n.HostDelay.ExactString())
+	}
+	if n.SwitchPipe != 0 {
+		fmt.Fprintf(&b, ",pipe=%s", n.SwitchPipe.ExactString())
+	}
+	return b.String()
+}
+
+// nodeLabel renders a port destination for the structure dump.
+func nodeLabel(n Node) string {
+	switch v := n.(type) {
+	case *Host:
+		return fmt.Sprintf("h%d", v.ID)
+	case *Switch:
+		return v.Label
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+// StructureDump renders every structural fact of the built network — hosts,
+// switches, IDs, labels, port orders, rates, delays, routing tables, BaseRTT —
+// in a canonical text form. Two networks behave identically under this
+// simulator iff their dumps match (qdisc choice aside), so the dump is the
+// basis for the generator-vs-legacy equivalence digests.
+func (n *Network) StructureDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hosts=%d switches=%d hostrate=%v basertt=%s\n",
+		len(n.Hosts), len(n.Switches), n.HostRate, n.BaseRTT.ExactString())
+	for _, h := range n.Hosts {
+		fmt.Fprintf(&b, "host h%d delay=%s nic[rate=%v delay=%s dst=%s label=%q]\n",
+			h.ID, h.HostDelay.ExactString(),
+			h.NIC.Rate, h.NIC.Delay.ExactString(), nodeLabel(h.NIC.Dst), h.NIC.Label)
+	}
+	for _, sw := range n.Switches {
+		fmt.Fprintf(&b, "switch %s id=%d pipe=%s\n", sw.Label, sw.ID, sw.PipeDelay.ExactString())
+		for i, pt := range sw.Ports {
+			fmt.Fprintf(&b, "  port %d rate=%v delay=%s dst=%s label=%q\n",
+				i, pt.Rate, pt.Delay.ExactString(), nodeLabel(pt.Dst), pt.Label)
+		}
+		for id, row := range sw.Table {
+			fmt.Fprintf(&b, "  route %d %v\n", id, row)
+		}
+	}
+	return b.String()
+}
+
+// StructureDigest is the SHA-256 of StructureDump in hex — a compact pin for
+// golden topology tests.
+func (n *Network) StructureDigest() string {
+	sum := sha256.Sum256([]byte(n.StructureDump()))
+	return hex.EncodeToString(sum[:])
+}

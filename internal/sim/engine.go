@@ -133,6 +133,12 @@ func (e *Engine) Pending() int { return e.q.size() }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// SchedStats snapshots the event queue's occupancy: current and peak pending
+// events, and — on the timing wheel — the beyond-horizon overflow-list
+// occupancy. The peaks are maintained inline by the scheduler, so this is a
+// cheap read at any point during or after a run.
+func (e *Engine) SchedStats() SchedStats { return e.q.stats() }
+
 // EventAllocs returns how many Event objects the engine has allocated. In
 // steady state this stays flat while Fired keeps climbing: every resolved
 // event is recycled.

@@ -12,7 +12,8 @@ import (
 // (FuzzSchedulerEquivalence, the golden digests) and as the -sched=heap
 // escape hatch.
 type heapQueue struct {
-	h eventHeap
+	h    eventHeap
+	peak int
 }
 
 // eventHeap is a min-heap ordered by (time, seq); seq breaks ties in
@@ -46,7 +47,12 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-func (q *heapQueue) schedule(ev *Event) { heap.Push(&q.h, ev) }
+func (q *heapQueue) schedule(ev *Event) {
+	heap.Push(&q.h, ev)
+	if len(q.h) > q.peak {
+		q.peak = len(q.h)
+	}
+}
 
 func (q *heapQueue) remove(ev *Event) { heap.Remove(&q.h, ev.index) }
 
@@ -60,6 +66,12 @@ func (q *heapQueue) popDue(limit Time) *Event {
 func (q *heapQueue) size() int { return len(q.h) }
 
 func (q *heapQueue) kind() SchedulerKind { return SchedHeap }
+
+// stats reports occupancy; the heap has no overflow tier, so those fields
+// stay zero.
+func (q *heapQueue) stats() SchedStats {
+	return SchedStats{Pending: len(q.h), PeakPending: q.peak}
+}
 
 // check verifies the heap's bookkeeping: every entry knows its own position,
 // no resolved event is resident, no pending event is behind the clock, and

@@ -36,6 +36,19 @@ func ParseScheduler(s string) (SchedulerKind, error) {
 	}
 }
 
+// SchedStats is a snapshot of an event queue's occupancy: how many events
+// are pending now, the high-water marks over the engine's lifetime, and —
+// for the timing wheel — how many events sit on the beyond-horizon overflow
+// list. The peaks are maintained inline by the schedulers (a compare and a
+// conditional store on the schedule path), so reading them costs nothing
+// during a run; the scale sweep reports them per (hosts, load) point.
+type SchedStats struct {
+	Pending      int // events waiting to fire right now
+	PeakPending  int // largest Pending ever observed
+	Overflow     int // wheel only: events parked beyond the 2^48-tick horizon
+	PeakOverflow int // wheel only: largest Overflow ever observed
+}
+
 // scheduler is the event-queue contract the Engine drives. Exactly the events
 // that were scheduled and not removed are pending; Cancel is a true removal,
 // so a scheduler never holds fired or canceled events.
@@ -57,6 +70,9 @@ type scheduler interface {
 
 	// kind names the implementation.
 	kind() SchedulerKind
+
+	// stats snapshots the queue's occupancy and lifetime high-water marks.
+	stats() SchedStats
 
 	// check validates the implementation's structural invariants: membership
 	// bookkeeping, ordering, and that no pending event is behind now.

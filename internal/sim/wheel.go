@@ -42,10 +42,13 @@ type wheel struct {
 	// migrate into the wheel when the clock crosses a horizon boundary.
 	// overflowMin caches the earliest overflow deadline so the common
 	// popDue path never walks the list; a removal of the cached minimum
-	// marks it dirty for lazy recomputation.
+	// marks it dirty for lazy recomputation. overflowLen counts residents
+	// (the intrusive list has no length of its own) so occupancy is
+	// observable without a walk.
 	overflow      eventList
 	overflowMin   Time
 	overflowDirty bool
+	overflowLen   int
 
 	// due is the same-timestamp dispatch batch: the level-0 slot at cur,
 	// detached and sorted by seq. popDue serves from it until it drains;
@@ -55,6 +58,10 @@ type wheel struct {
 
 	count   int
 	scratch []*Event // reusable sort buffer for dispatch batches
+
+	// Lifetime high-water marks, maintained inline on the schedule path.
+	peakCount    int
+	peakOverflow int
 }
 
 func newWheel() *wheel {
@@ -70,6 +77,9 @@ func newWheel() *wheel {
 
 func (w *wheel) schedule(ev *Event) {
 	w.count++
+	if w.count > w.peakCount {
+		w.peakCount = w.count
+	}
 	w.place(ev)
 }
 
@@ -82,6 +92,10 @@ func (w *wheel) place(ev *Event) {
 			w.overflowMin = ev.time
 		}
 		w.overflow.pushBack(ev)
+		w.overflowLen++
+		if w.overflowLen > w.peakOverflow {
+			w.peakOverflow = w.overflowLen
+		}
 		return
 	}
 	l := 0
@@ -94,8 +108,15 @@ func (w *wheel) place(ev *Event) {
 }
 
 func (w *wheel) remove(ev *Event) {
-	if ev.in == &w.overflow && !w.overflowDirty && ev.time == w.overflowMin {
-		w.overflowDirty = true
+	if ev.in == &w.overflow {
+		w.overflowLen--
+		// Removing the cached minimum invalidates the cache; mark it dirty so
+		// the next nextTime recomputes instead of reporting a canceled
+		// deadline. Mass cancellation stays O(1) per cancel — the walk is
+		// deferred to the next earliest-deadline query.
+		if !w.overflowDirty && ev.time == w.overflowMin {
+			w.overflowDirty = true
+		}
 	}
 	ev.in.unlink(ev)
 	w.count--
@@ -175,6 +196,7 @@ func (w *wheel) migrateOverflow() {
 		next := ev.next
 		if uint64(ev.time^w.cur)>>wheelHorizonBits == 0 {
 			w.overflow.unlink(ev)
+			w.overflowLen--
 			w.place(ev)
 		} else if ev.time < w.overflowMin {
 			w.overflowMin = ev.time
@@ -241,6 +263,15 @@ func (w *wheel) size() int { return w.count }
 
 func (w *wheel) kind() SchedulerKind { return SchedWheel }
 
+func (w *wheel) stats() SchedStats {
+	return SchedStats{
+		Pending:      w.count,
+		PeakPending:  w.peakCount,
+		Overflow:     w.overflowLen,
+		PeakOverflow: w.peakOverflow,
+	}
+}
+
 // check validates the wheel's structural invariants: occupancy bits mirror
 // slot contents, every resident event is pending, in the slot its deadline
 // selects, within its level's window of the clock (no overdue cascade), and
@@ -301,6 +332,9 @@ func (w *wheel) check(now Time) error {
 	n, err = w.overflow.checkLinks("wheel overflow")
 	if err != nil {
 		return err
+	}
+	if n != w.overflowLen {
+		return fmt.Errorf("sim: overflow list holds %d events but overflowLen says %d", n, w.overflowLen)
 	}
 	count += n
 	min := MaxTime

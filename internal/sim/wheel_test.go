@@ -239,3 +239,92 @@ func TestWheelPendingAcrossLevels(t *testing.T) {
 		t.Fatalf("Fired() = %d, want %d", e.Fired(), len(deltas))
 	}
 }
+
+// TestWheelOverflowMassCancel is the capacity gate for the overflow list:
+// with over a million events parked beyond the horizon, canceling large
+// swaths of them — repeatedly including the cached minimum, in an order
+// adversarial to the lazy-rescan cache — must keep the earliest-deadline
+// query truthful, keep the occupancy counter exact, and leave the survivors
+// firing in timestamp order.
+func TestWheelOverflowMassCancel(t *testing.T) {
+	const n = 1 << 20 // ~1.05M pending events
+	e := NewEngine()
+	w := e.q.(*wheel)
+
+	// Park n events beyond the horizon with a deterministic shuffled order of
+	// deadlines so the overflow list is thoroughly unsorted. With the wheel
+	// levels empty, nextTime answers straight from the overflow cache.
+	handles := make([]Handle, n)
+	r := rand.New(rand.NewPCG(7, 9))
+	perm := r.Perm(n)
+	for _, p := range perm {
+		handles[p] = e.At(wheelHorizon+Time(2*p+2), func() {})
+	}
+	if got := e.Pending(); got != n {
+		t.Fatalf("Pending() = %d, want %d", got, n)
+	}
+	st := e.SchedStats()
+	if st.Overflow != n {
+		t.Fatalf("Overflow = %d, want %d", st.Overflow, n)
+	}
+	if st.PeakPending != n || st.PeakOverflow != n {
+		t.Fatalf("peaks = (%d, %d), want (%d, %d)", st.PeakPending, st.PeakOverflow, n, n)
+	}
+
+	// Cancel the current minimum 64 times in a row: each cancel must
+	// invalidate the cached minimum so the next query rescans instead of
+	// reporting a dead deadline.
+	for i := 0; i < 64; i++ {
+		handles[i].Cancel()
+		if min, ok := w.nextTime(); !ok || min != wheelHorizon+Time(2*(i+1)+2) {
+			t.Fatalf("after canceling minimum %d: nextTime = (%v, %v), want %v",
+				i, min, ok, wheelHorizon+Time(2*(i+1)+2))
+		}
+	}
+	// Mass-cancel three quarters of the remainder (every index not divisible
+	// by four), shuffled, without querying in between: O(1) per cancel.
+	canceled := 64
+	for _, p := range perm {
+		if p >= 64 && p%4 != 0 {
+			handles[p].Cancel()
+			canceled++
+		}
+	}
+	if st := e.SchedStats(); st.Overflow != n-canceled {
+		t.Fatalf("Overflow after mass cancel = %d, want %d", st.Overflow, n-canceled)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("after mass cancellation: %v", err)
+	}
+	if min, ok := w.nextTime(); ok && min < wheelHorizon {
+		t.Fatalf("nextTime = %v, below the horizon", min)
+	}
+
+	// The survivors must fire in timestamp order, and all of them must fire.
+	var last Time
+	fired := 0
+	for {
+		ev := e.q.popDue(MaxTime)
+		if ev == nil {
+			break
+		}
+		if ev.time < last {
+			t.Fatalf("event at %v popped after %v", ev.time, last)
+		}
+		last = ev.time
+		e.now = ev.time
+		ev.fired = true
+		e.release(ev)
+		fired++
+	}
+	want := n - canceled
+	if fired != want {
+		t.Fatalf("fired %d events, want %d", fired, want)
+	}
+	if st := e.SchedStats(); st.Pending != 0 || st.Overflow != 0 {
+		t.Fatalf("post-drain stats = %+v, want empty", st)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("drained: %v", err)
+	}
+}

@@ -7,7 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/aeolus-transport/aeolus/internal/sim"
 )
@@ -34,9 +34,29 @@ func (r *FlowRecord) Slowdown() float64 {
 	return float64(r.FCT()) / float64(r.IdealFCT)
 }
 
-// FCTCollector accumulates completed flows.
+// FCTCollector accumulates completed flows. A collector belongs to one
+// simulation run (the harness builds one per Env) and is not safe for
+// concurrent use; the filter and summary paths reuse internal scratch
+// buffers so metric extraction does not grow the heap with the flow count.
 type FCTCollector struct {
 	records []FlowRecord
+
+	// Scratch buffers reused across Filter/Summarize/CDF calls so the
+	// metric-collection pass after a run allocates O(1) once warm. Their
+	// contents are only valid until the next call that uses them.
+	scratch []FlowRecord
+	fctBuf  []sim.Duration
+	slowBuf []float64
+}
+
+// Reserve pre-sizes the collector for n flows, so a run with a known trace
+// length performs no append growth during the simulation. It never shrinks.
+func (c *FCTCollector) Reserve(n int) {
+	if n > cap(c.records)-len(c.records) {
+		grown := make([]FlowRecord, len(c.records), len(c.records)+n)
+		copy(grown, c.records)
+		c.records = grown
+	}
 }
 
 // Add records a completed flow.
@@ -49,15 +69,26 @@ func (c *FCTCollector) Len() int { return len(c.records) }
 func (c *FCTCollector) Records() []FlowRecord { return c.records }
 
 // Filter returns the records with minSize ≤ Size < maxSize. maxSize ≤ 0
-// means unbounded.
+// means unbounded. The returned slice aliases an internal scratch buffer:
+// it is valid until the next Filter call and must not be mutated.
 func (c *FCTCollector) Filter(minSize, maxSize int64) []FlowRecord {
-	var out []FlowRecord
+	out := c.scratch[:0]
 	for _, r := range c.records {
 		if r.Size >= minSize && (maxSize <= 0 || r.Size < maxSize) {
 			out = append(out, r)
 		}
 	}
+	c.scratch = out
 	return out
+}
+
+// Summarize digests a record set (typically c.Records or a Filter result)
+// using the collector's scratch buffers, so repeated summaries allocate
+// nothing once warm. The records need not belong to the collector.
+func (c *FCTCollector) Summarize(records []FlowRecord) Summary {
+	s, fcts, slows := summarizeInto(records, c.fctBuf, c.slowBuf)
+	c.fctBuf, c.slowBuf = fcts, slows
+	return s
 }
 
 // TimeoutFlows counts flows that suffered at least one timeout (Fig. 13).
@@ -80,11 +111,26 @@ type Summary struct {
 
 // Summarize digests a record set. An empty set yields a zero Summary.
 func Summarize(records []FlowRecord) Summary {
+	s, _, _ := summarizeInto(records, nil, nil)
+	return s
+}
+
+// summarizeInto is the shared summary kernel: it digests records using (and
+// returning, for reuse) the provided scratch buffers.
+func summarizeInto(records []FlowRecord, fcts []sim.Duration, slows []float64) (Summary, []sim.Duration, []float64) {
 	if len(records) == 0 {
-		return Summary{}
+		return Summary{}, fcts, slows
 	}
-	fcts := make([]sim.Duration, len(records))
-	slows := make([]float64, len(records))
+	if cap(fcts) < len(records) {
+		fcts = make([]sim.Duration, len(records))
+	} else {
+		fcts = fcts[:len(records)]
+	}
+	if cap(slows) < len(records) {
+		slows = make([]float64, len(records))
+	} else {
+		slows = slows[:len(records)]
+	}
 	var sumF float64
 	var sumS float64
 	for i, r := range records {
@@ -93,8 +139,8 @@ func Summarize(records []FlowRecord) Summary {
 		sumF += float64(fcts[i])
 		sumS += slows[i]
 	}
-	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
-	sort.Float64s(slows)
+	slices.Sort(fcts)
+	slices.Sort(slows)
 	return Summary{
 		N:            len(records),
 		Mean:         sim.Duration(sumF / float64(len(records))),
@@ -105,7 +151,7 @@ func Summarize(records []FlowRecord) Summary {
 		Max:          fcts[len(fcts)-1],
 		MeanSlowdown: sumS / float64(len(records)),
 		P99Slowdown:  quantileF(slows, 0.99),
-	}
+	}, fcts, slows
 }
 
 // quantileDur returns the p-quantile of a sorted duration slice using the
@@ -136,7 +182,7 @@ func FCTCDF(records []FlowRecord) [][2]float64 {
 	for i, r := range records {
 		fcts[i] = r.FCT().Microseconds()
 	}
-	sort.Float64s(fcts)
+	slices.Sort(fcts)
 	out := make([][2]float64, len(fcts))
 	for i, f := range fcts {
 		out[i] = [2]float64{f, float64(i+1) / float64(len(fcts))}

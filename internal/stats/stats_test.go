@@ -187,3 +187,52 @@ func TestFormatDur(t *testing.T) {
 		t.Fatalf("FormatDur = %q", got)
 	}
 }
+
+// TestCollectorSummarizeMatches pins the collector's scratch-reusing summary
+// and filter paths to the allocating package-level reference.
+func TestCollectorSummarizeMatches(t *testing.T) {
+	c := &FCTCollector{}
+	for i := 1; i <= 500; i++ {
+		c.Add(rec(uint64(i), int64(i*997%3000), 0, sim.Time(i)*sim.Time(sim.Microsecond), sim.Microsecond))
+	}
+	for _, bucket := range [][2]int64{{0, 0}, {0, 1000}, {1000, 2500}, {2500, 0}} {
+		got := c.Summarize(c.Filter(bucket[0], bucket[1]))
+		var want Summary
+		{
+			// Reference: independent filter + allocating summary.
+			var out []FlowRecord
+			for _, r := range c.Records() {
+				if r.Size >= bucket[0] && (bucket[1] <= 0 || r.Size < bucket[1]) {
+					out = append(out, r)
+				}
+			}
+			want = Summarize(out)
+		}
+		if got != want {
+			t.Fatalf("bucket %v: collector summary %+v != reference %+v", bucket, got, want)
+		}
+	}
+}
+
+// TestCollectorScratchAllocs is the bench-smoke alloc ceiling for the
+// collector's hot paths: with capacity reserved, Add allocates nothing, and
+// once the scratch buffers are warm, Filter and Summarize allocate nothing
+// either — collector footprint stays O(flows), not O(flows × metric passes).
+func TestCollectorScratchAllocs(t *testing.T) {
+	const n = 2000
+	c := &FCTCollector{}
+	c.Reserve(n)
+	i := 0
+	if avg := testing.AllocsPerRun(n, func() {
+		i++
+		c.Add(rec(uint64(i), int64(i%3000), 0, sim.Time(i)*sim.Time(sim.Microsecond), sim.Microsecond))
+	}); avg > 0.01 {
+		t.Errorf("Add after Reserve: %.3f allocs/op, want 0", avg)
+	}
+	c.Summarize(c.Filter(0, 0)) // warm the scratch buffers
+	if avg := testing.AllocsPerRun(50, func() {
+		c.Summarize(c.Filter(0, 1500))
+	}); avg > 0.01 {
+		t.Errorf("warm Filter+Summarize: %.3f allocs/op, want 0", avg)
+	}
+}

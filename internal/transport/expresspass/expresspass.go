@@ -464,3 +464,10 @@ func (p *Protocol) AuditInvariants() []error {
 	return rdbase.AuditPreCredits("expresspass", p.tbl.Senders(),
 		func(s *sender) *core.PreCredit { return s.PC })
 }
+
+// Footprint implements transport.FootprintReporter: resident flow
+// descriptors, sender machines and per-flow credit-shaping receivers.
+func (p *Protocol) Footprint() transport.Footprint {
+	flows, senders := p.tbl.Len()
+	return transport.Footprint{Flows: flows, Senders: senders, Receivers: len(p.receivers)}
+}

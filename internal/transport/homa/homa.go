@@ -469,3 +469,13 @@ func (p *Protocol) AuditInvariants() []error {
 	return rdbase.AuditPreCredits("homa", p.tbl.Senders(),
 		func(s *sender) *core.PreCredit { return s.PC })
 }
+
+// Footprint implements transport.FootprintReporter: resident flow
+// descriptors, sender machines and per-message receiver state across every
+// materialized host scheduler.
+func (p *Protocol) Footprint() transport.Footprint {
+	flows, senders := p.tbl.Len()
+	fp := transport.Footprint{Flows: flows, Senders: senders}
+	p.rxHosts.Each(func(_ netem.NodeID, r *rxHost) { fp.Receivers += len(r.msgs) })
+	return fp
+}

@@ -354,3 +354,13 @@ func (p *Protocol) AuditInvariants() []error {
 	return rdbase.AuditPreCredits("ndp", p.tbl.Senders(),
 		func(s *sender) *core.PreCredit { return s.PC })
 }
+
+// Footprint implements transport.FootprintReporter: resident flow
+// descriptors, sender machines and per-flow reassembly state across every
+// materialized host.
+func (p *Protocol) Footprint() transport.Footprint {
+	flows, senders := p.tbl.Len()
+	fp := transport.Footprint{Flows: flows, Senders: senders}
+	p.rxHosts.Each(func(_ netem.NodeID, r *rxHost) { fp.Receivers += len(r.flows) })
+	return fp
+}

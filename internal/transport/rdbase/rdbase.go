@@ -204,6 +204,11 @@ func (t *Tables[S]) Sender(id uint64) *S { return t.senders[id] }
 // Senders exposes the sender table for audits.
 func (t *Tables[S]) Senders() map[uint64]*S { return t.senders }
 
+// Len returns the resident flow-descriptor and sender-machine counts — the
+// per-flow state the scale sweep tracks, since neither table is pruned on
+// flow completion.
+func (t *Tables[S]) Len() (flows, senders int) { return len(t.flows), len(t.senders) }
+
 // HostMap lazily materializes per-receiving-host state (Homa's message
 // scheduler, NDP's pull pacer).
 type HostMap[R any] struct {
@@ -224,4 +229,15 @@ func (h *HostMap[R]) Get(host netem.NodeID) *R {
 		h.m[host] = r
 	}
 	return r
+}
+
+// Len returns the number of materialized host entries.
+func (h *HostMap[R]) Len() int { return len(h.m) }
+
+// Each visits every materialized host state; the order is unspecified, so
+// callers must only aggregate order-independent facts (counts, sums).
+func (h *HostMap[R]) Each(f func(host netem.NodeID, r *R)) {
+	for id, r := range h.m {
+		f(id, r)
+	}
 }

@@ -242,3 +242,19 @@ func Runner(env *Env, p Protocol, trace []workload.FlowSpec, deadline sim.Time) 
 	env.Eng.RunUntil(deadline)
 	return env.completed
 }
+
+// Footprint counts a protocol's resident per-flow and per-host state
+// objects: flow descriptors, sender machines and receiver-side state (per
+// flow or per message, as the transport keeps it). The scale sweep reads it
+// after a run to track how protocol state grows with the offered flow count.
+type Footprint struct {
+	Flows     int
+	Senders   int
+	Receivers int
+}
+
+// FootprintReporter is implemented by protocols that can report their state
+// footprint; the scale sweep asserts for it and records what it finds.
+type FootprintReporter interface {
+	Footprint() Footprint
+}
