@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race audit golden impair degrade fuzz bench bench-smoke scale scale-smoke
+.PHONY: ci lint vet build test race audit golden impair degrade fuzz bench bench-smoke scale scale-smoke scenario
 
-ci: lint build test race audit golden impair bench-smoke scale-smoke
+ci: lint build test race audit golden impair bench-smoke scale-smoke scenario
 
 # gofmt gate (fails listing any unformatted file) + go vet.
 lint:
@@ -66,6 +66,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCDFParse -fuzztime=30s ./internal/workload
 	$(GO) test -run=^$$ -fuzz=FuzzSchedulerEquivalence -fuzztime=30s ./internal/sim
 	$(GO) test -run=^$$ -fuzz=FuzzImpairmentTimeline -fuzztime=30s ./internal/netem
+	$(GO) test -run=^$$ -fuzz=FuzzScenarioRoundTrip -fuzztime=30s ./internal/scenario
 
 # Full benchmark ledger: micro (event engine, qdiscs, port path) and macro
 # (per-scheme packets/sec) benchmarks, folded into BENCH_micro.json with the
@@ -86,6 +87,16 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=TestSchedulerHotPathGate ./internal/sim
 	$(GO) test -run=TestCollectorScratchAllocs ./internal/stats
 	$(GO) test -race -run=TestPool ./internal/netem
+
+# Scenario gate: the scenario package's own tests (round-trip identity, the
+# checked-in fuzz seed corpus as plain tests), every checked-in example under
+# examples/scenarios parsed + semantically validated + digest-pinned with the
+# smallest example run end to end against the golden behavior digest, and the
+# pinned scenario digests of every registry experiment and golden run.
+scenario:
+	$(GO) test ./internal/scenario
+	$(GO) test -run 'TestExampleScenario|TestRegistryScenarioDigests|TestGoldenScenarioDigests|TestScenarioDrivenGolden' \
+		./internal/experiments
 
 # Full scale sweep: the open-loop {64,256,1024}-host x {0.4,0.8}-load grid,
 # folded into BENCH_scale.json with the committed baseline preserved. Cells

@@ -12,10 +12,16 @@
 //	aeolusbench -exp all -quick -parallel 8
 //	aeolusbench -exp degrade -json > results/degradation.json
 //	aeolusbench -digest -scheme homa+aeolus
+//	aeolusbench -scenarios fig9 -quick
 //
 // -digest prints the golden-trace behavior digest for one scheme (or, with
 // no -scheme, for the whole catalogue) — the regeneration path for the
-// pinned table in internal/experiments/golden_test.go.
+// pinned table in internal/experiments/golden_test.go — with the digest of
+// the scenario declaring each golden run alongside.
+//
+// -scenarios prints the scenario values an experiment's runs resolve to as a
+// JSON array; each element is a self-contained scenario file runnable with
+// aeolussim -scenario (see internal/scenario).
 //
 // The -budget flag (in MiB of offered traffic per run) trades fidelity for
 // time; -quick trims parameter sweeps for a fast pass. Independent
@@ -35,43 +41,36 @@ import (
 	"time"
 
 	"github.com/aeolus-transport/aeolus/internal/audit"
+	"github.com/aeolus-transport/aeolus/internal/cliutil"
 	"github.com/aeolus-transport/aeolus/internal/experiments"
-	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment ID (fig1..fig18, table1..table5) or \"all\"")
-		list     = flag.Bool("list", false, "list available experiments")
-		listSch  = flag.Bool("list-schemes", false, "print the scheme catalogue and exit")
-		listTopo = flag.Bool("list-topos", false, "print the topology catalogue and exit")
-		digest   = flag.Bool("digest", false, "print golden-trace digests (see -scheme)")
-		schemeID = flag.String("scheme", "", "with -digest: restrict to this scheme ID")
-		budget   = flag.Int64("budget", 150, "offered traffic per run, MiB")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		quick    = flag.Bool("quick", false, "trim parameter sweeps")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment")
-		progress = flag.Bool("progress", stderrIsTerminal(), "report per-run progress on stderr")
-		auditOn  = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
-		nopool   = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
-		schedStr = flag.String("sched", "", "event scheduler: wheel or heap (results are identical; for bisection)")
-		jsonOut  = flag.Bool("json", false, "emit one JSON array of tables instead of aligned text")
-		impair   = flag.String("impair", "", "inline impairment timeline applied to every run, ';'-separated steps")
-		impFile  = flag.String("impair-file", "", "impairment timeline file, text or JSON (see internal/netem/timeline.go)")
+		exp       = flag.String("exp", "", "experiment ID (fig1..fig18, table1..table5) or \"all\"")
+		list      = flag.Bool("list", false, "list available experiments")
+		listSch   = flag.Bool("list-schemes", false, "print the scheme catalogue and exit")
+		listTopo  = flag.Bool("list-topos", false, "print the topology catalogue and exit")
+		digest    = flag.Bool("digest", false, "print golden-trace digests (see -scheme)")
+		schemeID  = flag.String("scheme", "", "with -digest: restrict to this scheme ID")
+		scenarios = flag.String("scenarios", "", "print the scenario files an experiment's runs resolve to (JSON array) and exit")
+		budget    = flag.Int64("budget", 150, "offered traffic per run, MiB")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		quick     = flag.Bool("quick", false, "trim parameter sweeps")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment")
+		progress  = flag.Bool("progress", stderrIsTerminal(), "report per-run progress on stderr")
+		auditOn   = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
+		nopool    = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
+		schedStr  = flag.String("sched", "", "event scheduler: wheel or heap (results are identical; for bisection)")
+		jsonOut   = flag.Bool("json", false, "emit one JSON array of tables instead of aligned text")
+		impair    = flag.String("impair", "", "inline impairment timeline applied to every run, ';'-separated steps")
+		impFile   = flag.String("impair-file", "", "impairment timeline file, text or JSON (see internal/netem/timeline.go)")
 	)
 	flag.Parse()
-	sched, err := sim.ParseScheduler(*schedStr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	timeline, err := netem.LoadTimeline(*impair, *impFile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	sched := cliutil.Scheduler(*schedStr)
+	timeline := cliutil.Timeline(*impair, *impFile)
 
 	if *list {
 		for _, e := range experiments.Registry {
@@ -79,16 +78,19 @@ func main() {
 		}
 		return
 	}
-	if *listSch {
-		fmt.Println(experiments.SchemeCatalog())
-		return
-	}
-	if *listTopo {
-		fmt.Println(experiments.TopoCatalog())
+	if cliutil.Catalogues(*listSch, *listTopo) {
 		return
 	}
 	if *digest {
 		printDigests(*schemeID)
+		return
+	}
+	if *scenarios != "" {
+		scfg := experiments.DefaultConfig()
+		scfg.Budget = *budget << 20
+		scfg.Seed = *seed
+		scfg.Quick = *quick
+		printScenarios(*scenarios, scfg)
 		return
 	}
 	if *exp == "" {
@@ -177,11 +179,13 @@ func main() {
 }
 
 // printDigests runs the golden trace — pool on and off, under both event
-// schedulers — and prints the behavior digest per scheme in the goldenDigests
-// table format, for pasting into internal/experiments/golden_test.go after an
-// intentional behavior change. Any divergence across the pool or scheduler
-// matrix is an implementation bug, reported and exit 1. An unknown -scheme
-// gets the catalogue and exit 2.
+// schedulers — and prints, per scheme, the behavior digest in the
+// goldenDigests table format (for pasting into
+// internal/experiments/golden_test.go after an intentional behavior change)
+// alongside the digest of the scenario that declares the run: the pair ties
+// "what was run" (scenario identity) to "what it did" (behavior). Any
+// divergence across the pool or scheduler matrix is an implementation bug,
+// reported and exit 1. An unknown -scheme gets the catalogue and exit 2.
 func printDigests(id string) {
 	ids := []string{id}
 	if id == "" {
@@ -207,7 +211,30 @@ func printDigests(id string) {
 				}
 			}
 		}
-		fmt.Printf("%q: %q,\n", id, ref)
+		sc := experiments.GoldenScenario(id)
+		fmt.Printf("%q: %q, // scenario %s\n", id, ref, sc.Digest())
+	}
+}
+
+// printScenarios emits the scenario values declaring an experiment's runs as
+// a JSON array — each element is a complete scenario file, runnable with
+// aeolussim -scenario. Experiments with no scenario-declared runs (the
+// analytic fig2, the instrumented fig15/fig16) are reported and exit 2.
+func printScenarios(id string, cfg experiments.Config) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if e.Scenarios == nil {
+		fmt.Fprintf(os.Stderr, "%s declares no scenario runs (analytic or instrumented microbenchmark)\n", id)
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e.Scenarios(cfg)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

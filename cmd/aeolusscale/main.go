@@ -18,8 +18,8 @@ import (
 	"os"
 	"time"
 
+	"github.com/aeolus-transport/aeolus/internal/cliutil"
 	"github.com/aeolus-transport/aeolus/internal/experiments"
-	"github.com/aeolus-transport/aeolus/internal/sim"
 )
 
 func main() {
@@ -31,16 +31,11 @@ func main() {
 		schedStr = flag.String("sched", "", "event scheduler: wheel or heap")
 	)
 	flag.Parse()
-	sched, err := sim.ParseScheduler(*schedStr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Quick = *quick
-	cfg.Scheduler = sched
+	cfg.Scheduler = cliutil.Scheduler(*schedStr)
 	cfg.Progress = func(done, total int, elapsed time.Duration) {
 		fmt.Fprintf(os.Stderr, "[%d/%d cells, %v]\n", done, total, elapsed.Round(100*time.Millisecond))
 	}

@@ -10,6 +10,8 @@
 //	aeolussim -topo 'clos:16x2g8/8/4,hosts=8,rate=100Gbps' -scheme xpass+aeolus -workload WebServer
 //	aeolussim -topo micro -scheme ndp+aeolus -incast 16 -audit \
 //	    -impair '0s sw0->* loss rate=0.01; 50us sw0->h0 fail; 150us sw0->h0 restore'
+//	aeolussim -scheme xpass+aeolus -incast 7 -dump-scenario json > run.json
+//	aeolussim -scenario run.json
 //
 // -topo accepts a catalogue name (-list-topos for the catalogue) or an ad-hoc
 // parameterized Clos spec in the "clos:" grammar of internal/netem; an
@@ -25,6 +27,14 @@
 // impairments — loss, failure, rate caps, delay — on the built topology; see
 // internal/netem/timeline.go for the grammar. Injected drops show up in the
 // drops line as impair=N and are audit-accounted like any other drop.
+//
+// -dump-scenario json|text prints the canonical scenario (internal/scenario)
+// that the current flags resolve to, instead of running it; feeding that file
+// back through -scenario reproduces the flag-driven run bit-identically. With
+// -scenario, the run is fully determined by the scenario file: flags that
+// would change what the run computes (-topo, -scheme, -seed, ...) are
+// rejected, while runtime knobs (-audit, -parallel, -nopool, -trace, -cdf)
+// and an explicit -sched still apply.
 package main
 
 import (
@@ -35,12 +45,23 @@ import (
 	"runtime"
 	"strings"
 
+	"github.com/aeolus-transport/aeolus/internal/cliutil"
 	"github.com/aeolus-transport/aeolus/internal/experiments"
-	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/scenario"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/stats"
 	"github.com/aeolus-transport/aeolus/internal/workload"
 )
+
+// semanticFlags are the flags that change what a run computes — exactly the
+// information a scenario file carries. With -scenario they are rejected, so a
+// scenario can never be silently half-overridden from the command line.
+var semanticFlags = map[string]bool{
+	"topo": true, "scheme": true, "opt": true, "workload": true, "load": true,
+	"flows": true, "budget": true, "incast": true, "msg": true, "buffer": true,
+	"threshold": true, "rto": true, "seed": true, "deadline": true,
+	"impair": true, "impair-file": true, "runs": true,
+}
 
 func main() {
 	var (
@@ -68,6 +89,8 @@ func main() {
 		schedStr = flag.String("sched", "", "event scheduler: wheel or heap (results are identical; for bisection)")
 		impair   = flag.String("impair", "", "inline impairment timeline, ';'-separated steps (e.g. '0s sw0->* loss rate=0.01; 50us sw0->h0 fail; 150us sw0->h0 restore')")
 		impFile  = flag.String("impair-file", "", "impairment timeline file, text or JSON (see internal/netem/timeline.go)")
+		scenFile = flag.String("scenario", "", "run this scenario file (JSON or canonical text) instead of building the run from flags")
+		dumpScen = flag.String("dump-scenario", "", "print the canonical scenario the flags resolve to, in this form (json or text), and exit")
 	)
 	opts := map[string]string{}
 	flag.Func("opt", "scheme option as key=value (repeatable; keys are per-scheme)", func(s string) error {
@@ -80,12 +103,7 @@ func main() {
 	})
 	flag.Parse()
 
-	if *listSch {
-		fmt.Println(experiments.SchemeCatalog())
-		return
-	}
-	if *listTopo {
-		fmt.Println(experiments.TopoCatalog())
+	if cliutil.Catalogues(*listSch, *listTopo) {
 		return
 	}
 
@@ -95,28 +113,37 @@ func main() {
 	cfg.Parallel = *parallel
 	cfg.Audit = *auditOn
 	cfg.DisablePool = *nopool
-	sched, err := sim.ParseScheduler(*schedStr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	cfg.Scheduler = sched
-	tl, err := netem.LoadTimeline(*impair, *impFile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	cfg.Impair = tl
+	cfg.Scheduler = cliutil.Scheduler(*schedStr)
+	cfg.Trace.TraceFlow = *trace
 
-	var wl *workload.CDF
-	if *wlName != "" {
-		var err error
-		wl, err = workload.Resolve(*wlName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+	if *scenFile != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if semanticFlags[f.Name] {
+				cliutil.Die(fmt.Errorf("-%s conflicts with -scenario: the scenario file determines the run; edit it (or regenerate with -dump-scenario) instead", f.Name))
+			}
+		})
+		sc := cliutil.LoadScenario(*scenFile)
+		if *dumpScen != "" {
+			dumpScenario(sc, *dumpScen)
+			return
 		}
+		sem, spec, err := experiments.FromScenario(sc)
+		if err != nil {
+			cliutil.Die(err)
+		}
+		run := cfg.ForScenario(sem)
+		if cfg.Scheduler != "" {
+			// An explicit -sched is a bisection knob and outranks the
+			// scenario's pin; results are identical either way.
+			run.Scheduler = cfg.Scheduler
+		}
+		r := experiments.Run(run, spec)
+		print1(r, *cdf)
+		exitOnViolations([]experiments.RunResult{r})
+		return
 	}
+
+	wl := cliutil.Workload(*wlName)
 	if wl == nil && *incast == 0 {
 		fmt.Fprintln(os.Stderr, "nothing to send: give -workload and/or -incast")
 		os.Exit(2)
@@ -124,6 +151,7 @@ func main() {
 	if *runs < 1 {
 		*runs = 1
 	}
+	tl := cliutil.Timeline(*impair, *impFile)
 
 	specFor := func(runSeed uint64) experiments.RunSpec {
 		spec := experiments.RunSpec{
@@ -135,6 +163,7 @@ func main() {
 			Topo: *topo, Buffer: *buffer,
 			Workload: wl, CoreLoad: *load, Flows: *flows,
 			Deadline: sim.Duration(*deadline) * sim.Millisecond,
+			Impair:   tl,
 		}
 		if *incast > 0 {
 			spec.Incast = &workload.IncastConfig{
@@ -142,26 +171,27 @@ func main() {
 				StartAt: sim.Time(10 * sim.Microsecond),
 			}
 		}
-		if *trace != 0 {
-			spec.TraceFlow = *trace
-		}
 		return spec
 	}
 
 	// Validate the topology, the scheme (ID and -opt values) and the
 	// impairment timeline's targets up front: a bad spec gets an error on
 	// stderr instead of a panic mid-run.
-	if _, err := experiments.ResolveTopo(*topo); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	cliutil.Topo(*topo)
 	if _, err := experiments.MakeScheme(specFor(*seed).Scheme); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Die(err)
 	}
 	if err := experiments.CheckImpair(cfg, specFor(*seed)); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Die(err)
+	}
+
+	if *dumpScen != "" {
+		sc, err := experiments.ToScenario(cfg, specFor(*seed))
+		if err != nil {
+			cliutil.Die(err)
+		}
+		dumpScenario(sc, *dumpScen)
+		return
 	}
 
 	if *runs == 1 {
@@ -195,6 +225,27 @@ func main() {
 	fmt.Printf("  all-flow mean FCT    %.2f ± %.2f us\n", mean(allMeans), stddev(allMeans))
 	fmt.Printf("  efficiency           %.3f ± %.3f\n", mean(effs), stddev(effs))
 	exitOnViolations(results)
+}
+
+// dumpScenario prints the scenario in the requested interchange form. File
+// references are inlined first, so the dump is self-contained: running it
+// elsewhere needs no CDF files lying around.
+func dumpScenario(sc *scenario.Scenario, form string) {
+	if err := sc.Inline(); err != nil {
+		cliutil.Die(err)
+	}
+	switch form {
+	case "json":
+		buf, err := sc.JSON()
+		if err != nil {
+			cliutil.Die(err)
+		}
+		os.Stdout.Write(buf)
+	case "text":
+		fmt.Print(sc.Text())
+	default:
+		cliutil.Die(fmt.Errorf("-dump-scenario: want json or text, got %q", form))
+	}
 }
 
 // exitOnViolations prints every audit violation and exits nonzero when any

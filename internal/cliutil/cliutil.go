@@ -1,0 +1,94 @@
+// Package cliutil holds the flag-loading and validation plumbing shared by
+// the simulator CLIs (cmd/aeolussim, cmd/aeolusbench, cmd/aeolusscale): the
+// scheduler/timeline/workload flag values all parse the same way everywhere,
+// and a bad value always means "print the error and exit 2" — the
+// flag-mistake status — not a panic mid-run.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/aeolus-transport/aeolus/internal/experiments"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/scenario"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// Die reports a flag-level error and exits with the usage status.
+func Die(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+// Scheduler parses a -sched value. The empty string stays empty — the
+// harness (and a scenario) may still pick the scheduler — so an explicit
+// -sched is distinguishable from the default.
+func Scheduler(s string) sim.SchedulerKind {
+	if s == "" {
+		return ""
+	}
+	kind, err := sim.ParseScheduler(s)
+	if err != nil {
+		Die(err)
+	}
+	return kind
+}
+
+// Timeline loads the -impair/-impair-file pair (inline ';'-separated steps
+// and/or a text or JSON file), nil when both are empty.
+func Timeline(inline, file string) *netem.Timeline {
+	tl, err := netem.LoadTimeline(inline, file)
+	if err != nil {
+		Die(err)
+	}
+	return tl
+}
+
+// Workload resolves a -workload value — a built-in name or a CDF file path —
+// with "" meaning no Poisson workload.
+func Workload(name string) *workload.CDF {
+	if name == "" {
+		return nil
+	}
+	wl, err := workload.Resolve(name)
+	if err != nil {
+		Die(err)
+	}
+	return wl
+}
+
+// Topo validates a -topo value against the catalogue and the clos: grammar.
+func Topo(name string) {
+	if _, err := experiments.ResolveTopo(name); err != nil {
+		Die(err)
+	}
+}
+
+// Catalogues handles the -list-schemes/-list-topos flags, reporting whether
+// it printed (and the caller should exit).
+func Catalogues(schemes, topos bool) bool {
+	if schemes {
+		fmt.Println(experiments.SchemeCatalog())
+	}
+	if topos {
+		fmt.Println(experiments.TopoCatalog())
+	}
+	return schemes || topos
+}
+
+// LoadScenario reads a scenario file (JSON or canonical text) and runs the
+// full semantic validation — topology, scheme and options, impairment
+// targets — so every error a flag-driven run would hit up front is reported
+// here too.
+func LoadScenario(path string) *scenario.Scenario {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		Die(err)
+	}
+	if err := experiments.CheckScenario(sc); err != nil {
+		Die(err)
+	}
+	return sc
+}

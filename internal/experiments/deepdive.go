@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/scenario"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/stats"
 	"github.com/aeolus-transport/aeolus/internal/transport"
@@ -144,6 +145,39 @@ func Fig16(cfg Config) []Table {
 // fig17Schemes are the six schemes of the heavy-incast and goodput studies.
 var fig17Schemes = []string{"xpass", "xpass+aeolus", "homa", "homa+aeolus", "ndp", "ndp+aeolus"}
 
+// fig17Fanins is the fan-in axis of the heavy-incast study.
+func fig17Fanins(quick bool) []int {
+	if quick {
+		return []int{32, 128}
+	}
+	return []int{32, 64, 128, 256}
+}
+
+// Fig17Scenarios declares the (scheme × fan-in) incast grid of Fig. 17: the
+// 144-host 100G/400G fabric with 500 KB buffers, 64 KB messages, and a 40 µs
+// RTO for the Homa variants.
+func Fig17Scenarios(cfg Config) []scenario.Scenario {
+	var scns []scenario.Scenario
+	for _, id := range fig17Schemes {
+		for _, n := range fig17Fanins(cfg.Quick) {
+			sc := scenario.Scenario{
+				Topo: TopoIncastFabric, Scheme: id, Buffer: 500 << 10,
+				Seed: cfg.Seed, SchemeSeed: cfg.Seed,
+				Incast: &scenario.IncastSpec{
+					Fanin: n, Receiver: 0, MsgSize: 64_000, Seed: cfg.Seed,
+					StartAt: 10 * sim.Microsecond,
+				},
+				Deadline: sim.Duration(1 * sim.Second),
+			}
+			if id == "homa" || id == "homa+aeolus" {
+				sc.RTO = 40 * sim.Microsecond
+			}
+			scns = append(scns, sc)
+		}
+	}
+	return scns
+}
+
 // Fig17 reproduces Figure 17: FCT slowdown (average and 99th percentile)
 // under N-to-1 incast for N in 32..256, on the 144-host 100G/400G fabric
 // with 500 KB buffers and 64 KB flows; Homa uses a 40 µs RTO.
@@ -152,30 +186,12 @@ func Fig17(cfg Config) []Table {
 		Columns: []string{"scheme", "N=32", "N=64", "N=128", "N=256"}}
 	p99 := Table{ID: "fig17b", Title: "Incast FCT slowdown (99th percentile)",
 		Columns: []string{"scheme", "N=32", "N=64", "N=128", "N=256"}}
-	fanins := []int{32, 64, 128, 256}
+	fanins := fig17Fanins(cfg.Quick)
 	if cfg.Quick {
-		fanins = []int{32, 128}
 		avg.Columns = []string{"scheme", "N=32", "N=128"}
 		p99.Columns = avg.Columns
 	}
-	var specs []RunSpec
-	for _, id := range fig17Schemes {
-		for _, n := range fanins {
-			spec := SchemeSpec{ID: id, Seed: cfg.Seed}
-			if id == "homa" || id == "homa+aeolus" {
-				spec.RTO = 40 * sim.Microsecond
-			}
-			specs = append(specs, RunSpec{
-				Scheme: spec, Topo: TopoIncastFabric, Buffer: 500 << 10,
-				Incast: &workload.IncastConfig{
-					Fanin: n, Receiver: 0, MsgSize: 64_000, Seed: cfg.Seed,
-					StartAt: sim.Time(10 * sim.Microsecond),
-				},
-				Deadline: sim.Duration(1 * sim.Second),
-			})
-		}
-	}
-	res := runAll(cfg, specs)
+	res := runScenarios(cfg, Fig17Scenarios(cfg))
 	i := 0
 	for range fig17Schemes {
 		arow := []string{""}
@@ -193,41 +209,52 @@ func Fig17(cfg Config) []Table {
 	return []Table{avg, p99}
 }
 
+// fig18Loads is the offered-load axis of the goodput study.
+func fig18Loads(quick bool) []float64 {
+	if quick {
+		return []float64{0.5, 0.9}
+	}
+	return []float64{0.3, 0.5, 0.7, 0.9}
+}
+
+// Fig18Scenarios declares the (scheme × load) goodput grid of Fig. 18: Web
+// Search traffic plus a 64-to-1 incast on the 144-host fabric, half the
+// configured budget with a 500-flow floor so the steady state has a real span.
+func Fig18Scenarios(cfg Config) []scenario.Scenario {
+	sweep := cfg
+	sweep.Budget = cfg.Budget / 2
+	sweep.MinFlows = maxI(cfg.MinFlows, 500)
+	wl := workload.WebSearch.Name()
+	var scns []scenario.Scenario
+	for _, id := range fig17Schemes {
+		for _, load := range fig18Loads(cfg.Quick) {
+			sc := poissonScenario(sweep, id, wl, TopoIncastFabric, load)
+			sc.Buffer = 500 << 10
+			sc.Incast = &scenario.IncastSpec{
+				Fanin: 64, Receiver: 0, MsgSize: 64_000, Seed: cfg.Seed,
+				StartAt: 100 * sim.Microsecond,
+			}
+			if id == "homa" || id == "homa+aeolus" {
+				sc.RTO = 40 * sim.Microsecond
+			}
+			scns = append(scns, sc)
+		}
+	}
+	return scns
+}
+
 // Fig18 reproduces Figure 18: goodput (normalized by capacity) across
 // varying network loads, for all six schemes, under a mix of Web Search
 // traffic and 64-to-1 incast bursts.
 func Fig18(cfg Config) []Table {
-	loads := []float64{0.3, 0.5, 0.7, 0.9}
-	if cfg.Quick {
-		loads = []float64{0.5, 0.9}
-	}
+	loads := fig18Loads(cfg.Quick)
 	cols := []string{"scheme"}
 	for _, l := range loads {
 		cols = append(cols, fmt.Sprintf("load=%.1f", l))
 	}
 	t := Table{ID: "fig18", Title: "Goodput vs offered load (Web Search + 64-to-1 incast mix)",
 		Columns: cols}
-	sweep := cfg
-	sweep.Budget = cfg.Budget / 2
-	sweep.MinFlows = maxI(cfg.MinFlows, 500) // steady state needs a real span
-	var specs []RunSpec
-	for _, id := range fig17Schemes {
-		for _, load := range loads {
-			spec := SchemeSpec{ID: id, Workload: workload.WebSearch, Seed: cfg.Seed}
-			if id == "homa" || id == "homa+aeolus" {
-				spec.RTO = 40 * sim.Microsecond
-			}
-			specs = append(specs, RunSpec{
-				Scheme: spec, Topo: TopoIncastFabric, Buffer: 500 << 10,
-				Workload: workload.WebSearch, CoreLoad: load,
-				Incast: &workload.IncastConfig{
-					Fanin: 64, Receiver: 0, MsgSize: 64_000, Seed: cfg.Seed,
-					StartAt: sim.Time(100 * sim.Microsecond),
-				},
-			})
-		}
-	}
-	res := runAll(sweep, specs)
+	res := runScenarios(cfg, Fig18Scenarios(cfg))
 	i := 0
 	for range fig17Schemes {
 		row := []string{""}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/scenario"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/workload"
 )
@@ -27,19 +28,59 @@ func Degradation(cfg Config) []Table {
 	return []Table{degradeLoss(cfg), degradeFlap(cfg)}
 }
 
-// degradeSpec builds the shared incast run for one scheme.
-func degradeSpec(cfg Config, id string, tl *netem.Timeline) RunSpec {
-	spec := SchemeSpec{ID: id, Workload: workload.WebServer, Seed: cfg.Seed}
-	if id == "homa" || id == "homa+aeolus" {
-		spec.RTO = 40 * sim.Microsecond
-	}
-	return RunSpec{
-		Scheme: spec, Topo: TopoMicro,
-		Incast: &workload.IncastConfig{Fanin: 16, Receiver: 0, MsgSize: 64_000,
-			Seed: cfg.Seed, StartAt: sim.Time(10 * sim.Microsecond)},
+// degradeScenario builds the shared incast run for one scheme. The traffic is
+// pure incast, but the scheme still needs a size distribution to shape its
+// unscheduled window — hence the scheme-workload without a traffic workload.
+func degradeScenario(cfg Config, id string, tl *netem.Timeline) scenario.Scenario {
+	sc := scenario.Scenario{
+		Topo: TopoMicro, Scheme: id,
+		Seed: cfg.Seed, SchemeSeed: cfg.Seed,
+		SchemeWorkload: &scenario.WorkloadSpec{Name: workload.WebServer.Name()},
+		Incast: &scenario.IncastSpec{Fanin: 16, Receiver: 0, MsgSize: 64_000,
+			Seed: cfg.Seed, StartAt: 10 * sim.Microsecond},
 		Deadline: sim.Duration(sim.Second),
 		Impair:   tl,
 	}
+	if id == "homa" || id == "homa+aeolus" {
+		sc.RTO = 40 * sim.Microsecond
+	}
+	return sc
+}
+
+// degradeLossRates is the injected-loss axis of the degradation study.
+func degradeLossRates(quick bool) []float64 {
+	if quick {
+		return []float64{0, 0.01}
+	}
+	return []float64{0, 0.001, 0.01, 0.05}
+}
+
+// DegradeLossScenarios declares the (scheme × loss rate) grid.
+func DegradeLossScenarios(cfg Config) []scenario.Scenario {
+	var scns []scenario.Scenario
+	for _, id := range fig17Schemes {
+		for _, rate := range degradeLossRates(cfg.Quick) {
+			scns = append(scns, degradeScenario(cfg, id, LossTimeline(rate)))
+		}
+	}
+	return scns
+}
+
+// DegradeFlapScenarios declares, per scheme, the flapped run followed by its
+// pristine baseline.
+func DegradeFlapScenarios(cfg Config) []scenario.Scenario {
+	flap := FlapTimeline(0.01, 50*sim.Microsecond, 250*sim.Microsecond)
+	var scns []scenario.Scenario
+	for _, id := range fig17Schemes {
+		scns = append(scns, degradeScenario(cfg, id, flap)) // flapped
+		scns = append(scns, degradeScenario(cfg, id, nil))  // pristine baseline
+	}
+	return scns
+}
+
+// DegradationScenarios declares the full degradation family.
+func DegradationScenarios(cfg Config) []scenario.Scenario {
+	return append(DegradeLossScenarios(cfg), DegradeFlapScenarios(cfg)...)
 }
 
 // LossTimeline scripts uniform random loss on every switch port from t=0.
@@ -68,17 +109,8 @@ func degradeLoss(cfg Config) Table {
 	t := Table{ID: "degrade-loss",
 		Title:   "FCT slowdown and goodput vs injected loss (16-to-1, 64KB each)",
 		Columns: []string{"scheme", "loss", "completed", "meanSlowdown", "p99Slowdown", "goodput", "timeouts", "injectedDrops"}}
-	rates := []float64{0, 0.001, 0.01, 0.05}
-	if cfg.Quick {
-		rates = []float64{0, 0.01}
-	}
-	var specs []RunSpec
-	for _, id := range fig17Schemes {
-		for _, rate := range rates {
-			specs = append(specs, degradeSpec(cfg, id, LossTimeline(rate)))
-		}
-	}
-	res := runAll(cfg, specs)
+	rates := degradeLossRates(cfg.Quick)
+	res := runScenarios(cfg, DegradeLossScenarios(cfg))
 	i := 0
 	for range fig17Schemes {
 		for _, rate := range rates {
@@ -98,13 +130,7 @@ func degradeFlap(cfg Config) Table {
 	t := Table{ID: "degrade-flap",
 		Title:   "Link-flap recovery: receiver downlink fails 50..250µs, 1% loss throughout",
 		Columns: []string{"scheme", "completed", "meanFCT/us", "pristineFCT/us", "p99FCT/us", "timeouts", "injectedDrops"}}
-	flap := FlapTimeline(0.01, 50*sim.Microsecond, 250*sim.Microsecond)
-	var specs []RunSpec
-	for _, id := range fig17Schemes {
-		specs = append(specs, degradeSpec(cfg, id, flap)) // flapped
-		specs = append(specs, degradeSpec(cfg, id, nil))  // pristine baseline
-	}
-	res := runAll(cfg, specs)
+	res := runScenarios(cfg, DegradeFlapScenarios(cfg))
 	for i := 0; i < len(res); i += 2 {
 		flapped, pristine := res[i], res[i+1]
 		t.Add(flapped.Scheme,

@@ -5,8 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"github.com/aeolus-transport/aeolus/internal/scenario"
 	"github.com/aeolus-transport/aeolus/internal/sim"
-	"github.com/aeolus-transport/aeolus/internal/workload"
 )
 
 // The golden trace is the behavior-preservation anchor of the scheme
@@ -17,26 +17,42 @@ import (
 // plumbing can prove byte-identical behavior mechanically instead of
 // eyeballing summary statistics.
 
-// GoldenConfig returns the fixed configuration of the golden trace.
-func GoldenConfig() Config {
-	return Config{Budget: 24 << 20, MinFlows: 100, MaxFlows: 2000, Seed: 1}
-}
-
-// GoldenSpec returns the golden-trace run for one scheme: a 5-to-1 incast
-// of 50 KB messages on the micro topology, seeded identically for every
-// scheme (the Workload field feeds Homa's priority cutoffs; xpass+prio gets
-// the paper's 10 ms RTO it needs to terminate).
-func GoldenSpec(id string) RunSpec {
-	spec := SchemeSpec{ID: id, Workload: workload.WebServer, Seed: 3}
-	if id == "xpass+prio" {
-		spec.RTO = 10 * sim.Millisecond
-	}
-	return RunSpec{
-		Scheme: spec, Topo: TopoMicro,
-		Incast: &workload.IncastConfig{Fanin: 5, Receiver: 0, MsgSize: 50_000,
-			Seed: 3, StartAt: sim.Time(10 * sim.Microsecond)},
+// GoldenScenario returns the golden trace for one scheme as a scenario
+// value — the single source of truth GoldenConfig and GoldenSpec lower
+// from: a 5-to-1 incast of 50 KB messages on the micro topology, seeded
+// identically for every scheme. SchemeWorkload feeds Homa's priority
+// cutoffs without generating Poisson traffic; xpass+prio gets the paper's
+// 10 ms RTO it needs to terminate. The scenario's Digest() is the canonical
+// identity recorded next to each behavior digest in aeolusbench -digest.
+func GoldenScenario(id string) scenario.Scenario {
+	sc := scenario.Scenario{
+		Name:           "golden-" + id,
+		Topo:           TopoMicro,
+		Scheme:         id,
+		Seed:           1,
+		SchemeSeed:     3,
+		SchemeWorkload: &scenario.WorkloadSpec{Name: "WebServer"},
+		Incast: &scenario.IncastSpec{Fanin: 5, Receiver: 0, MsgSize: 50_000,
+			Seed: 3, StartAt: 10 * sim.Microsecond},
 		Deadline: sim.Duration(sim.Second),
 	}
+	if id == "xpass+prio" {
+		sc.RTO = 10 * sim.Millisecond
+	}
+	return sc
+}
+
+// GoldenConfig returns the fixed configuration of the golden trace.
+func GoldenConfig() Config {
+	cfg, _ := mustFromScenario(GoldenScenario("xpass"))
+	return cfg
+}
+
+// GoldenSpec returns the golden-trace run for one scheme, lowered from
+// GoldenScenario.
+func GoldenSpec(id string) RunSpec {
+	_, spec := mustFromScenario(GoldenScenario(id))
+	return spec
 }
 
 // GoldenDigest runs the golden trace for a scheme and returns the RunResult

@@ -75,6 +75,21 @@ type Config struct {
 	// window onto the run's internals (the scale sweep hangs its footprint
 	// probes here). It must not schedule engine events.
 	Observe func(net *netem.Network, env *transport.Env, proto transport.Protocol)
+
+	// Trace holds the packet-level debugging options. They live on Config,
+	// not RunSpec, because they are observational: a run's identity — what
+	// a scenario serializes and what feeds the golden digest — is purely
+	// semantic, and an io.Writer has no place in it.
+	Trace RunOptions
+}
+
+// RunOptions are the non-serialized debugging knobs of a run. TraceFlow,
+// when nonzero, prints every port/host event of that flow — the
+// packet-level view. Output goes to TraceTo, or to a mutex-guarded
+// os.Stderr so traced runs stay legible under a Pool.
+type RunOptions struct {
+	TraceFlow uint64
+	TraceTo   io.Writer
 }
 
 // scheduler resolves the configured SchedulerKind, defaulting when unset.
@@ -136,12 +151,6 @@ type RunSpec struct {
 	// Impair, when non-nil, scripts link impairments for this run and
 	// overrides Config.Impair (the degradation experiments set it per run).
 	Impair *netem.Timeline
-
-	// TraceFlow, when nonzero, prints every port/host event of that flow —
-	// the packet-level debugging view. Output goes to TraceTo, or to a
-	// mutex-guarded os.Stderr so traced runs stay legible under a Pool.
-	TraceFlow uint64
-	TraceTo   io.Writer
 }
 
 // RunResult aggregates the metrics every experiment consumes.
@@ -238,13 +247,14 @@ func Run(cfg Config, spec RunSpec) RunResult {
 			panic("experiments: " + err.Error())
 		}
 	}
-	if spec.TraceFlow != 0 {
-		w := spec.TraceTo
+	if cfg.Trace.TraceFlow != 0 {
+		w := cfg.Trace.TraceTo
 		if w == nil {
 			w = stderrLocked
 		}
+		flow := cfg.Trace.TraceFlow
 		tr := &netem.WriterTracer{W: w,
-			Filter: func(p *netem.Packet) bool { return p.Flow == spec.TraceFlow }}
+			Filter: func(p *netem.Packet) bool { return p.Flow == flow }}
 		netem.InstrumentPorts(net.AllPorts(), tr)
 		netem.InstrumentHosts(net.Hosts, tr)
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"github.com/aeolus-transport/aeolus/internal/scenario"
 	"github.com/aeolus-transport/aeolus/internal/stats"
 	"github.com/aeolus-transport/aeolus/internal/workload"
 )
@@ -20,32 +21,48 @@ func Fig4(cfg Config) []Table {
 	return []Table{t}
 }
 
+// Fig4Scenarios declares Fig. 4's sweep; tails need samples, so the flow
+// floor rises to 400 as in Fig4.
+func Fig4Scenarios(cfg Config) []scenario.Scenario {
+	cfg.MinFlows = maxI(cfg.MinFlows, 400)
+	return fctSweepScenarios(cfg, []*workload.CDF{workload.CacheFollower, workload.WebServer},
+		[]string{"homa", "homa+oracle"}, TopoLeafSpine, 0.4)
+}
+
 // Table1 reproduces Table 1: tail FCT (0-100KB), transfer efficiency and
 // average FCT (all flows) under hypothetical Homa, eager Homa (20 µs RTO)
 // and original Homa (10 ms RTO), on Cache Follower at 54% core load.
 func Table1(cfg Config) []Table {
-	cfg.MinFlows = maxI(cfg.MinFlows, 400) // tails need samples and collisions
-	wl := workload.CacheFollower
 	t := Table{ID: "table1", Title: "Hypothetical vs eager vs original Homa (Cache Follower)",
 		Columns: []string{"scheme", "tailFCT(0-100KB)/us", "efficiency", "avgFCT(all)/us"}}
-	var specs []RunSpec
-	for _, id := range []string{"homa+oracle", "homa-eager", "homa"} {
-		specs = append(specs, RunSpec{
-			Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-			Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.54,
-		})
-	}
-	for _, r := range runAll(cfg, specs) {
+	for _, r := range runScenarios(cfg, Table1Scenarios(cfg)) {
 		t.Add(r.Scheme, stats.FormatDur(r.Small.P999), f2(r.Efficiency),
 			stats.FormatDur(r.All.Mean))
 	}
 	return []Table{t}
 }
 
+// Table1Scenarios declares the three Homa variants on Cache Follower at 54%
+// core load; tails need samples and collisions, so the flow floor is 400.
+func Table1Scenarios(cfg Config) []scenario.Scenario {
+	cfg.MinFlows = maxI(cfg.MinFlows, 400)
+	wl := workload.CacheFollower.Name()
+	var scns []scenario.Scenario
+	for _, id := range []string{"homa+oracle", "homa-eager", "homa"} {
+		scns = append(scns, poissonScenario(cfg, id, wl, TopoLeafSpine, 0.54))
+	}
+	return scns
+}
+
 // Fig11 reproduces Figure 11: message completion times of a 7-to-1 incast
 // on the 10G testbed topology, Homa with and without Aeolus.
 func Fig11(cfg Config) []Table {
 	return incastMCT(cfg, "fig11", "homa", "homa+aeolus")
+}
+
+// Fig11Scenarios declares Fig. 11's incast grid.
+func Fig11Scenarios(cfg Config) []scenario.Scenario {
+	return incastMCTScenarios(cfg, "homa", "homa+aeolus")
 }
 
 // Fig12 reproduces Figure 12: FCT of 0-100KB flows under Homa with and
@@ -59,30 +76,20 @@ func Fig12(cfg Config) []Table {
 	return []Table{t}
 }
 
+// Fig12Scenarios declares Fig. 12's sweep with the 400-flow floor.
+func Fig12Scenarios(cfg Config) []scenario.Scenario {
+	cfg.MinFlows = maxI(cfg.MinFlows, 400)
+	return fctSweepScenarios(cfg, workload.All, []string{"homa", "homa+aeolus"}, TopoLeafSpine, 0.54)
+}
+
 // Fig13 reproduces Figure 13: the number of flows suffering at least one
 // retransmission timeout as the load varies, Homa with and without Aeolus,
 // across the four workloads.
 func Fig13(cfg Config) []Table {
-	loads := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	if cfg.Quick {
-		loads = []float64{0.2, 0.5, 0.8}
-	}
-	sweep := cfg
-	sweep.Budget = cfg.Budget / 4
+	loads := loadSweep(cfg.Quick)
 	t := Table{ID: "fig13", Title: "Flows suffering timeouts vs load (Homa ± Aeolus)",
 		Columns: []string{"workload", "load", "flows", "Homa", "Homa+Aeolus"}}
-	var specs []RunSpec
-	for _, wl := range workload.All {
-		for _, load := range loads {
-			for _, id := range []string{"homa", "homa+aeolus"} {
-				specs = append(specs, RunSpec{
-					Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-					Topo:   TopoLeafSpine, Workload: wl, CoreLoad: load,
-				})
-			}
-		}
-	}
-	res := runAll(sweep, specs)
+	res := runScenarios(cfg, Fig13Scenarios(cfg))
 	i := 0
 	for _, wl := range workload.All {
 		for _, load := range loads {
@@ -94,22 +101,28 @@ func Fig13(cfg Config) []Table {
 	return []Table{t}
 }
 
+// Fig13Scenarios declares the (workload × load × scheme) grid of Fig. 13 at
+// a quarter of the configured budget.
+func Fig13Scenarios(cfg Config) []scenario.Scenario {
+	sweep := cfg
+	sweep.Budget = cfg.Budget / 4
+	var scns []scenario.Scenario
+	for _, wl := range workload.All {
+		for _, load := range loadSweep(cfg.Quick) {
+			for _, id := range []string{"homa", "homa+aeolus"} {
+				scns = append(scns, poissonScenario(sweep, id, wl.Name(), TopoLeafSpine, load))
+			}
+		}
+	}
+	return scns
+}
+
 // Table3 reproduces Table 3: average FCT of all flows under eager Homa
 // (20 µs RTO) and Homa+Aeolus across the four workloads at 54% core load.
 func Table3(cfg Config) []Table {
-	cfg.MinFlows = maxI(cfg.MinFlows, 400)
 	t := Table{ID: "table3", Title: "Avg FCT of all flows: eager Homa vs Homa+Aeolus (54% core)",
 		Columns: []string{"workload", "EagerHoma/us", "Homa+Aeolus/us", "reduction", "effEager", "effAeolus"}}
-	var specs []RunSpec
-	for _, wl := range workload.All {
-		for _, id := range []string{"homa-eager", "homa+aeolus"} {
-			specs = append(specs, RunSpec{
-				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-				Topo:   TopoLeafSpine, Workload: wl, CoreLoad: 0.54,
-			})
-		}
-	}
-	res := runAll(cfg, specs)
+	res := runScenarios(cfg, Table3Scenarios(cfg))
 	for i, wl := range workload.All {
 		eager, aeolus := res[2*i], res[2*i+1]
 		mean := [2]float64{eager.All.Mean.Microseconds(), aeolus.All.Mean.Microseconds()}
@@ -121,6 +134,13 @@ func Table3(cfg Config) []Table {
 			f2(eager.Efficiency), f2(aeolus.Efficiency))
 	}
 	return []Table{t}
+}
+
+// Table3Scenarios declares eager Homa against Homa+Aeolus across the four
+// workloads at 54% core load, with the 400-flow floor.
+func Table3Scenarios(cfg Config) []scenario.Scenario {
+	cfg.MinFlows = maxI(cfg.MinFlows, 400)
+	return fctSweepScenarios(cfg, workload.All, []string{"homa-eager", "homa+aeolus"}, TopoLeafSpine, 0.54)
 }
 
 func maxI(a, b int) int {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"github.com/aeolus-transport/aeolus/internal/scenario"
 	"github.com/aeolus-transport/aeolus/internal/workload"
 )
 
@@ -13,4 +14,9 @@ func Fig14(cfg Config) []Table {
 		Columns: fctCols}
 	fctSweep(cfg, &t, workload.All, []string{"ndp", "ndp+aeolus"}, TopoLeafSpine, 0.4)
 	return []Table{t}
+}
+
+// Fig14Scenarios declares Fig. 14's sweep.
+func Fig14Scenarios(cfg Config) []scenario.Scenario {
+	return fctSweepScenarios(cfg, workload.All, []string{"ndp", "ndp+aeolus"}, TopoLeafSpine, 0.4)
 }

@@ -68,6 +68,7 @@ type Pool struct {
 
 type poolJob struct {
 	idx  int
+	cfg  Config
 	spec RunSpec
 }
 
@@ -90,7 +91,7 @@ func NewPool(cfg Config) *Pool {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
-		res := p.runFn(p.cfg, j.spec)
+		res := p.runFn(j.cfg, j.spec)
 		p.mu.Lock()
 		p.results[j.idx] = res
 		p.done++
@@ -102,10 +103,18 @@ func (p *Pool) worker() {
 	}
 }
 
-// Submit enqueues one run and returns the index its result will occupy in
-// the slice Collect returns. It blocks while all workers are busy; that
-// backpressure bounds in-flight simulations at the worker count.
+// Submit enqueues one run under the pool's Config and returns the index its
+// result will occupy in the slice Collect returns. It blocks while all
+// workers are busy; that backpressure bounds in-flight simulations at the
+// worker count.
 func (p *Pool) Submit(spec RunSpec) int {
+	return p.SubmitCfg(p.cfg, spec)
+}
+
+// SubmitCfg is Submit with a per-run Config — the scenario path uses it,
+// since every scenario carries its own semantic configuration (budget,
+// seeds, clamps) layered over the pool's runtime knobs.
+func (p *Pool) SubmitCfg(cfg Config, spec RunSpec) int {
 	if p.collected {
 		panic("experiments: Submit after Collect")
 	}
@@ -113,7 +122,7 @@ func (p *Pool) Submit(spec RunSpec) int {
 	idx := len(p.results)
 	p.results = append(p.results, RunResult{})
 	p.mu.Unlock()
-	p.jobs <- poolJob{idx: idx, spec: spec}
+	p.jobs <- poolJob{idx: idx, cfg: cfg, spec: spec}
 	return idx
 }
 

@@ -3,39 +3,71 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"github.com/aeolus-transport/aeolus/internal/scenario"
 )
 
-// Experiment binds an ID to the function regenerating that table/figure.
+// Experiment binds an ID to the function regenerating that table/figure and,
+// where the figure is a set of simulator runs, to the scenario values that
+// declare those runs. Scenarios is the serializable ground truth — Fn renders
+// tables from exactly the runs Scenarios declares — so anything that can run a
+// scenario (the CLIs, a golden test, a foreign harness) can reproduce a
+// registry figure cell by cell. It is nil only for the analytic fig2 (no
+// simulation at all) and the instrumented fig15/fig16 microbenchmarks, whose
+// in-run probes are observational hooks a serialized run cannot carry.
 type Experiment struct {
-	ID    string
-	Paper string // what the paper shows
-	Fn    func(Config) []Table
+	ID        string
+	Paper     string // what the paper shows
+	Fn        func(Config) []Table
+	Scenarios func(Config) []scenario.Scenario
 }
 
 // Registry lists every reproduced table and figure in paper order.
 var Registry = []Experiment{
-	{"fig1", "Gap between proactive baselines and ideal pre-credit handling", Fig1},
-	{"fig2", "Fraction of flows/bytes finishable in the first RTT vs link speed", Fig2},
-	{"fig3", "ExpressPass vs hypothetical ExpressPass, small-flow FCT", Fig3},
-	{"fig4", "Homa vs hypothetical Homa, small-flow FCT", Fig4},
-	{"table1", "Hypothetical vs eager vs original Homa", Table1},
-	{"fig8", "Testbed 7-to-1 incast MCT, ExpressPass ± Aeolus", Fig8},
-	{"fig9", "ExpressPass ± Aeolus small-flow FCT, four workloads", Fig9},
-	{"fig10", "ExpressPass ± Aeolus avg small-flow FCT vs load", Fig10},
-	{"fig11", "Testbed 7-to-1 incast MCT, Homa ± Aeolus", Fig11},
-	{"fig12", "Homa ± Aeolus small-flow FCT, four workloads", Fig12},
-	{"fig13", "Flows suffering timeouts vs load, Homa ± Aeolus", Fig13},
-	{"table3", "Avg FCT of all flows, eager Homa vs Homa+Aeolus", Table3},
-	{"fig14", "NDP ± Aeolus small-flow FCT, four workloads", Fig14},
-	{"fig15", "Queue length vs selective dropping threshold", Fig15},
-	{"fig16", "First-RTT utilization vs fan-in and threshold", Fig16},
-	{"table4", "Aeolus vs priority queueing: ambiguity", Table4},
-	{"table5", "Aeolus vs priority queueing: shared-buffer incast", Table5},
-	{"fig17", "Heavy-incast FCT slowdown, six schemes", Fig17},
-	{"fig18", "Goodput vs offered load, six schemes", Fig18},
-	{"ablation", "Design-choice ablation: threshold sweep, probe vs RTO-only recovery", Ablation},
-	{"degrade", "Degradation sweep under injected loss and link flap (not in the paper)", Degradation},
-	{"scale", "Open-loop scale sweep: simulator throughput and memory vs fabric size (not in the paper)", ScaleSweep},
+	{ID: "fig1", Paper: "Gap between proactive baselines and ideal pre-credit handling",
+		Fn: Fig1, Scenarios: Fig1Scenarios},
+	{ID: "fig2", Paper: "Fraction of flows/bytes finishable in the first RTT vs link speed",
+		Fn: Fig2}, // analytic: no simulation runs
+	{ID: "fig3", Paper: "ExpressPass vs hypothetical ExpressPass, small-flow FCT",
+		Fn: Fig3, Scenarios: Fig3Scenarios},
+	{ID: "fig4", Paper: "Homa vs hypothetical Homa, small-flow FCT",
+		Fn: Fig4, Scenarios: Fig4Scenarios},
+	{ID: "table1", Paper: "Hypothetical vs eager vs original Homa",
+		Fn: Table1, Scenarios: Table1Scenarios},
+	{ID: "fig8", Paper: "Testbed 7-to-1 incast MCT, ExpressPass ± Aeolus",
+		Fn: Fig8, Scenarios: Fig8Scenarios},
+	{ID: "fig9", Paper: "ExpressPass ± Aeolus small-flow FCT, four workloads",
+		Fn: Fig9, Scenarios: Fig9Scenarios},
+	{ID: "fig10", Paper: "ExpressPass ± Aeolus avg small-flow FCT vs load",
+		Fn: Fig10, Scenarios: Fig10Scenarios},
+	{ID: "fig11", Paper: "Testbed 7-to-1 incast MCT, Homa ± Aeolus",
+		Fn: Fig11, Scenarios: Fig11Scenarios},
+	{ID: "fig12", Paper: "Homa ± Aeolus small-flow FCT, four workloads",
+		Fn: Fig12, Scenarios: Fig12Scenarios},
+	{ID: "fig13", Paper: "Flows suffering timeouts vs load, Homa ± Aeolus",
+		Fn: Fig13, Scenarios: Fig13Scenarios},
+	{ID: "table3", Paper: "Avg FCT of all flows, eager Homa vs Homa+Aeolus",
+		Fn: Table3, Scenarios: Table3Scenarios},
+	{ID: "fig14", Paper: "NDP ± Aeolus small-flow FCT, four workloads",
+		Fn: Fig14, Scenarios: Fig14Scenarios},
+	{ID: "fig15", Paper: "Queue length vs selective dropping threshold",
+		Fn: Fig15}, // instrumented microbenchmark: in-run queue probes
+	{ID: "fig16", Paper: "First-RTT utilization vs fan-in and threshold",
+		Fn: Fig16}, // instrumented microbenchmark: in-run utilization probes
+	{ID: "table4", Paper: "Aeolus vs priority queueing: ambiguity",
+		Fn: Table4, Scenarios: Table4Scenarios},
+	{ID: "table5", Paper: "Aeolus vs priority queueing: shared-buffer incast",
+		Fn: Table5, Scenarios: Table5Scenarios},
+	{ID: "fig17", Paper: "Heavy-incast FCT slowdown, six schemes",
+		Fn: Fig17, Scenarios: Fig17Scenarios},
+	{ID: "fig18", Paper: "Goodput vs offered load, six schemes",
+		Fn: Fig18, Scenarios: Fig18Scenarios},
+	{ID: "ablation", Paper: "Design-choice ablation: threshold sweep, probe vs RTO-only recovery",
+		Fn: Ablation, Scenarios: AblationScenarios},
+	{ID: "degrade", Paper: "Degradation sweep under injected loss and link flap (not in the paper)",
+		Fn: Degradation, Scenarios: DegradationScenarios},
+	{ID: "scale", Paper: "Open-loop scale sweep: simulator throughput and memory vs fabric size (not in the paper)",
+		Fn: ScaleSweep, Scenarios: ScaleScenarios},
 }
 
 // ByID returns the experiment with the given ID.

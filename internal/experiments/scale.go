@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/scenario"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/transport"
 	"github.com/aeolus-transport/aeolus/internal/workload"
@@ -101,19 +102,47 @@ type ScalePoint struct {
 // Key is the ledger key of the cell, e.g. "h1024/l0.8".
 func (p ScalePoint) Key() string { return fmt.Sprintf("h%d/l%g", p.Hosts, p.Load) }
 
+// ScaleScenario declares one sweep cell: the scaled Clos at the given width,
+// a Poisson WebServer workload at the given core load, and an explicit flow
+// count (hosts × ScaleFlowsPerHost) so the offered work is open-loop rather
+// than budget-derived.
+func ScaleScenario(cfg Config, width int, load float64) scenario.Scenario {
+	spec := ScaleFabric(width)
+	return scenario.Scenario{
+		Topo:       spec.String(),
+		Scheme:     "xpass+aeolus",
+		Seed:       cfg.Seed,
+		SchemeSeed: cfg.Seed,
+		Workload:   &scenario.WorkloadSpec{Name: workload.WebServer.Name()},
+		CoreLoad:   load,
+		Flows:      spec.Hosts() * ScaleFlowsPerHost,
+	}
+}
+
+// ScaleScenarios declares the full (width × load) grid, smallest first.
+func ScaleScenarios(cfg Config) []scenario.Scenario {
+	var scns []scenario.Scenario
+	for _, n := range scaleWidths(cfg.Quick) {
+		for _, load := range scaleLoads {
+			scns = append(scns, ScaleScenario(cfg, n, load))
+		}
+	}
+	return scns
+}
+
 // MeasureScale runs one sweep cell and returns its measurements. The scheme
 // is ExpressPass+Aeolus — the paper's primary integration and the cheapest of
 // the three transports per packet, so the sweep stresses the simulator rather
 // than one transport's scheduling policy.
 func MeasureScale(cfg Config, width int, load float64) ScalePoint {
-	spec := ScaleFabric(width)
-	pt := ScalePoint{Topo: spec.String(), Hosts: spec.Hosts(), Load: load}
-	pt.Flows = pt.Hosts * ScaleFlowsPerHost
+	sem, rspec := mustFromScenario(ScaleScenario(cfg, width, load))
+	pt := ScalePoint{Topo: rspec.Topo, Hosts: ScaleFabric(width).Hosts(), Load: load}
+	pt.Flows = rspec.Flows
 
 	var eng *sim.Engine
 	var proto transport.Protocol
 	var heapStart uint64
-	run := cfg
+	run := cfg.ForScenario(sem)
 	run.Audit = true
 	run.Observe = func(_ *netem.Network, env *transport.Env, p transport.Protocol) {
 		eng, proto = env.Eng, p
@@ -122,13 +151,7 @@ func MeasureScale(cfg Config, width int, load float64) ScalePoint {
 
 	sampler := startHeapSampler(5 * time.Millisecond)
 	start := time.Now()
-	res := Run(run, RunSpec{
-		Scheme:   SchemeSpec{ID: "xpass+aeolus", Workload: workload.WebServer, Seed: cfg.Seed},
-		Topo:     pt.Topo,
-		Workload: workload.WebServer,
-		CoreLoad: load,
-		Flows:    pt.Flows,
-	})
+	res := Run(run, rspec)
 	pt.WallSeconds = time.Since(start).Seconds()
 	sampled := sampler.stop()
 	heapEnd := heapSettled()

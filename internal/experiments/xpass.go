@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/aeolus-transport/aeolus/internal/scenario"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 	"github.com/aeolus-transport/aeolus/internal/stats"
 	"github.com/aeolus-transport/aeolus/internal/workload"
@@ -56,21 +57,24 @@ func Fig1(cfg Config) []Table {
 		Columns: fctCols}
 	b := Table{ID: "fig1b", Title: "Blind burst in the pre-credit phase (Homa vs ideal)",
 		Columns: fctCols}
-	res := runAll(cfg, []RunSpec{
-		{Scheme: SchemeSpec{ID: "xpass", Workload: wl, Seed: cfg.Seed},
-			Topo: TopoFatTree, Workload: wl, CoreLoad: 0.4},
-		{Scheme: SchemeSpec{ID: "xpass+oracle", Workload: wl, Seed: cfg.Seed},
-			Topo: TopoFatTree, Workload: wl, CoreLoad: 0.4},
-		{Scheme: SchemeSpec{ID: "homa", Workload: wl, Seed: cfg.Seed},
-			Topo: TopoLeafSpine, Workload: wl, CoreLoad: 0.4},
-		{Scheme: SchemeSpec{ID: "homa+oracle", Workload: wl, Seed: cfg.Seed},
-			Topo: TopoLeafSpine, Workload: wl, CoreLoad: 0.4},
-	})
+	res := runScenarios(cfg, Fig1Scenarios(cfg))
 	addFCTRow(&a, wl.Name(), res[0])
 	addFCTRow(&a, wl.Name(), res[1])
 	addFCTRow(&b, wl.Name(), res[2])
 	addFCTRow(&b, wl.Name(), res[3])
 	return []Table{a, b}
+}
+
+// Fig1Scenarios declares Fig. 1's four runs: each proactive baseline and
+// its idealized oracle, on the fabric its own paper used.
+func Fig1Scenarios(cfg Config) []scenario.Scenario {
+	wl := workload.CacheFollower.Name()
+	return []scenario.Scenario{
+		poissonScenario(cfg, "xpass", wl, TopoFatTree, 0.4),
+		poissonScenario(cfg, "xpass+oracle", wl, TopoFatTree, 0.4),
+		poissonScenario(cfg, "homa", wl, TopoLeafSpine, 0.4),
+		poissonScenario(cfg, "homa+oracle", wl, TopoLeafSpine, 0.4),
+	}
 }
 
 // Fig3 reproduces Figure 3: FCT of 0-100KB flows under original ExpressPass
@@ -84,22 +88,34 @@ func Fig3(cfg Config) []Table {
 	return []Table{t}
 }
 
-// fctSweep runs one simulation per (workload, scheme) pair — all cells in
-// parallel through a Pool — and tabulates the small-flow FCT rows in the
-// same nested order a serial double loop would produce.
-func fctSweep(cfg Config, t *Table, wls []*workload.CDF, ids []string, topo string, load float64) {
-	var specs []RunSpec
-	var names []string
+// Fig3Scenarios declares Fig. 3's sweep.
+func Fig3Scenarios(cfg Config) []scenario.Scenario {
+	return fctSweepScenarios(cfg, []*workload.CDF{workload.CacheFollower, workload.WebServer},
+		[]string{"xpass", "xpass+oracle"}, TopoFatTree, 0.4)
+}
+
+// fctSweepScenarios declares one run per (workload, scheme) pair, nested in
+// the order a serial double loop would produce.
+func fctSweepScenarios(cfg Config, wls []*workload.CDF, ids []string, topo string, load float64) []scenario.Scenario {
+	var scns []scenario.Scenario
 	for _, wl := range wls {
 		for _, id := range ids {
-			specs = append(specs, RunSpec{
-				Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-				Topo:   topo, Workload: wl, CoreLoad: load,
-			})
+			scns = append(scns, poissonScenario(cfg, id, wl.Name(), topo, load))
+		}
+	}
+	return scns
+}
+
+// fctSweep runs one simulation per (workload, scheme) pair — all cells in
+// parallel through a Pool — and tabulates the small-flow FCT rows.
+func fctSweep(cfg Config, t *Table, wls []*workload.CDF, ids []string, topo string, load float64) {
+	var names []string
+	for _, wl := range wls {
+		for range ids {
 			names = append(names, wl.Name())
 		}
 	}
-	for i, r := range runAll(cfg, specs) {
+	for i, r := range runScenarios(cfg, fctSweepScenarios(cfg, wls, ids, topo, load)) {
 		addFCTRow(t, names[i], r)
 	}
 }
@@ -111,41 +127,58 @@ func Fig8(cfg Config) []Table {
 	return incastMCT(cfg, "fig8", "xpass", "xpass+aeolus")
 }
 
-// incastMCT runs the testbed 7-to-1 incast for two schemes across the
-// paper's message sizes, several rounds each, and tabulates MCT stats.
-func incastMCT(cfg Config, id, base, aeolus string) []Table {
-	t := Table{ID: id, Title: "7-to-1 incast MCT on the 10G testbed topology",
-		Columns: []string{"scheme", "msgKB", "rounds", "p50/us", "mean/us", "p99/us", "max/us"}}
-	rounds := 20
+// Fig8Scenarios declares Fig. 8's incast grid.
+func Fig8Scenarios(cfg Config) []scenario.Scenario {
+	return incastMCTScenarios(cfg, "xpass", "xpass+aeolus")
+}
+
+// incastMCTShape returns the message sizes and repetition rounds of the
+// testbed incast studies, trimmed under -quick.
+func incastMCTShape(cfg Config) ([]int64, int) {
 	if cfg.Quick {
-		rounds = 5
+		return []int64{30_000, 50_000}, 5
 	}
-	sizes := []int64{30_000, 35_000, 40_000, 45_000, 50_000}
-	if cfg.Quick {
-		sizes = []int64{30_000, 50_000}
-	}
-	var specs []RunSpec
+	return []int64{30_000, 35_000, 40_000, 45_000, 50_000}, 20
+}
+
+// incastMCTScenarios declares the testbed 7-to-1 incast grid for two
+// schemes: every message size, several rounds each, the round index folded
+// into both seeds so rounds are independent draws.
+func incastMCTScenarios(cfg Config, base, aeolus string) []scenario.Scenario {
+	sizes, rounds := incastMCTShape(cfg)
+	var scns []scenario.Scenario
 	for _, schemeID := range []string{base, aeolus} {
 		for _, size := range sizes {
 			for round := 0; round < rounds; round++ {
-				specs = append(specs, RunSpec{
-					Scheme: SchemeSpec{ID: schemeID, Seed: cfg.Seed + uint64(round)},
-					Topo:   TopoSingleSwitch,
+				scns = append(scns, scenario.Scenario{
+					Topo:       TopoSingleSwitch,
+					Scheme:     schemeID,
+					Seed:       cfg.Seed,
+					SchemeSeed: cfg.Seed + uint64(round),
 					// The testbed switch shares its buffer dynamically
 					// across ports; the congested port's effective share is
 					// well under the chip total. 100 KB makes the 7-way
 					// burst (7 x BDP = 126 KB) overflow as the hardware did.
 					Buffer: 100 << 10,
-					Incast: &workload.IncastConfig{
-						Fanin: 7, Receiver: 0, MsgSize: size,
+					Incast: &scenario.IncastSpec{
+						Fanin: 7, MsgSize: size,
 						Seed:    cfg.Seed + uint64(round),
-						StartAt: sim.Time(10 * sim.Microsecond),
+						StartAt: 10 * sim.Microsecond,
 					},
 				})
 			}
 		}
 	}
-	res := runAll(cfg, specs)
+	return scns
+}
+
+// incastMCT runs the testbed 7-to-1 incast for two schemes across the
+// paper's message sizes, several rounds each, and tabulates MCT stats.
+func incastMCT(cfg Config, id, base, aeolus string) []Table {
+	t := Table{ID: id, Title: "7-to-1 incast MCT on the 10G testbed topology",
+		Columns: []string{"scheme", "msgKB", "rounds", "p50/us", "mean/us", "p99/us", "max/us"}}
+	sizes, rounds := incastMCTShape(cfg)
+	res := runScenarios(cfg, incastMCTScenarios(cfg, base, aeolus))
 	i := 0
 	for range []string{base, aeolus} {
 		for _, size := range sizes {
@@ -175,30 +208,19 @@ func Fig9(cfg Config) []Table {
 	return []Table{t}
 }
 
+// Fig9Scenarios declares Fig. 9's sweep.
+func Fig9Scenarios(cfg Config) []scenario.Scenario {
+	return fctSweepScenarios(cfg, workload.All, []string{"xpass", "xpass+aeolus"}, TopoFatTree, 0.4)
+}
+
 // Fig10 reproduces Figure 10: average FCT of 0-100KB flows as the load
 // varies from 20% to 90%, ExpressPass with and without Aeolus, across the
 // four workloads.
 func Fig10(cfg Config) []Table {
-	loads := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	if cfg.Quick {
-		loads = []float64{0.2, 0.5, 0.8}
-	}
-	sweep := cfg
-	sweep.Budget = cfg.Budget / 4 // many runs; keep each lighter
+	loads := loadSweep(cfg.Quick)
 	t := Table{ID: "fig10", Title: "Avg FCT of 0-100KB flows vs load (ExpressPass ± Aeolus)",
 		Columns: []string{"workload", "load", "ExpressPass/us", "ExpressPass+Aeolus/us", "improvement"}}
-	var specs []RunSpec
-	for _, wl := range workload.All {
-		for _, load := range loads {
-			for _, id := range []string{"xpass", "xpass+aeolus"} {
-				specs = append(specs, RunSpec{
-					Scheme: SchemeSpec{ID: id, Workload: wl, Seed: cfg.Seed},
-					Topo:   TopoFatTree, Workload: wl, CoreLoad: load,
-				})
-			}
-		}
-	}
-	res := runAll(sweep, specs)
+	res := runScenarios(cfg, Fig10Scenarios(cfg))
 	i := 0
 	for _, wl := range workload.All {
 		for _, load := range loads {
@@ -214,28 +236,55 @@ func Fig10(cfg Config) []Table {
 	return []Table{t}
 }
 
+// loadSweep is the load grid of the vs-load figures (Figs. 10 and 13),
+// trimmed under -quick.
+func loadSweep(quick bool) []float64 {
+	if quick {
+		return []float64{0.2, 0.5, 0.8}
+	}
+	return []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// Fig10Scenarios declares the (workload × load × scheme) grid of Fig. 10
+// at a quarter of the configured budget — many runs; keep each lighter.
+func Fig10Scenarios(cfg Config) []scenario.Scenario {
+	sweep := cfg
+	sweep.Budget = cfg.Budget / 4
+	var scns []scenario.Scenario
+	for _, wl := range workload.All {
+		for _, load := range loadSweep(cfg.Quick) {
+			for _, id := range []string{"xpass", "xpass+aeolus"} {
+				scns = append(scns, poissonScenario(sweep, id, wl.Name(), TopoFatTree, load))
+			}
+		}
+	}
+	return scns
+}
+
 // Table4 reproduces Table 4: the trapped-vs-lost ambiguity of the
 // priority-queueing alternative. ExpressPass+Aeolus against ExpressPass
 // with two shared-buffer priority queues recovering only by RTO (10 ms and
 // 20 µs), on Cache Follower over the 100G fat-tree; maximum FCT and
 // transfer efficiency.
 func Table4(cfg Config) []Table {
-	wl := workload.CacheFollower
 	t := Table{ID: "table4", Title: "Aeolus vs priority queueing: ambiguity (Cache Follower, fat-tree)",
 		Columns: []string{"scheme", "maxFCT/us", "efficiency"}}
-	specs := []SchemeSpec{
-		{ID: "xpass+aeolus", Workload: wl, Seed: cfg.Seed},
-		{ID: "xpass+prio", Workload: wl, RTO: 10 * sim.Millisecond, Seed: cfg.Seed},
-		{ID: "xpass+prio", Workload: wl, RTO: 20 * sim.Microsecond, Seed: cfg.Seed},
-	}
-	runs := make([]RunSpec, len(specs))
-	for i, spec := range specs {
-		runs[i] = RunSpec{Scheme: spec, Topo: TopoFatTree, Workload: wl, CoreLoad: 0.4}
-	}
-	for _, r := range runAll(cfg, runs) {
+	for _, r := range runScenarios(cfg, Table4Scenarios(cfg)) {
 		t.Add(r.Scheme, stats.FormatDur(r.All.Max), f2(r.Efficiency))
 	}
 	return []Table{t}
+}
+
+// Table4Scenarios declares Aeolus against the two RTO-only priority-queue
+// alternatives on Cache Follower over the fat-tree.
+func Table4Scenarios(cfg Config) []scenario.Scenario {
+	wl := workload.CacheFollower.Name()
+	aeolus := poissonScenario(cfg, "xpass+aeolus", wl, TopoFatTree, 0.4)
+	prioSlow := poissonScenario(cfg, "xpass+prio", wl, TopoFatTree, 0.4)
+	prioSlow.RTO = 10 * sim.Millisecond
+	prioFast := poissonScenario(cfg, "xpass+prio", wl, TopoFatTree, 0.4)
+	prioFast.RTO = 20 * sim.Microsecond
+	return []scenario.Scenario{aeolus, prioSlow, prioFast}
 }
 
 // Table5 reproduces Table 5: the shared-buffer starvation of priority
@@ -245,22 +294,27 @@ func Table4(cfg Config) []Table {
 func Table5(cfg Config) []Table {
 	t := Table{ID: "table5", Title: "Aeolus vs priority queueing: 20-to-1 incast, 400KB each",
 		Columns: []string{"scheme", "avgFCT/us", "maxFCT/us"}}
-	specs := []SchemeSpec{
-		{ID: "xpass+aeolus", Seed: cfg.Seed},
-		{ID: "xpass+prio", RTO: 10 * sim.Millisecond, Seed: cfg.Seed},
-	}
-	runs := make([]RunSpec, len(specs))
-	for i, spec := range specs {
-		runs[i] = RunSpec{
-			Scheme: spec, Topo: TopoMicro,
-			Incast: &workload.IncastConfig{
-				Fanin: 20, Receiver: 0, MsgSize: 400_000, Seed: cfg.Seed,
-				StartAt: sim.Time(10 * sim.Microsecond),
-			},
-		}
-	}
-	for _, r := range runAll(cfg, runs) {
+	for _, r := range runScenarios(cfg, Table5Scenarios(cfg)) {
 		t.Add(r.Scheme, stats.FormatDur(r.All.Mean), stats.FormatDur(r.All.Max))
 	}
 	return []Table{t}
+}
+
+// Table5Scenarios declares the shared-buffer 20-to-1 incast, Aeolus against
+// the 10 ms RTO-only priority-queue alternative.
+func Table5Scenarios(cfg Config) []scenario.Scenario {
+	aeolus := scenario.Scenario{
+		Topo:       TopoMicro,
+		Scheme:     "xpass+aeolus",
+		Seed:       cfg.Seed,
+		SchemeSeed: cfg.Seed,
+		Incast: &scenario.IncastSpec{
+			Fanin: 20, MsgSize: 400_000, Seed: cfg.Seed,
+			StartAt: 10 * sim.Microsecond,
+		},
+	}
+	prio := aeolus
+	prio.Scheme = "xpass+prio"
+	prio.RTO = 10 * sim.Millisecond
+	return []scenario.Scenario{aeolus, prio}
 }

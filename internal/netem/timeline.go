@@ -68,6 +68,29 @@ type Timeline struct {
 	Steps []TimelineStep
 }
 
+// MarshalJSON renders the timeline as the bare step array — the same form
+// JSON() writes and ParseTimeline reads — so a Timeline embedded in a larger
+// document (a scenario file) serializes without a wrapper object.
+func (tl *Timeline) MarshalJSON() ([]byte, error) {
+	steps := tl.Steps
+	if steps == nil {
+		steps = []TimelineStep{}
+	}
+	return json.Marshal(steps)
+}
+
+// UnmarshalJSON parses the bare step array, funneling every step through the
+// same validation as ParseTimeline: an embedded timeline can never hold a
+// step the standalone parsers would reject.
+func (tl *Timeline) UnmarshalJSON(data []byte) error {
+	parsed, err := parseTimelineJSON("timeline", data)
+	if err != nil {
+		return err
+	}
+	tl.Steps = parsed.Steps
+	return nil
+}
+
 // targetChar reports whether r may appear in a target glob. The whitelist
 // covers every label the topology builders emit and keeps targets
 // tokenizable (no whitespace, no '#').
@@ -258,21 +281,29 @@ func (tl *Timeline) Text() string {
 	var b strings.Builder
 	b.WriteString("# impairment timeline\n")
 	for _, st := range tl.Steps {
-		fmt.Fprintf(&b, "%s %s %s", st.At.ExactString(), st.Target, st.Action)
-		switch st.Action {
-		case ActLoss:
-			match := st.Match
-			if match == "" {
-				match = "all"
-			}
-			fmt.Fprintf(&b, " rate=%s nth=%d match=%s",
-				strconv.FormatFloat(st.Rate, 'g', -1, 64), st.Nth, match)
-		case ActRate:
-			fmt.Fprintf(&b, " cap=%s", st.Cap)
-		case ActDelay:
-			fmt.Fprintf(&b, " add=%s jitter=%s", st.Add.ExactString(), st.Jitter.ExactString())
-		}
+		b.WriteString(st.Text())
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Text renders one step in the canonical text grammar (no trailing newline):
+// the line form Timeline.Text emits and parseTimelineText reads back.
+func (st TimelineStep) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s", st.At.ExactString(), st.Target, st.Action)
+	switch st.Action {
+	case ActLoss:
+		match := st.Match
+		if match == "" {
+			match = "all"
+		}
+		fmt.Fprintf(&b, " rate=%s nth=%d match=%s",
+			strconv.FormatFloat(st.Rate, 'g', -1, 64), st.Nth, match)
+	case ActRate:
+		fmt.Fprintf(&b, " cap=%s", st.Cap)
+	case ActDelay:
+		fmt.Fprintf(&b, " add=%s jitter=%s", st.Add.ExactString(), st.Jitter.ExactString())
 	}
 	return b.String()
 }

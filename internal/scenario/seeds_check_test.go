@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSeedCorpusParses pins that every hand-written fuzz seed (seed-*) is a
+// valid scenario — those corpus entries document the grammar, so one that
+// fails Parse is a stale example, not fuzz chaff. Fuzzer-minimized
+// regression files (hex names) are exempt: they pin fixed bugs and are
+// usually invalid inputs by construction.
+func TestSeedCorpusParses(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzScenarioRoundTrip")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked int
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "seed-") {
+			continue
+		}
+		checked++
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(data), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a go fuzz corpus file", e.Name())
+		}
+		payload := strings.TrimSuffix(strings.TrimPrefix(lines[1], "string("), ")")
+		in, err := strconv.Unquote(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if _, err := Parse(e.Name(), []byte(in)); err != nil {
+			t.Fatalf("seed %s does not parse: %v", e.Name(), err)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no seed-* corpus entries found")
+	}
+}

@@ -63,6 +63,14 @@ func MustCDF(name string, points []Point) *CDF {
 // Name returns the workload name.
 func (c *CDF) Name() string { return c.name }
 
+// Points returns a copy of the distribution's points — the serializable form
+// scenario files embed when a workload is not one of the built-ins.
+func (c *CDF) Points() []Point {
+	out := make([]Point, len(c.points))
+	copy(out, c.points)
+	return out
+}
+
 // Mean returns the analytic mean flow size in bytes (piecewise-linear
 // integration of the inverse CDF).
 func (c *CDF) Mean() float64 {
