@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race audit golden impair degrade fuzz bench bench-smoke scale scale-smoke scenario
+.PHONY: ci lint vet build test race audit golden shard-golden impair degrade fuzz bench bench-smoke scale scale-smoke scenario
 
-ci: lint build test race audit golden impair bench-smoke scale-smoke scenario
+ci: lint build test race audit golden shard-golden impair bench-smoke scale-smoke scenario
 
 # gofmt gate (fails listing any unformatted file) + go vet.
 lint:
@@ -30,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiments ./internal/sim ./internal/workload
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/netem ./internal/workload
 
 # Packet-conservation audit sweep: every scheme in the catalogue runs under
 # the internal/audit invariant checker and must produce a clean report.
@@ -44,6 +44,16 @@ audit:
 golden:
 	$(GO) test -run 'TestGoldenDigests' ./internal/experiments -sched=heap
 	$(GO) test -run 'TestGoldenDigests' ./internal/experiments -sched=wheel
+
+# Sharded-engine gate, race-enabled: the golden digest matrix across
+# shards x scheduler x pool (byte-identical to the pinned sequential digests),
+# the record-level sharded-vs-sequential differential on a multi-pod fabric,
+# the per-shard + global conservation audit, and the ShardGroup / partitioner
+# unit tests. Any divergence is a synchronization bug — see DESIGN.md §13.
+shard-golden:
+	$(GO) test -race -run 'TestShardGoldenMatrix|TestShardedDifferential|TestShardedDeterminism|TestShardedAuditSweep|TestShardedEventsAccounting' \
+		./internal/experiments
+	$(GO) test -race -run 'TestShard|TestAtHandlerFrom|TestFlushDeterministicOrder' ./internal/sim ./internal/netem
 
 # Impairment-layer gate: the timeline-parser seed corpus (the checked-in
 # fuzz inputs as a plain test), the impaired-run determinism contract across
@@ -106,6 +116,7 @@ scale:
 
 # Scale-regression smoke for CI: the smallest fabric of the grid, both load
 # points, gated against the committed BENCH_scale.json baseline (events/sec
-# floor, heap / scheduler-pressure / per-flow-state ceilings).
+# floor, heap / scheduler-pressure / per-flow-state ceilings), plus the same
+# fabric run sharded (TestScaleSmokeSharded matches the -run pattern).
 scale-smoke:
 	$(GO) test -run=TestScaleSmoke -v ./internal/experiments

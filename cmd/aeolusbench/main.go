@@ -60,6 +60,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "trim parameter sweeps")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment")
+		shards    = flag.Int("shards", 1, "spatial shards per run (>1 partitions each fabric; results are identical); with -digest, also verify the sharded digest matrix")
 		progress  = flag.Bool("progress", stderrIsTerminal(), "report per-run progress on stderr")
 		auditOn   = flag.Bool("audit", false, "verify packet-conservation invariants; exit 1 on any violation")
 		nopool    = flag.Bool("nopool", false, "disable packet recycling (results are identical; for bisection)")
@@ -82,7 +83,7 @@ func main() {
 		return
 	}
 	if *digest {
-		printDigests(*schemeID)
+		printDigests(*schemeID, *shards)
 		return
 	}
 	if *scenarios != "" {
@@ -103,9 +104,14 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Quick = *quick
 	cfg.Parallel = *parallel
+	cfg.Shards = *shards
 	cfg.DisablePool = *nopool
 	cfg.Scheduler = sched
 	cfg.Impair = timeline
+	if *shards > 1 && timeline != nil {
+		fmt.Fprintln(os.Stderr, "-shards > 1 is incompatible with -impair/-impair-file: impairments are engine-local")
+		os.Exit(2)
+	}
 	if *progress {
 		cfg.Progress = experiments.ProgressPrinter(os.Stderr)
 	}
@@ -179,14 +185,15 @@ func main() {
 }
 
 // printDigests runs the golden trace — pool on and off, under both event
-// schedulers — and prints, per scheme, the behavior digest in the
-// goldenDigests table format (for pasting into
-// internal/experiments/golden_test.go after an intentional behavior change)
-// alongside the digest of the scenario that declares the run: the pair ties
-// "what was run" (scenario identity) to "what it did" (behavior). Any
-// divergence across the pool or scheduler matrix is an implementation bug,
-// reported and exit 1. An unknown -scheme gets the catalogue and exit 2.
-func printDigests(id string) {
+// schedulers, and (with -shards > 1) with that shard count requested on top —
+// and prints, per scheme, the behavior digest in the goldenDigests table
+// format (for pasting into internal/experiments/golden_test.go after an
+// intentional behavior change) alongside the digest of the scenario that
+// declares the run: the pair ties "what was run" (scenario identity) to "what
+// it did" (behavior). Any divergence across the pool, scheduler or shard
+// matrix is an implementation bug, reported and exit 1. An unknown -scheme
+// gets the catalogue and exit 2.
+func printDigests(id string, shards int) {
 	ids := []string{id}
 	if id == "" {
 		ids = ids[:0]
@@ -194,20 +201,26 @@ func printDigests(id string) {
 			ids = append(ids, e.ID)
 		}
 	}
+	shardVals := []int{1}
+	if shards > 1 {
+		shardVals = append(shardVals, shards)
+	}
 	for _, id := range ids {
 		var ref string
 		for _, sched := range []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap} {
 			for _, pool := range []bool{true, false} {
-				d, err := experiments.GoldenDigestIn(id, pool, sched)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(2)
-				}
-				if ref == "" {
-					ref = d
-				} else if d != ref {
-					fmt.Fprintf(os.Stderr, "%s: digest diverges (sched=%s pool=%v): %s vs %s\n", id, sched, pool, d, ref)
-					os.Exit(1)
+				for _, sh := range shardVals {
+					d, err := experiments.GoldenDigestSharded(id, pool, sched, sh)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(2)
+					}
+					if ref == "" {
+						ref = d
+					} else if d != ref {
+						fmt.Fprintf(os.Stderr, "%s: digest diverges (sched=%s pool=%v shards=%d): %s vs %s\n", id, sched, pool, sh, d, ref)
+						os.Exit(1)
+					}
 				}
 			}
 		}

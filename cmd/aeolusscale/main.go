@@ -29,12 +29,14 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "trim the grid to the 64- and 256-host fabrics")
 		schedStr = flag.String("sched", "", "event scheduler: wheel or heap")
+		shards   = flag.Int("shards", 1, "spatial shards per run; sharded cells get a /sN ledger key and merge alongside the sequential ones")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Quick = *quick
+	cfg.Shards = *shards
 	cfg.Scheduler = cliutil.Scheduler(*schedStr)
 	cfg.Progress = func(done, total int, elapsed time.Duration) {
 		fmt.Fprintf(os.Stderr, "[%d/%d cells, %v]\n", done, total, elapsed.Round(100*time.Millisecond))

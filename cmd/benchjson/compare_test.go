@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/experiments"
+)
+
+func cell(hosts int, load float64, shards int, eps float64) experiments.ScalePoint {
+	return experiments.ScalePoint{Hosts: hosts, Load: load, Shards: shards, EventsPerSec: eps}
+}
+
+func TestCompareCells(t *testing.T) {
+	before := map[string]experiments.ScalePoint{
+		"h1024/l0.8": cell(1024, 0.8, 1, 1.0e6),
+		"h64/l0.4":   cell(64, 0.4, 1, 4.0e6),
+		"h256/l0.8":  cell(256, 0.8, 1, 2.0e6),
+		"gone/l0.4":  cell(16, 0.4, 1, 1.0e6),
+		"zero/l0.4":  {Hosts: 4, Load: 0.4},
+	}
+	after := map[string]experiments.ScalePoint{
+		"h1024/l0.8":    cell(1024, 0.8, 1, 0.5e6), // regressed
+		"h64/l0.4":      cell(64, 0.4, 1, 4.1e6),   // improved
+		"h256/l0.8":     cell(256, 0.8, 1, 1.9e6),  // within threshold
+		"h1024/l0.8/s4": cell(1024, 0.8, 4, 2.1e6), // new sharded cell
+		"zero/l0.4":     cell(4, 0.4, 1, 1.0e6),
+	}
+	report, regressed := compareCells(before, after, 0.9)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1 (only h1024/l0.8)\n%s", regressed, report)
+	}
+	for _, want := range []string{
+		"h1024/l0.8       ",
+		"x0.50  REGRESSED",
+		"x1.02",
+		"x0.95",
+		"gone/l0.4        only in before ledger",
+		"h1024/l0.8/s4    only in after ledger",
+		"zero/l0.4        before events/sec is zero",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Count(report, "REGRESSED") != 1 {
+		t.Errorf("want exactly one REGRESSED flag:\n%s", report)
+	}
+}
+
+func writeLedger(t *testing.T, path string, led experiments.ScaleLedger) {
+	t.Helper()
+	buf, err := json.Marshal(led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCompare drives the CLI entry point over real files: two-ledger form,
+// single-ledger (baseline vs current) form, and the error statuses.
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	beforePath := filepath.Join(dir, "before.json")
+	afterPath := filepath.Join(dir, "after.json")
+	ok := map[string]experiments.ScalePoint{"h64/l0.4": cell(64, 0.4, 1, 1.0e6)}
+	faster := map[string]experiments.ScalePoint{"h64/l0.4": cell(64, 0.4, 1, 2.0e6)}
+	writeLedger(t, beforePath, experiments.ScaleLedger{Current: ok})
+	writeLedger(t, afterPath, experiments.ScaleLedger{Current: faster})
+
+	var out strings.Builder
+	if got := runCompare(&out, []string{beforePath, afterPath}, 0.9); got != 0 {
+		t.Errorf("improvement exited %d, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "x2.00") {
+		t.Errorf("two-file compare missing ratio:\n%s", out.String())
+	}
+
+	out.Reset()
+	if got := runCompare(&out, []string{afterPath, beforePath}, 0.9); got != 1 {
+		t.Errorf("regression exited %d, want 1\n%s", got, out.String())
+	}
+
+	// Single-file form: baseline vs current inside one ledger.
+	onePath := filepath.Join(dir, "one.json")
+	writeLedger(t, onePath, experiments.ScaleLedger{Baseline: ok, Current: faster})
+	out.Reset()
+	if got := runCompare(&out, []string{onePath}, 0.9); got != 0 {
+		t.Errorf("single-ledger compare exited %d, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "baseline") {
+		t.Errorf("single-ledger header should name the baseline side:\n%s", out.String())
+	}
+
+	if got := runCompare(&out, nil, 0.9); got != 2 {
+		t.Errorf("no-args compare exited %d, want 2", got)
+	}
+	if got := runCompare(&out, []string{filepath.Join(dir, "missing.json")}, 0.9); got != 2 {
+		t.Errorf("missing-file compare exited %d, want 2", got)
+	}
+}

@@ -7,6 +7,13 @@
 //
 // The ledger maps benchmark name (GOMAXPROCS suffix stripped) to ns/op,
 // B/op, allocs/op and any custom metrics (e.g. packets/sec).
+//
+// With -compare, benchjson instead reads BENCH_scale.json ledgers and prints
+// per-cell events/sec ratios, flagging regressions below -threshold and
+// exiting nonzero when any cell regressed:
+//
+//	benchjson -compare before.json after.json   # after ÷ before, per cell
+//	benchjson -compare BENCH_scale.json         # current ÷ baseline, one file
 package main
 
 import (
@@ -14,9 +21,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/aeolus-transport/aeolus/internal/experiments"
 )
 
 // Result is one benchmark's measurements. Custom metrics reported via
@@ -37,7 +48,15 @@ type Ledger struct {
 
 func main() {
 	out := flag.String("o", "BENCH_micro.json", "output file; its baseline section is preserved")
+	compare := flag.Bool("compare", false,
+		"compare scale ledgers: two files (after ÷ before) or one (current ÷ baseline)")
+	threshold := flag.Float64("threshold", 0.9,
+		"with -compare, flag cells whose events/sec ratio falls below this")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(os.Stdout, flag.Args(), *threshold))
+	}
 
 	current, err := parse(os.Stdin)
 	if err != nil {
@@ -73,6 +92,99 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(current), *out)
+}
+
+// runCompare loads the requested scale ledgers and prints the per-cell
+// comparison, returning the process exit status: 0 when no cell regressed,
+// 1 when at least one did, 2 on usage or load errors.
+func runCompare(w io.Writer, args []string, threshold float64) int {
+	var before, after map[string]experiments.ScalePoint
+	var beforeName, afterName string
+	switch len(args) {
+	case 1:
+		led, err := experiments.LoadScaleLedger(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+		before, after = led.Baseline, led.Current
+		beforeName, afterName = args[0]+":baseline", args[0]+":current"
+	case 2:
+		var err error
+		if before, beforeName, err = loadCells(args[0]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+		if after, afterName, err = loadCells(args[1]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchjson: -compare wants one or two ledger files")
+		return 2
+	}
+	report, regressed := compareCells(before, after, threshold)
+	fmt.Fprintf(w, "events/sec ratio: %s ÷ %s (threshold %g)\n", afterName, beforeName, threshold)
+	fmt.Fprint(w, report)
+	if regressed > 0 {
+		fmt.Fprintf(w, "%d cell(s) regressed\n", regressed)
+		return 1
+	}
+	return 0
+}
+
+// loadCells reads one ledger's current section (the measured cells).
+func loadCells(path string) (map[string]experiments.ScalePoint, string, error) {
+	led, err := experiments.LoadScaleLedger(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return led.Current, path + ":current", nil
+}
+
+// compareCells renders the per-cell events/sec ratio table for every cell key
+// the two sides share, in sorted key order, and counts cells whose ratio fell
+// below the threshold. Cells present on only one side are listed — a silent
+// disappearance would otherwise read as "no regression".
+func compareCells(before, after map[string]experiments.ScalePoint, threshold float64) (string, int) {
+	var keys []string
+	for k := range before {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	regressed := 0
+	for _, k := range keys {
+		a, ok := after[k]
+		if !ok {
+			fmt.Fprintf(&b, "%-16s only in before ledger\n", k)
+			continue
+		}
+		o := before[k]
+		if o.EventsPerSec <= 0 {
+			fmt.Fprintf(&b, "%-16s before events/sec is zero; no ratio\n", k)
+			continue
+		}
+		ratio := a.EventsPerSec / o.EventsPerSec
+		flag := ""
+		if ratio < threshold {
+			flag = "  REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(&b, "%-16s %11.3g -> %11.3g  x%.2f%s\n",
+			k, o.EventsPerSec, a.EventsPerSec, ratio, flag)
+	}
+	var extra []string
+	for k := range after {
+		if _, ok := before[k]; !ok {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		fmt.Fprintf(&b, "%-16s only in after ledger (%.3g events/sec)\n", k, after[k].EventsPerSec)
+	}
+	return b.String(), regressed
 }
 
 // parse extracts benchmark lines. A line looks like:

@@ -77,6 +77,8 @@ type Report struct {
 	DroppedPayload   int64  // payload bytes on dropped packets
 	TrimmedPayload   int64  // payload bytes cut by NDP trimming
 	ResidualPayload  int64  // payload bytes still queued at audit time
+	ForwardedPayload int64  // payload bytes handed to another shard's auditor
+	ArrivedPayload   int64  // payload bytes handed in from another shard's auditor
 	DropsByReason    [netem.NumDropReasons]uint64
 	Pool             netem.PoolStats // packet-pool counters at audit time
 
@@ -113,6 +115,44 @@ func (r *Report) add(v Violation) {
 	r.Violations = append(r.Violations, v)
 }
 
+// AddViolation records an externally detected violation — the sharded
+// harness uses it for the invariants only visible across shard reports
+// (the cross-pool packet balance).
+func (r *Report) AddViolation(v Violation) { r.add(v) }
+
+// MergeReports combines per-shard reports into one run-wide view: the byte
+// ledgers, event counts and pool counters sum, the violations concatenate
+// (still capped), and the per-pool Live figure is recomputed from the summed
+// hand-out/return counters — per-shard Live is meaningless under migration.
+func MergeReports(reps []*Report) *Report {
+	m := &Report{}
+	for _, r := range reps {
+		m.Events += r.Events
+		m.InjectedPayload += r.InjectedPayload
+		m.DeliveredPayload += r.DeliveredPayload
+		m.UniquePayload += r.UniquePayload
+		m.DroppedPayload += r.DroppedPayload
+		m.TrimmedPayload += r.TrimmedPayload
+		m.ResidualPayload += r.ResidualPayload
+		m.ForwardedPayload += r.ForwardedPayload
+		m.ArrivedPayload += r.ArrivedPayload
+		for i, n := range r.DropsByReason {
+			m.DropsByReason[i] += n
+		}
+		m.Pool.Allocated += r.Pool.Allocated
+		m.Pool.Gets += r.Pool.Gets
+		m.Pool.Puts += r.Pool.Puts
+		m.Pool.InPool += r.Pool.InPool
+		m.Pool.DoublePuts += r.Pool.DoublePuts
+		for _, v := range r.Violations {
+			m.add(v)
+		}
+		m.Truncated += r.Truncated
+	}
+	m.Pool.Live = m.Pool.Gets - m.Pool.Puts
+	return m
+}
+
 // pktState follows one packet object through the fabric.
 type pktState struct {
 	payload   int // unaccounted payload bytes riding the packet
@@ -131,6 +171,8 @@ type flowAcct struct {
 	trimmed   int64
 	residual  int64
 	unique    int64
+	forwarded int64          // handed across a shard boundary (outbound)
+	arrived   int64          // handed in across a shard boundary (inbound)
 	offsets   map[int64]bool // payload offsets delivered at least once
 }
 
@@ -139,7 +181,9 @@ type flowAcct struct {
 // not safe for use from multiple goroutines (one auditor per run).
 type Auditor struct {
 	eng    *sim.Engine
-	net    *netem.Network
+	pool   *netem.PacketPool
+	ports  []*netem.Port
+	shared bool // pool exchanges packets with other shards' pools
 	report Report
 
 	pkts      map[*netem.Packet]*pktState
@@ -153,23 +197,67 @@ type Auditor struct {
 // port's drop hook. Call once, before traffic starts; the returned auditor
 // observes the whole run.
 func Attach(net *netem.Network) *Auditor {
+	return AttachScope(net.Eng, net.Pool, net.AllPorts(), net.Hosts, false)
+}
+
+// AttachScope instruments an explicit slice of the fabric — one shard's
+// engine, pool, ports and hosts — rather than a whole network. A sharded run
+// attaches one auditor per shard: every port and host fires its events on
+// exactly one shard's engine, so each auditor is driven by a single
+// goroutine and the per-shard books stay lock-free. shared marks the pool as
+// one of several exchanging packets across shard boundaries, which relaxes
+// the drain-time pool checks to the forms that survive migration (the
+// harness checks the cross-pool balance globally over the merged reports).
+func AttachScope(eng *sim.Engine, pool *netem.PacketPool, ports []*netem.Port, hosts []*netem.Host, shared bool) *Auditor {
 	a := &Auditor{
-		eng:   net.Eng,
-		net:   net,
-		pkts:  make(map[*netem.Packet]*pktState),
-		flows: make(map[uint64]*flowAcct),
+		eng:    eng,
+		pool:   pool,
+		ports:  ports,
+		shared: shared,
+		pkts:   make(map[*netem.Packet]*pktState),
+		flows:  make(map[uint64]*flowAcct),
 	}
-	for _, pt := range net.AllPorts() {
+	for _, pt := range ports {
 		pt.Q.SetDropHook(func(p *netem.Packet, r netem.DropReason) {
 			a.hookDrops[r]++
 		})
 	}
-	netem.InstrumentPorts(net.AllPorts(), a)
-	netem.InstrumentHosts(net.Hosts, a)
-	if net.Pool != nil {
-		net.Pool.SetObserver(a)
+	netem.InstrumentPorts(ports, a)
+	netem.InstrumentHosts(hosts, a)
+	if pool != nil {
+		pool.SetObserver(a)
 	}
 	return a
+}
+
+// Depart moves a packet's ledger entry to a shard boundary: its remaining
+// unaccounted payload is booked as forwarded and the packet is forgotten, so
+// it can neither show up as residual here nor be double-counted when the
+// destination shard's auditor takes over. The sharded harness calls it at a
+// window barrier, with every shard worker parked.
+func (a *Auditor) Depart(p *netem.Packet) {
+	st, ok := a.pkts[p]
+	if !ok {
+		return
+	}
+	delete(a.pkts, p)
+	if st.isData && !st.delivered && !st.dropped && st.payload > 0 {
+		a.report.ForwardedPayload += int64(st.payload)
+		a.flowOf(st.flow).forwarded += int64(st.payload)
+	}
+}
+
+// Arrive registers a packet handed in from another shard: a fresh ledger
+// entry seeded with the in-flight payload, booked as arrived rather than
+// injected so the first local observation is not mistaken for an injection.
+// Paired with the source auditor's Depart at the same barrier.
+func (a *Auditor) Arrive(p *netem.Packet) {
+	st := &pktState{payload: p.PayloadLen, flow: p.Flow, isData: p.Type == netem.Data}
+	a.pkts[p] = st
+	if st.isData && st.payload > 0 {
+		a.report.ArrivedPayload += int64(st.payload)
+		a.flowOf(st.flow).arrived += int64(st.payload)
+	}
 }
 
 // PoolGet implements netem.PoolObserver: a recycled pointer is a brand-new
@@ -341,7 +429,7 @@ func (a *Auditor) Finish() *Report {
 	// Queue-counter coherence and, when fully drained, empty backlogs.
 	drained := a.eng.Pending() == 0
 	var backlog int64
-	for _, pt := range a.net.AllPorts() {
+	for _, pt := range a.ports {
 		if err := netem.AuditQdisc(pt.Q); err != nil {
 			a.report.add(Violation{Check: "qdisc-backlog", Where: pt.Label, Detail: err.Error()})
 		}
@@ -367,12 +455,18 @@ func (a *Auditor) Finish() *Report {
 	}
 
 	// Per-flow conservation and delivery bounds, in first-seen flow order.
+	// Shard boundaries extend the identity symmetrically: payload handed in
+	// (arrived) is an input like injection, payload handed out (forwarded) an
+	// output like delivery — so the check closes per shard, and summing the
+	// per-shard ledgers closes globally because every Depart pairs with an
+	// Arrive at the same barrier.
 	for _, id := range a.flowIDs {
 		fa := a.flows[id]
-		if got := fa.delivered + fa.dropped + fa.trimmed + fa.residual; got != fa.injected {
+		got := fa.delivered + fa.dropped + fa.trimmed + fa.residual + fa.forwarded
+		if want := fa.injected + fa.arrived; got != want {
 			a.report.add(Violation{Check: "conservation", Flow: id,
-				Detail: fmt.Sprintf("injected %d bytes but accounted %d (delivered %d + dropped %d + trimmed %d + residual %d)",
-					fa.injected, got, fa.delivered, fa.dropped, fa.trimmed, fa.residual)})
+				Detail: fmt.Sprintf("injected %d + arrived %d bytes but accounted %d (delivered %d + dropped %d + trimmed %d + residual %d + forwarded %d)",
+					fa.injected, fa.arrived, got, fa.delivered, fa.dropped, fa.trimmed, fa.residual, fa.forwarded)})
 		}
 		if fa.size >= 0 && fa.unique > fa.size {
 			a.report.add(Violation{Check: "delivery-bound", Flow: id,
@@ -382,13 +476,22 @@ func (a *Auditor) Finish() *Report {
 
 	// Pool coherence: the pool's own conservation identity must hold, and a
 	// drained engine means every packet terminated — so none may be live.
-	if pp := a.net.Pool; pp != nil {
-		if err := pp.CheckCoherence(); err != nil {
-			a.report.add(Violation{Check: "pool-coherence", Detail: err.Error()})
-		}
-		if live := pp.Live(); drained && live != 0 {
-			a.report.add(Violation{Check: "pool-leak",
-				Detail: fmt.Sprintf("engine idle but %d packets still live (never returned to the pool)", live)})
+	// A shared (sharded) pool exchanges packets with its peers, so only the
+	// migration-proof checks apply per pool; the hand-out/return balance is
+	// checked globally by the harness over the merged reports.
+	if pp := a.pool; pp != nil {
+		if a.shared {
+			if err := pp.CheckCoherenceShared(); err != nil {
+				a.report.add(Violation{Check: "pool-coherence", Detail: err.Error()})
+			}
+		} else {
+			if err := pp.CheckCoherence(); err != nil {
+				a.report.add(Violation{Check: "pool-coherence", Detail: err.Error()})
+			}
+			if live := pp.Live(); drained && live != 0 {
+				a.report.add(Violation{Check: "pool-leak",
+					Detail: fmt.Sprintf("engine idle but %d packets still live (never returned to the pool)", live)})
+			}
 		}
 		a.report.Pool = pp.Stats()
 	}
@@ -397,7 +500,7 @@ func (a *Auditor) Finish() *Report {
 	// a discipline dropped without firing its hook, or a counter was missed
 	// by the aggregation.
 	a.report.DropsByReason = a.hookDrops
-	totals := netem.DropTotals(a.net.AllPorts())
+	totals := netem.DropTotals(a.ports)
 	for r, n := range totals {
 		if a.hookDrops[r] != n {
 			a.report.add(Violation{Check: "drop-count", Where: netem.DropReason(r).String(),

@@ -385,6 +385,22 @@ func (pc *PreCredit) Done() bool {
 	return true
 }
 
+// AllAcked reports whether every segment of the flow has been acknowledged —
+// strictly stronger than Done, which also holds while sent-but-unacked
+// segments are still in flight (or lost). Transports with per-packet ACKs
+// (NDP) use it as the self-disarm test for their retransmission timer: with
+// every byte acknowledged nothing can remain to recover, so the timer is
+// provably useless and may stop itself. The scan is linear but runs only on
+// actual timer expiry, never on the data path.
+func (pc *PreCredit) AllAcked() bool {
+	for i := 0; i < pc.Seg.NumSegs(); i++ {
+		if !pc.acked[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Stopped reports whether the pre-credit phase has ended.
 func (pc *PreCredit) Stopped() bool { return pc.stopped }
 

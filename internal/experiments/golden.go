@@ -66,6 +66,16 @@ func GoldenDigest(id string, pool bool) (string, error) {
 // heap fire events in the same (time, seq) order, so a divergence here means
 // a scheduler bug, not a behavior change.
 func GoldenDigestIn(id string, pool bool, sched sim.SchedulerKind) (string, error) {
+	return GoldenDigestSharded(id, pool, sched, 1)
+}
+
+// GoldenDigestSharded is GoldenDigestIn with a shard-count request on top of
+// the scheduler and pool axes — the full runtime-knob matrix. The golden
+// topology is a single switch, so every shard request collapses to the
+// sequential engine via netem.ShardCount; the digest staying pinned for any
+// -shards value is exactly the single-pod half of the sharding contract
+// (the multi-pod half is the differential test on a sharded fabric).
+func GoldenDigestSharded(id string, pool bool, sched sim.SchedulerKind, shards int) (string, error) {
 	spec := GoldenSpec(id)
 	if _, err := MakeScheme(spec.Scheme); err != nil {
 		return "", err
@@ -73,6 +83,7 @@ func GoldenDigestIn(id string, pool bool, sched sim.SchedulerKind) (string, erro
 	cfg := GoldenConfig()
 	cfg.DisablePool = !pool
 	cfg.Scheduler = sched
+	cfg.Shards = shards
 	r := Run(cfg, spec)
 	return r.Digest(), nil
 }

@@ -62,6 +62,20 @@ type Config struct {
 	// drops stay visible to the conservation checks.
 	Impair *netem.Timeline
 
+	// Shards, when > 1, partitions every run's fabric spatially and runs one
+	// timing-wheel engine per shard on its own goroutine, synchronized
+	// conservatively on the minimum cross-shard link latency (see
+	// netem.BuildShardedClos and sim.ShardGroup). Like Parallel, DisablePool
+	// and Scheduler it is a runtime knob, not part of a run's identity:
+	// results are independent of the shard count by construction, the shard
+	// golden tests keep proving it, and scenarios do not serialize it. The
+	// request is clamped to the topology's pod structure (an edge switch and
+	// its hosts are never split); single-pod topologies collapse to the
+	// sequential engine. Shards > 1 is incompatible with impairment
+	// timelines (their RNG and engine hooks are single-engine) and ignored
+	// when packet tracing is on.
+	Shards int
+
 	// Scheduler selects the event-queue implementation backing every run's
 	// engine (sim.SchedWheel or sim.SchedHeap); empty means
 	// sim.DefaultScheduler. Results are identical either way — both
@@ -186,6 +200,17 @@ type RunResult struct {
 	// Audit is the packet-conservation report, set when Config.Audit is on.
 	Audit *audit.Report
 
+	// Events is the number of engine events fired over the run (drain
+	// included), summed across shard engines on the sharded path; Sched
+	// aggregates scheduler pressure the same way (peaks sum across shards —
+	// the bound on total pending-event memory). Shards records the effective
+	// shard count the run executed with (1 = the sequential engine). None of
+	// these feed the golden digest: they describe the execution, not the
+	// simulated outcome.
+	Events uint64
+	Sched  sim.SchedStats
+	Shards int
+
 	records []stats.FlowRecord
 	baseRTT sim.Duration
 }
@@ -224,6 +249,9 @@ func CheckImpair(cfg Config, spec RunSpec) error {
 
 // Run executes one simulation and collects the metrics.
 func Run(cfg Config, spec RunSpec) RunResult {
+	if n := effectiveShards(cfg, spec); n > 1 {
+		return runSharded(cfg, spec, n)
+	}
 	scheme := mustScheme(spec.Scheme)
 	topo := mustTopo(spec.Topo)
 	buffer := spec.Buffer
@@ -366,6 +394,9 @@ func Run(cfg Config, spec RunSpec) RunResult {
 		res.TxPackets += pt.TxPackets
 	}
 	res.SmallCDF = stats.FCTCDF(small)
+	res.Events = env.Eng.Fired()
+	res.Sched = env.Eng.SchedStats()
+	res.Shards = 1
 	if aud != nil {
 		aud.AuditProtocol(proto)
 		aud.CheckMeter(env.Meter.SentPayload, env.Meter.DeliveredPayload)

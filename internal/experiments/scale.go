@@ -69,6 +69,12 @@ type ScalePoint struct {
 	Load  float64 `json:"load"`
 	Flows int     `json:"flows"`
 
+	// Execution shape: how many spatial shards the run actually used (1 =
+	// the sequential engine) and the GOMAXPROCS it ran under — without both,
+	// events/sec numbers from sharded and sequential runs are not comparable.
+	Shards     int `json:"shards,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+
 	Completed    int     `json:"completed"`
 	Events       uint64  `json:"events"`
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -99,8 +105,16 @@ type ScalePoint struct {
 	AuditClean bool `json:"audit_clean"`
 }
 
-// Key is the ledger key of the cell, e.g. "h1024/l0.8".
-func (p ScalePoint) Key() string { return fmt.Sprintf("h%d/l%g", p.Hosts, p.Load) }
+// Key is the ledger key of the cell, e.g. "h1024/l0.8" — with a "/s4" suffix
+// when the cell ran sharded, so sharded and sequential measurements of the
+// same (hosts, load) coexist in one ledger and ratio cleanly.
+func (p ScalePoint) Key() string {
+	k := fmt.Sprintf("h%d/l%g", p.Hosts, p.Load)
+	if p.Shards > 1 {
+		k += fmt.Sprintf("/s%d", p.Shards)
+	}
+	return k
+}
 
 // ScaleScenario declares one sweep cell: the scaled Clos at the given width,
 // a Poisson WebServer workload at the given core load, and an explicit flow
@@ -139,14 +153,21 @@ func MeasureScale(cfg Config, width int, load float64) ScalePoint {
 	pt := ScalePoint{Topo: rspec.Topo, Hosts: ScaleFabric(width).Hosts(), Load: load}
 	pt.Flows = rspec.Flows
 
-	var eng *sim.Engine
-	var proto transport.Protocol
+	// Observe fires once per engine — once on the sequential path, once per
+	// shard on the sharded one — so the heap baseline is taken on the first
+	// call only and the transport footprints are summed across all protocol
+	// instances.
+	var protos []transport.Protocol
 	var heapStart uint64
+	seenBaseline := false
 	run := cfg.ForScenario(sem)
 	run.Audit = true
-	run.Observe = func(_ *netem.Network, env *transport.Env, p transport.Protocol) {
-		eng, proto = env.Eng, p
-		heapStart = heapSettled()
+	run.Observe = func(_ *netem.Network, _ *transport.Env, p transport.Protocol) {
+		protos = append(protos, p)
+		if !seenBaseline {
+			seenBaseline = true
+			heapStart = heapSettled()
+		}
 	}
 
 	sampler := startHeapSampler(5 * time.Millisecond)
@@ -157,20 +178,25 @@ func MeasureScale(cfg Config, width int, load float64) ScalePoint {
 	heapEnd := heapSettled()
 
 	pt.Completed = res.Completed
-	pt.Events = eng.Fired()
+	pt.Events = res.Events
+	pt.Shards = res.Shards
+	pt.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	if pt.WallSeconds > 0 {
 		pt.EventsPerSec = float64(pt.Events) / pt.WallSeconds
 	}
-	ss := eng.SchedStats()
-	pt.PeakPending, pt.PeakOverflow = ss.PeakPending, ss.PeakOverflow
+	pt.PeakPending, pt.PeakOverflow = res.Sched.PeakPending, res.Sched.PeakOverflow
 	pt.HeapPeakBytes = max(sampled, heapEnd)
 	pt.RSSPeakBytes = vmHWMBytes()
 	if heapEnd > heapStart && pt.Flows > 0 {
 		pt.StateBytesPerFlow = float64(heapEnd-heapStart) / float64(pt.Flows)
 	}
-	if fr, ok := proto.(transport.FootprintReporter); ok {
-		fp := fr.Footprint()
-		pt.StateFlows, pt.StateSenders, pt.StateReceivers = fp.Flows, fp.Senders, fp.Receivers
+	for _, p := range protos {
+		if fr, ok := p.(transport.FootprintReporter); ok {
+			fp := fr.Footprint()
+			pt.StateFlows += fp.Flows
+			pt.StateSenders += fp.Senders
+			pt.StateReceivers += fp.Receivers
+		}
 	}
 	pt.AuditClean = res.Audit != nil && res.Audit.Ok()
 	return pt
@@ -182,10 +208,10 @@ func ScaleSweep(cfg Config) []Table {
 	points := RunScaleGrid(cfg)
 	t := Table{ID: "scale",
 		Title: "Open-loop scale sweep: simulator throughput and memory vs fabric size (WebServer, xpass+aeolus)",
-		Columns: []string{"hosts", "load", "flows", "completed", "events", "wall/s",
+		Columns: []string{"hosts", "load", "shards", "flows", "completed", "events", "wall/s",
 			"events/s", "peakPending", "peakOverflow", "heapPeak/MB", "state/flow", "audit"}}
 	for _, p := range points {
-		t.Add(fmt.Sprint(p.Hosts), fmt.Sprintf("%g", p.Load), fmt.Sprint(p.Flows),
+		t.Add(fmt.Sprint(p.Hosts), fmt.Sprintf("%g", p.Load), fmt.Sprint(max(p.Shards, 1)), fmt.Sprint(p.Flows),
 			fmt.Sprintf("%d/%d", p.Completed, p.Flows), fmt.Sprint(p.Events),
 			f2(p.WallSeconds), fmt.Sprintf("%.3g", p.EventsPerSec),
 			fmt.Sprint(p.PeakPending), fmt.Sprint(p.PeakOverflow),
@@ -314,8 +340,10 @@ func LoadScaleLedger(path string) (ScaleLedger, error) {
 	return led, nil
 }
 
-// WriteScaleLedger stores the points as the ledger's current section,
-// preserving an existing file's note and baseline; the first write seeds the
+// WriteScaleLedger merges the points into the ledger's current section by
+// cell key, preserving an existing file's note, baseline and any current cells
+// not re-measured this run — so a sharded sweep can land next to the
+// sequential cells instead of erasing them. The first write seeds the
 // baseline, and committing it freezes the reference.
 func WriteScaleLedger(path, note string, points []ScalePoint) error {
 	led, err := LoadScaleLedger(path)
@@ -325,7 +353,9 @@ func WriteScaleLedger(path, note string, points []ScalePoint) error {
 	if led.Note == "" {
 		led.Note = note
 	}
-	led.Current = make(map[string]ScalePoint, len(points))
+	if led.Current == nil {
+		led.Current = make(map[string]ScalePoint, len(points))
+	}
 	for _, p := range points {
 		led.Current[p.Key()] = p
 	}

@@ -76,9 +76,65 @@ func TestScaleSmoke(t *testing.T) {
 	}
 }
 
+// TestScaleSmokeSharded is the sharded cell of the CI scale smoke: the
+// smallest fabric of the grid run at Shards=2, checking that the sharded path
+// survives a real sweep cell end to end — full completion, clean global audit,
+// the execution-shape fields stamped, and no event-count blow-up against the
+// sequential baseline of the same (hosts, load) cell.
+func TestScaleSmokeSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke runs full simulations; skipped in -short")
+	}
+	led, err := LoadScaleLedger(ledgerPath)
+	if err != nil {
+		t.Fatalf("scale ledger missing or unreadable (regenerate with `make scale`): %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	pt := MeasureScale(cfg, 8, 0.4)
+	t.Logf("%s: %d events in %.2fs (%.3g ev/s), shards %d, GOMAXPROCS %d",
+		pt.Key(), pt.Events, pt.WallSeconds, pt.EventsPerSec, pt.Shards, pt.GOMAXPROCS)
+	if pt.Shards != 2 {
+		t.Errorf("shards = %d, want 2 (the 8-wide leafspine partitions in half)", pt.Shards)
+	}
+	if pt.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d not stamped", pt.GOMAXPROCS)
+	}
+	if pt.Key() != "h64/l0.4/s2" {
+		t.Errorf("ledger key = %q, want the sharded /s2 suffix", pt.Key())
+	}
+	if pt.Completed != pt.Flows {
+		t.Errorf("%d/%d flows completed", pt.Completed, pt.Flows)
+	}
+	if !pt.AuditClean {
+		t.Error("audit violations on the sharded cell")
+	}
+	// Sender state lives on exactly one shard, so the summed sender count
+	// matches the flow count; flow-table entries are pre-registered on both
+	// endpoint shards of a cross-shard flow, so their sum lands between one
+	// and two entries per flow.
+	if pt.StateSenders != pt.Flows {
+		t.Errorf("footprint over shards reports %d senders, want %d", pt.StateSenders, pt.Flows)
+	}
+	if pt.StateFlows < pt.Flows || pt.StateFlows > 2*pt.Flows {
+		t.Errorf("footprint over shards reports %d flow entries, want within [%d, %d]",
+			pt.StateFlows, pt.Flows, 2*pt.Flows)
+	}
+	// The sharded run fires the same simulation plus cross-shard handoff and
+	// barrier events; compare against the sequential baseline of the same
+	// cell, not a sharded one, so the bound also caps the sharding overhead.
+	if base, ok := led.Baseline["h64/l0.4"]; ok {
+		if float64(pt.Events) > 1.5*float64(base.Events) {
+			t.Errorf("%d events exceeds 1.5x the sequential baseline %d", pt.Events, base.Events)
+		}
+	} else {
+		t.Errorf("no sequential h64/l0.4 baseline in %s", ledgerPath)
+	}
+}
+
 // TestScaleLedgerRoundTrip pins the ledger file mechanics: the first write
-// seeds the baseline, later writes replace current while preserving the
-// frozen baseline and note.
+// seeds the baseline, later writes merge into current by cell key while
+// preserving the frozen baseline and note.
 func TestScaleLedgerRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
 	first := []ScalePoint{{Topo: "clos:8/8,hosts=8", Hosts: 64, Load: 0.4, EventsPerSec: 1e6}}
@@ -105,6 +161,23 @@ func TestScaleLedgerRoundTrip(t *testing.T) {
 	}
 	if got := led.Current[key].EventsPerSec; got != 2e6 {
 		t.Errorf("current not updated: %g, want 2e6", got)
+	}
+
+	// A sharded measurement of the same cell merges alongside the sequential
+	// one instead of erasing it.
+	sharded := []ScalePoint{{Topo: "clos:8/8,hosts=8", Hosts: 64, Load: 0.4, Shards: 2, EventsPerSec: 3e6}}
+	if err := WriteScaleLedger(path, "", sharded); err != nil {
+		t.Fatal(err)
+	}
+	led, err = LoadScaleLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := led.Current[key].EventsPerSec; got != 2e6 {
+		t.Errorf("sequential cell erased by sharded write: %g, want 2e6", got)
+	}
+	if got := led.Current["h64/l0.4/s2"].EventsPerSec; got != 3e6 {
+		t.Errorf("sharded cell not merged: %g, want 3e6", got)
 	}
 	if _, err := LoadScaleLedger(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
 		t.Errorf("missing ledger: err = %v, want IsNotExist", err)

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// shardDiffSpec is the cross-pod differential scenario: Homa with spraying
+// off is the one catalogued configuration that draws no random number
+// anywhere — ExpressPass jitters credit gaps at receivers, NDP and default
+// Homa spray paths at senders, and each of those streams would be consumed
+// in per-shard order rather than global order. With no RNG, a sharded run
+// must reproduce the sequential run exactly: identical flow records,
+// identical meters, identical drop counters — the full digest.
+func shardDiffSpec() RunSpec {
+	return RunSpec{
+		Scheme: SchemeSpec{ID: "homa+aeolus", Seed: 3,
+			Workload: workload.WebServer,
+			Opts:     map[string]string{"spray": "false"}},
+		Topo:     TopoLeafSpine,
+		Workload: workload.WebServer,
+		CoreLoad: 0.5,
+		Flows:    300,
+	}
+}
+
+func shardDiffConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Audit = true
+	return cfg
+}
+
+// TestShardedDifferential pins the tentpole contract on a fabric that
+// actually splits: the same run on the 8-pod leaf-spine must digest
+// byte-identical under 1, 2 and 4 shards.
+func TestShardedDifferential(t *testing.T) {
+	spec := shardDiffSpec()
+	cfg := shardDiffConfig()
+	base := Run(cfg, spec)
+	if base.Completed != base.Total {
+		t.Fatalf("sequential baseline completed %d of %d", base.Completed, base.Total)
+	}
+	if base.Audit == nil || !base.Audit.Ok() {
+		t.Fatalf("sequential baseline audit: %v", base.Audit.Err())
+	}
+	want := base.Digest()
+	for _, n := range []int{2, 4} {
+		cfg.Shards = n
+		res := Run(cfg, spec)
+		if res.Shards != n {
+			t.Fatalf("Shards=%d ran with %d shards", n, res.Shards)
+		}
+		if res.Audit == nil || !res.Audit.Ok() {
+			t.Fatalf("shards=%d audit: %v", n, res.Audit.Err())
+		}
+		if got := res.Digest(); got != want {
+			t.Errorf("shards=%d digest diverged from sequential:\n got  %s\n want %s\n(records: seq %d/%d, sharded %d/%d)",
+				n, got, want, base.Completed, base.Total, res.Completed, res.Total)
+		}
+	}
+}
+
+// TestShardedDeterminism covers the schemes the differential test cannot:
+// with RNG in play a sharded run may legitimately differ from the sequential
+// one (per-shard streams), but it must still be a pure function of the spec —
+// two identical invocations must digest identically, or the handoff merge
+// leaks goroutine scheduling into results.
+func TestShardedDeterminism(t *testing.T) {
+	for _, id := range []string{"xpass+aeolus", "ndp+aeolus"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			spec := shardDiffSpec()
+			spec.Scheme = SchemeSpec{ID: id, Seed: 3, Workload: workload.WebServer}
+			cfg := shardDiffConfig()
+			cfg.Shards = 4
+			a := Run(cfg, spec)
+			b := Run(cfg, spec)
+			if a.Digest() != b.Digest() {
+				t.Errorf("two identical shards=4 runs digest differently:\n  %s\n  %s", a.Digest(), b.Digest())
+			}
+			if a.Audit == nil || !a.Audit.Ok() {
+				t.Errorf("audit: %v", a.Audit.Err())
+			}
+		})
+	}
+}
+
+// TestShardedAuditSweep balances the books for one representative of each
+// transport family on a sharded fabric, incast included — NDP exercises
+// cross-shard trimming and the sender-side RTO self-disarm, ExpressPass the
+// credit loop, Homa the grant loop.
+func TestShardedAuditSweep(t *testing.T) {
+	for _, id := range []string{"xpass+aeolus", "homa+aeolus", "ndp+aeolus"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			spec := RunSpec{
+				Scheme:   SchemeSpec{ID: id, Seed: 5, Workload: workload.WebServer},
+				Topo:     TopoLeafSpine,
+				Workload: workload.WebServer,
+				CoreLoad: 0.6,
+				Flows:    200,
+				Incast:   &workload.IncastConfig{Fanin: 12, Receiver: 0, MsgSize: 100_000, Seed: 9},
+			}
+			cfg := shardDiffConfig()
+			cfg.Shards = 4
+			res := Run(cfg, spec)
+			if res.Shards != 4 {
+				t.Fatalf("ran with %d shards, want 4", res.Shards)
+			}
+			if res.Completed != res.Total {
+				t.Fatalf("completed %d of %d", res.Completed, res.Total)
+			}
+			if res.Audit == nil || !res.Audit.Ok() {
+				t.Fatalf("audit: %v", res.Audit.Err())
+			}
+			if res.Audit.ForwardedPayload == 0 {
+				t.Error("no payload crossed a shard boundary — partition is not exercising handoffs")
+			}
+			if res.Audit.ForwardedPayload != res.Audit.ArrivedPayload {
+				t.Errorf("boundary ledger imbalanced: forwarded %d, arrived %d",
+					res.Audit.ForwardedPayload, res.Audit.ArrivedPayload)
+			}
+		})
+	}
+}
+
+// TestShardGoldenMatrix runs every golden scheme across the full runtime-knob
+// matrix — shards {1,2,4} × both schedulers × pool on/off — and requires the
+// digest of every cell to equal the shards=1 digest of the same scheme. On
+// the single-switch golden topology every shard request collapses to the
+// sequential engine, which is the single-pod half of the sharding contract;
+// TestShardedDifferential covers the multi-pod half.
+func TestShardGoldenMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden matrix is not -short")
+	}
+	for id := range goldenDigests {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			want, err := GoldenDigestSharded(id, true, sim.SchedWheel, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pinned, ok := goldenDigests[id]; ok && want != pinned {
+				t.Fatalf("shards=1 digest drifted from pinned golden:\n got  %s\n want %s", want, pinned)
+			}
+			for _, shards := range []int{2, 4} {
+				for _, sched := range []sim.SchedulerKind{sim.SchedWheel, sim.SchedHeap} {
+					for _, pool := range []bool{true, false} {
+						got, err := GoldenDigestSharded(id, pool, sched, shards)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != want {
+							t.Errorf("digest diverged (shards=%d sched=%s pool=%v):\n got  %s\n want %s",
+								shards, sched, pool, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEventsAccounting checks the execution metadata new on RunResult:
+// both paths must report fired events, and the sharded count covers all
+// engines.
+func TestShardedEventsAccounting(t *testing.T) {
+	spec := shardDiffSpec()
+	cfg := shardDiffConfig()
+	seq := Run(cfg, spec)
+	if seq.Events == 0 || seq.Shards != 1 {
+		t.Fatalf("sequential run reported Events=%d Shards=%d", seq.Events, seq.Shards)
+	}
+	cfg.Shards = 4
+	shr := Run(cfg, spec)
+	if shr.Events == 0 {
+		t.Fatal("sharded run reported zero events")
+	}
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aeolus-transport/aeolus/internal/audit"
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
+	"github.com/aeolus-transport/aeolus/internal/stats"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+	"github.com/aeolus-transport/aeolus/internal/workload"
+)
+
+// This file is the harness half of the spatially-sharded engine: the
+// partition-aware twin of Run. The fabric is built once by the same
+// BuildClos pass as the sequential path, cut along pod boundaries
+// (netem.BuildShardedClos), and each shard gets its own engine, packet pool,
+// transport environment and protocol instance. The shard engines advance in
+// conservative lookahead windows (sim.ShardGroup); packet deliveries that
+// cross the cut are exchanged at window barriers in deterministic (time,
+// source shard, generation order) order, so results are independent of goroutine
+// scheduling — and, for the single-pod topologies every golden scenario uses,
+// the partition collapses to one shard and Run keeps the sequential engine.
+//
+// Cross-shard flows exist in two copies: the sender's shard starts the flow
+// (its protocol instance owns the sender state machine), and the receiver's
+// shard gets the descriptor pre-registered (flowRegistrar) so its protocol
+// instance can establish receiver state when the first packet arrives. The
+// receiver side reports completion, so FCT records land in the destination
+// shard's collector and are merged by finish time afterwards. One known
+// divergence: sender-side timeout counts stay on the sender copy, so a
+// cross-shard flow's record reports Timeouts the sender copy suffered as 0.
+
+// flowRegistrar is the cross-shard pre-registration hook the transports
+// implement: it adds a flow descriptor to the instance's table without
+// starting a sender, so the receive path can look the flow up.
+type flowRegistrar interface {
+	Register(f *transport.Flow)
+}
+
+// effectiveShards resolves Config.Shards against a run: the request clamped
+// to the topology's pod structure. Packet tracing forces the sequential
+// engine (its writer interleaves illegibly across goroutines), and
+// impairment timelines reject sharding outright — their RNG streams and
+// timeline events are bound to a single engine.
+func effectiveShards(cfg Config, spec RunSpec) int {
+	if cfg.Shards <= 1 || cfg.Trace.TraceFlow != 0 {
+		return 1
+	}
+	topo, err := ResolveTopo(spec.Topo)
+	if err != nil {
+		return 1 // let the sequential path surface the error
+	}
+	n := netem.ShardCount(topo.Spec, cfg.Shards)
+	if n > 1 && (spec.Impair != nil || cfg.Impair != nil) {
+		panic("experiments: impairment timelines require Shards <= 1 (impairments are engine-local)")
+	}
+	return n
+}
+
+// runSharded executes one simulation across shards engines. It mirrors Run
+// step for step; the differences are exactly the ones sharding forces:
+// per-shard environments, pre-registered cross-shard flows, window-barrier
+// execution, and metric extraction over summed meters and merged records.
+func runSharded(cfg Config, spec RunSpec, shards int) RunResult {
+	scheme := mustScheme(spec.Scheme)
+	topo := mustTopo(spec.Topo)
+	buffer := spec.Buffer
+	if buffer <= 0 {
+		buffer = netem.DefaultBuffer
+	}
+	sn := netem.BuildShardedClos(topo.Spec, shards, cfg.scheduler(),
+		scheme.Factory(buffer), netem.WireSizeFor(scheme.MSS))
+
+	views := make([]*netem.Network, shards)
+	envs := make([]*transport.Env, shards)
+	protos := make([]transport.Protocol, shards)
+	for i := range views {
+		views[i] = sn.View(i)
+		if cfg.DisablePool {
+			views[i].Pool.Disable()
+		}
+		envs[i] = transport.NewEnv(views[i], scheme.MSS)
+		protos[i] = scheme.New(envs[i])
+	}
+	var auds []*audit.Auditor
+	if cfg.Audit {
+		auds = make([]*audit.Auditor, shards)
+		for i := range auds {
+			auds[i] = audit.AttachScope(sn.Engines[i], sn.Pools[i],
+				sn.ShardPorts(i), sn.ShardHosts(i), true)
+		}
+	}
+	if cfg.Observe != nil {
+		for i := range views {
+			cfg.Observe(views[i], envs[i], protos[i])
+		}
+	}
+
+	var trace []workload.FlowSpec
+	if spec.Workload != nil {
+		flows := spec.Flows
+		if flows <= 0 {
+			flows = cfg.flowsFor(spec.Workload)
+		}
+		pc := workload.PoissonConfig{
+			CDF: spec.Workload, Hosts: topo.Hosts(),
+			HostRate: sn.Net.HostRate,
+			Load:     topo.EdgeLoad(spec.CoreLoad),
+			Flows:    flows, Seed: cfg.Seed ^ spec.Scheme.Seed,
+			StartAt: sim.Time(10 * sim.Microsecond),
+		}
+		trace = pc.Generate()
+	}
+	if spec.Incast != nil {
+		ic := *spec.Incast
+		ic.Hosts = topo.Hosts()
+		ic.BaseID = uint64(len(trace)) + 1000000
+		trace = workload.Merge(trace, ic.Generate())
+	}
+	deadline := spec.Deadline
+	if deadline <= 0 {
+		deadline = 500 * sim.Millisecond
+	}
+	var first, last sim.Time
+	if len(trace) > 0 {
+		first = trace[0].Start
+		for _, f := range trace {
+			if f.Start > last {
+				last = f.Start
+			}
+		}
+	}
+	// Steady-state goodput window: each shard samples its own meter at the
+	// same simulated instants; the pre-scheduled samplers order before any
+	// runtime event at the same timestamp on every shard, exactly as the
+	// sequential sampler does, so the sums match the sequential samples.
+	d1s := make([]int64, shards)
+	d2s := make([]int64, shards)
+	t1 := first.Add(sim.Duration(last-first) / 4)
+	t2 := first.Add(3 * sim.Duration(last-first) / 4)
+	if t2 > t1 {
+		for i := range envs {
+			i := i
+			sn.Engines[i].At(t1, func() { d1s[i] = envs[i].Meter.DeliveredPayload })
+			sn.Engines[i].At(t2, func() { d2s[i] = envs[i].Meter.DeliveredPayload })
+		}
+	}
+	if auds != nil {
+		// Every shard may carry any flow's packets (spine shards forward
+		// traffic they neither source nor sink), so sizes register everywhere.
+		for _, f := range trace {
+			for _, a := range auds {
+				a.RegisterFlow(f.ID, f.Size)
+			}
+		}
+	}
+
+	// Inject the trace: the sender's shard starts each flow at its arrival
+	// time; a cross-shard receiver gets its own pre-registered copy of the
+	// descriptor. Per-shard FCT collectors are pre-sized with the flows they
+	// will record — completions are receiver-side in all three transports.
+	perDst := make([]int, shards)
+	for _, fs := range trace {
+		perDst[sn.HostShard(netem.NodeID(fs.Dst))]++
+	}
+	for i := range envs {
+		envs[i].FCT.Reserve(perDst[i])
+	}
+	for _, fs := range trace {
+		f := &transport.Flow{
+			ID:     fs.ID,
+			Src:    netem.NodeID(fs.Src),
+			Dst:    netem.NodeID(fs.Dst),
+			Size:   fs.Size,
+			Start:  fs.Start,
+			PathID: transport.FlowHash(fs.ID),
+		}
+		s := sn.HostShard(f.Src)
+		if d := sn.HostShard(f.Dst); d != s {
+			reg, ok := protos[d].(flowRegistrar)
+			if !ok {
+				panic(fmt.Sprintf("experiments: scheme %s cannot register cross-shard flows", scheme.Name))
+			}
+			rf := *f
+			reg.Register(&rf)
+		}
+		p, eng := protos[s], sn.Engines[s]
+		eng.At(f.Start, func() { p.Start(f) })
+	}
+
+	total := len(trace)
+	completed := func() int {
+		n := 0
+		for _, e := range envs {
+			n += e.Completed()
+		}
+		return n
+	}
+	var visit func(h netem.Handoff)
+	if auds != nil {
+		visit = func(h netem.Handoff) {
+			auds[h.Src].Depart(h.P)
+			auds[h.Dst].Arrive(h.P)
+		}
+	}
+	group := &sim.ShardGroup{
+		Engines:   sn.Engines,
+		Lookahead: sn.Lookahead,
+		Barrier:   func() { sn.Flush(visit) },
+		StopWhen:  func() bool { return completed() == total },
+	}
+	endAt := last.Add(deadline)
+	group.Run(endAt)
+	// The sequential Runner stops the engine at the last completion event, so
+	// its end time is that completion's timestamp; reconstruct the same end
+	// time from the records (the sharded stop lands at the next barrier).
+	endTime := endAt
+	if completed() == total {
+		var maxFin sim.Time
+		for _, e := range envs {
+			for _, r := range e.FCT.Records() {
+				if r.Finish > maxFin {
+					maxFin = r.Finish
+				}
+			}
+		}
+		endTime = maxFin
+	}
+	elapsed := endTime.Sub(0)
+	if auds != nil && completed() == total {
+		// Drain: let control traffic and disarmed timers settle everywhere so
+		// the per-shard books can be balanced in their strict form.
+		group.StopWhen = nil
+		group.Run(sim.MaxTime)
+	}
+
+	// Merge the per-shard records by finish time. Within a shard the
+	// collector order is completion order; the stable merge keeps it, so ties
+	// across shards break deterministically by shard index.
+	var merged stats.FCTCollector
+	merged.Reserve(total)
+	for _, e := range envs {
+		for _, r := range e.FCT.Records() {
+			merged.Add(r)
+		}
+	}
+	recs := merged.Records()
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Finish < recs[j].Finish })
+
+	var meter stats.ByteMeter
+	for _, e := range envs {
+		meter.SentPayload += e.Meter.SentPayload
+		meter.DeliveredPayload += e.Meter.DeliveredPayload
+	}
+
+	res := RunResult{
+		Scheme:    scheme.Name,
+		Total:     total,
+		Completed: completed(),
+		baseRTT:   sn.Net.BaseRTT,
+		records:   recs,
+		Shards:    shards,
+	}
+	small := merged.Filter(0, 100_000)
+	res.Small = merged.Summarize(small)
+	res.All = merged.Summarize(recs)
+	if len(small) > 0 {
+		n := 0
+		for _, r := range small {
+			if r.FCT() <= sn.Net.BaseRTT {
+				n++
+			}
+		}
+		res.FirstRTTFrac = float64(n) / float64(len(small))
+	}
+	res.Efficiency = meter.Efficiency()
+	capacity := sim.Rate(int64(sn.Net.HostRate) * int64(len(sn.Net.Hosts)))
+	res.Goodput = meter.Goodput(elapsed, capacity)
+	var d1, d2 int64
+	for i := range d1s {
+		d1 += d1s[i]
+		d2 += d2s[i]
+	}
+	if t2 > t1 && d2 > d1 {
+		res.WindowGoodput = float64(d2-d1) * 8 / sim.Duration(t2-t1).Seconds() / float64(capacity)
+	} else if span := endTime.Sub(first); total > 0 && span > 0 {
+		res.WindowGoodput = float64(meter.DeliveredPayload) * 8 / span.Seconds() / float64(capacity)
+	}
+	res.TimeoutFlows = merged.TimeoutFlows()
+	res.Drops = netem.DropTotals(sn.Net.SwitchPorts())
+	for _, pt := range sn.Net.AllPorts() {
+		res.TxPackets += pt.TxPackets
+	}
+	res.SmallCDF = stats.FCTCDF(small)
+	for _, e := range sn.Engines {
+		res.Events += e.Fired()
+		ss := e.SchedStats()
+		res.Sched.PeakPending += ss.PeakPending
+		res.Sched.PeakOverflow += ss.PeakOverflow
+	}
+	if auds != nil {
+		for i, p := range protos {
+			auds[i].AuditProtocol(p)
+			auds[i].CheckMeter(envs[i].Meter.SentPayload, envs[i].Meter.DeliveredPayload)
+		}
+		reps := make([]*audit.Report, shards)
+		for i, a := range auds {
+			reps[i] = a.Finish()
+		}
+		rep := audit.MergeReports(reps)
+		// The cross-pool balance only the merged view can check: once every
+		// engine drains, every packet handed out by some pool was returned to
+		// some pool.
+		drained := true
+		for _, e := range sn.Engines {
+			if e.Pending() != 0 {
+				drained = false
+			}
+		}
+		if drained && rep.Pool.Gets != rep.Pool.Puts {
+			rep.AddViolation(audit.Violation{Check: "pool-leak",
+				Detail: fmt.Sprintf("engines idle but pools handed out %d packets and got back %d",
+					rep.Pool.Gets, rep.Pool.Puts)})
+		}
+		res.Audit = rep
+		if cfg.OnAudit != nil {
+			cfg.OnAudit(spec, rep)
+		}
+	}
+	return res
+}

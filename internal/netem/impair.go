@@ -8,17 +8,18 @@ import (
 )
 
 // This file is the link-impairment layer: a per-port controller that injects
-// the failure modes a healthy fabric never exhibits — random and
-// deterministic-nth packet loss, blackholes, full link failure (queue frozen),
-// rate degradation, and added delay with jitter. Impairments compose on one
-// port, can be reconfigured mid-run (scripted via Timeline in timeline.go),
-// and stay visible to the conservation auditor: every injected discard goes
-// through the qdisc drop machinery under DropImpairment, so byte accounting
-// and drop-counter coherence hold under injected chaos.
+// the failure modes a healthy fabric never exhibits — random,
+// deterministic-nth and Gilbert-Elliott (bursty, correlated) packet loss,
+// blackholes, full link failure (queue frozen), rate degradation, and added
+// delay with jitter. Impairments compose on one port, can be reconfigured
+// mid-run (scripted via Timeline in timeline.go), and stay visible to the
+// conservation auditor: every injected discard goes through the qdisc drop
+// machinery under DropImpairment, so byte accounting and drop-counter
+// coherence hold under injected chaos.
 //
 // Composition order on the arrival path is fixed: link failure, then
-// blackhole, then deterministic-nth loss, then random loss, then the inner
-// discipline. Rate caps and delay/jitter act on the serializer side (the Port
+// blackhole, then the loss process (every-nth, Gilbert-Elliott, or uniform —
+// mutually exclusive), then the inner discipline. Rate caps and delay/jitter act on the serializer side (the Port
 // consults the controller when it transmits) and never discard packets.
 
 // LinkImpairment is the impairment controller of one port. Install it with
@@ -33,11 +34,25 @@ type LinkImpairment struct {
 	origRate sim.Rate
 
 	// Loss process: matching packets are dropped every Nth arrival when
-	// nth > 0, else with probability lossRate.
+	// nth > 0, else with probability lossRate. ge switches to the
+	// Gilbert-Elliott two-state chain instead; the three processes are
+	// mutually exclusive (SetLoss and SetGE clear each other).
 	lossRate float64
 	nth      int64
 	nthSeen  int64
 	match    func(*Packet) bool
+
+	// Gilbert-Elliott correlated loss: a two-state (good/bad) Markov chain
+	// advanced once per matching arrival. geP is the good→bad transition
+	// probability, geR the bad→good recovery probability; geGood and geBad
+	// are the per-packet loss probabilities inside each state. The stationary
+	// loss rate is (r·good + p·bad)/(p+r), with mean bad-burst length 1/r —
+	// the knob independent random loss does not have.
+	ge        bool
+	geBad     bool // current chain state (false = good)
+	geP, geR  float64
+	geGood    float64
+	geBadLoss float64
 
 	down      bool // link failed: arrivals dropped, queue frozen
 	blackhole bool // arrivals dropped, queue keeps draining
@@ -78,6 +93,19 @@ func InstallImpairment(pt *Port, seed uint64) *LinkImpairment {
 // reproducible.
 func (li *LinkImpairment) SetLoss(rate float64, nth int64, match func(*Packet) bool) {
 	li.lossRate, li.nth, li.nthSeen, li.match = rate, nth, 0, match
+	li.ge = false
+}
+
+// SetGE configures Gilbert-Elliott correlated loss for matching packets (nil
+// match means every packet): a two-state chain that moves good→bad with
+// probability p and bad→good with probability r at each matching arrival,
+// dropping with probability good in the good state and bad in the bad state.
+// The chain restarts in the good state, so reconfiguring mid-run is
+// reproducible; any uniform or every-nth loss process is cleared.
+func (li *LinkImpairment) SetGE(p, r, good, bad float64, match func(*Packet) bool) {
+	li.ge, li.geBad = true, false
+	li.geP, li.geR, li.geGood, li.geBadLoss = p, r, good, bad
+	li.lossRate, li.nth, li.nthSeen, li.match = 0, 0, 0, match
 }
 
 // Fail takes the link down: arrivals are dropped and the queue freezes (the
@@ -134,6 +162,23 @@ func (li *LinkImpairment) dropOnArrival(p *Packet) bool {
 			return true
 		}
 		return false
+	}
+	if li.ge {
+		// Sample the loss under the current state, then advance the chain —
+		// the textbook per-packet discretization, one transition per arrival.
+		prob := li.geGood
+		if li.geBad {
+			prob = li.geBadLoss
+		}
+		drop := prob > 0 && li.rng.Float64() < prob
+		if li.geBad {
+			if li.geR > 0 && li.rng.Float64() < li.geR {
+				li.geBad = false
+			}
+		} else if li.geP > 0 && li.rng.Float64() < li.geP {
+			li.geBad = true
+		}
+		return drop
 	}
 	return li.lossRate > 0 && li.rng.Float64() < li.lossRate
 }

@@ -296,3 +296,86 @@ func TestMatchClasses(t *testing.T) {
 		t.Error("MatchClass accepted an unknown class")
 	}
 }
+
+// TestImpairmentGilbertElliottStationary drives many packets through a
+// ge-impaired port and checks the empirical loss against the chain's
+// stationary rate p/(p+r) (with good=0, bad=1), and that the losses are
+// genuinely bursty: the mean run of consecutive drops approaches 1/r, which
+// independent loss at the same rate cannot produce.
+func TestImpairmentGilbertElliottStationary(t *testing.T) {
+	_, pt, li, _ := impairedPort(10*sim.Gbps, 0, 17)
+	const p, r = 0.02, 0.25
+	li.SetGE(p, r, 0, 1, nil)
+	const n = 60000
+	dropped, bursts, run := 0, 0, 0
+	maxRun := 0
+	for i := 0; i < n; i++ {
+		if !pt.Q.Enqueue(dataPkt(uint64(i), 100, false), 0) {
+			dropped++
+			run++
+			continue
+		}
+		if run > 0 {
+			bursts++
+			if run > maxRun {
+				maxRun = run
+			}
+			run = 0
+		}
+	}
+	want := p / (p + r) // ≈ 0.074
+	got := float64(dropped) / n
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("empirical loss %0.4f, want ≈%0.4f", got, want)
+	}
+	meanBurst := float64(dropped) / float64(bursts)
+	if meanBurst < 0.8/r || meanBurst > 1.2/r {
+		t.Fatalf("mean burst length %0.2f, want ≈%0.2f", meanBurst, 1/r)
+	}
+	if maxRun < 2 {
+		t.Fatal("no multi-packet loss burst in 60k packets — loss is not correlated")
+	}
+	if li.Injected() != uint64(dropped) {
+		t.Fatalf("Injected() = %d, dropped %d", li.Injected(), dropped)
+	}
+}
+
+// TestImpairmentGilbertElliottMatchAndExclusivity: the chain only sees
+// matching packets, SetLoss clears the GE process, and SetGE clears uniform
+// loss — the processes are mutually exclusive by construction.
+func TestImpairmentGilbertElliottMatchAndExclusivity(t *testing.T) {
+	_, pt, li, _ := impairedPort(10*sim.Gbps, 0, 23)
+	li.SetGE(1, 0, 0, 1, func(p *Packet) bool { return p.Type == Data })
+	// First matching arrival is lossless (good state, good=0) and flips the
+	// chain to bad with p=1; control packets neither drop nor advance it.
+	if !pt.Q.Enqueue(dataPkt(0, 100, false), 0) {
+		t.Fatal("first data packet dropped from the good state with good=0")
+	}
+	for i := 0; i < 5; i++ {
+		if !pt.Q.Enqueue(&Packet{Type: Ack, WireSize: 64}, 0) {
+			t.Fatal("control packet dropped by data-matched ge loss")
+		}
+	}
+	// r=0: the chain is absorbed in the bad state with bad=1 — every
+	// further data packet drops.
+	for i := 1; i <= 5; i++ {
+		if pt.Q.Enqueue(dataPkt(uint64(i), 100, false), 0) {
+			t.Fatalf("data packet %d survived the absorbed bad state", i)
+		}
+	}
+	// SetLoss replaces the chain entirely.
+	li.SetLoss(0, 0, nil)
+	if !pt.Q.Enqueue(dataPkt(99, 100, false), 0) {
+		t.Fatal("ge state leaked through SetLoss")
+	}
+	// And SetGE replaces uniform loss: rate-1 loss then a fresh all-pass
+	// chain (good=0, p=0) lets everything through again.
+	li.SetLoss(1, 0, nil)
+	if pt.Q.Enqueue(dataPkt(100, 100, false), 0) {
+		t.Fatal("rate-1 loss let a packet through")
+	}
+	li.SetGE(0, 0, 0, 1, nil)
+	if !pt.Q.Enqueue(dataPkt(101, 100, false), 0) {
+		t.Fatal("uniform loss leaked through SetGE")
+	}
+}

@@ -121,6 +121,21 @@ type Network struct {
 	// hosts, including serialization of one full-size frame on each hop and
 	// a minimum-size reply. Transports size their first-RTT window from it.
 	BaseRTT sim.Duration
+
+	// localHosts, when non-nil, restricts EndpointHosts to the hosts one
+	// shard owns. Unsharded networks leave it nil: every host is local.
+	localHosts []*Host
+}
+
+// EndpointHosts returns the hosts a protocol instance should attach its
+// endpoints to: all hosts on an unsharded network, the owned subset on a
+// per-shard view. Transports must attach through this (not Hosts) so that
+// per-shard protocol instances do not overwrite each other's endpoints.
+func (n *Network) EndpointHosts() []*Host {
+	if n.localHosts != nil {
+		return n.localHosts
+	}
+	return n.Hosts
 }
 
 // BDPBytes returns the bandwidth-delay product of the edge rate and base RTT:

@@ -28,6 +28,12 @@ type Port struct {
 	// delay. Unimpaired ports pay nothing for it.
 	Imp *LinkImpairment
 
+	// X, when non-nil, marks this port as a cross-shard link: the delivery
+	// event is handed to the shard exchange instead of the local engine, and
+	// the destination shard schedules it at the next window barrier. Ports
+	// inside a shard (and every port of an unsharded run) pay one nil check.
+	X *CrossLink
+
 	busy   bool
 	wake   sim.Handle
 	wakeAt sim.Time
@@ -111,6 +117,10 @@ func (pt *Port) kick() {
 	delay := pt.Delay
 	if pt.Imp != nil {
 		delay += pt.Imp.wireDelay()
+	}
+	if pt.X != nil {
+		pt.X.depart(p, now.Add(tx+delay), now)
+		return
 	}
 	pt.Eng.AfterHandler(tx+delay, p)
 }

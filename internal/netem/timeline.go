@@ -24,6 +24,7 @@ import (
 //	<at> <target> <action> [key=value ...]
 //
 //	0s    *            loss  rate=0.01 nth=0 match=all
+//	0s    spine*->*    ge    p=0.001 r=0.1 good=0 bad=1 match=data
 //	50ms  sw0->h1      fail
 //	100ms sw0->h1      restore
 //	60ms  leaf0->*     rate  cap=10Gbps
@@ -32,8 +33,10 @@ import (
 // <at> is an offset from run start (sim.ParseDuration); <target> is a glob
 // over port labels ('*' matches any run); actions are loss (params rate in
 // [0,1], nth ≥ 0 — every-nth deterministic loss when nth > 0 — and match in
-// all|data|ctrl|sched|unsched), fail, restore, blackhole, rate (param cap,
-// 0 restores the original rate) and delay (params add, jitter).
+// all|data|ctrl|sched|unsched), ge (Gilbert-Elliott correlated loss; params
+// p, r, good, bad — all probabilities in [0,1] — and match as for loss),
+// fail, restore, blackhole, rate (param cap, 0 restores the original rate)
+// and delay (params add, jitter).
 //
 // The JSON form is an array of step objects with the field names below.
 // Both renderers are canonical: parse → render → parse is the identity
@@ -42,6 +45,7 @@ import (
 // Timeline actions.
 const (
 	ActLoss      = "loss"
+	ActGE        = "ge"
 	ActFail      = "fail"
 	ActRestore   = "restore"
 	ActBlackhole = "blackhole"
@@ -57,7 +61,11 @@ type TimelineStep struct {
 
 	Rate   float64      `json:"rate,omitempty"`      // loss: drop probability [0,1]
 	Nth    int64        `json:"nth,omitempty"`       // loss: drop every nth match
-	Match  string       `json:"match,omitempty"`     // loss: packet class ("" = all)
+	Match  string       `json:"match,omitempty"`     // loss/ge: packet class ("" = all)
+	P      float64      `json:"p,omitempty"`         // ge: good→bad transition probability
+	R      float64      `json:"r,omitempty"`         // ge: bad→good recovery probability
+	Good   float64      `json:"good,omitempty"`      // ge: loss probability in the good state
+	Bad    float64      `json:"bad,omitempty"`       // ge: loss probability in the bad state
 	Cap    sim.Rate     `json:"cap_bps,omitempty"`   // rate: degraded link rate
 	Add    sim.Duration `json:"add_ps,omitempty"`    // delay: fixed addition
 	Jitter sim.Duration `json:"jitter_ps,omitempty"` // delay: uniform jitter bound
@@ -125,6 +133,7 @@ func (st *TimelineStep) validate() error {
 		}
 		return nil
 	}
+	geParams := st.P != 0 || st.R != 0 || st.Good != 0 || st.Bad != 0
 	switch st.Action {
 	case ActLoss:
 		if math.IsNaN(st.Rate) || math.IsInf(st.Rate, 0) || st.Rate < 0 || st.Rate > 1 {
@@ -139,12 +148,40 @@ func (st *TimelineStep) validate() error {
 		if _, err := MatchClass(st.Match); err != nil {
 			return err
 		}
+		if err := forbid(geParams, "ge params"); err != nil {
+			return err
+		}
+		if err := forbid(st.Cap != 0, "cap"); err != nil {
+			return err
+		}
+		return forbid(st.Add != 0 || st.Jitter != 0, "delay")
+	case ActGE:
+		for _, pr := range [...]struct {
+			name string
+			v    float64
+		}{{"p", st.P}, {"r", st.R}, {"good", st.Good}, {"bad", st.Bad}} {
+			if math.IsNaN(pr.v) || math.IsInf(pr.v, 0) || pr.v < 0 || pr.v > 1 {
+				return fmt.Errorf("ge %s %v outside [0,1]", pr.name, pr.v)
+			}
+		}
+		if st.Match == "all" {
+			st.Match = "" // canonical
+		}
+		if _, err := MatchClass(st.Match); err != nil {
+			return err
+		}
+		if err := forbid(st.Rate != 0 || st.Nth != 0, "loss params"); err != nil {
+			return err
+		}
 		if err := forbid(st.Cap != 0, "cap"); err != nil {
 			return err
 		}
 		return forbid(st.Add != 0 || st.Jitter != 0, "delay")
 	case ActFail, ActRestore, ActBlackhole:
 		if err := forbid(st.Rate != 0 || st.Nth != 0 || st.Match != "", "loss params"); err != nil {
+			return err
+		}
+		if err := forbid(geParams, "ge params"); err != nil {
 			return err
 		}
 		if err := forbid(st.Cap != 0, "cap"); err != nil {
@@ -158,6 +195,9 @@ func (st *TimelineStep) validate() error {
 		if err := forbid(st.Rate != 0 || st.Nth != 0 || st.Match != "", "loss params"); err != nil {
 			return err
 		}
+		if err := forbid(geParams, "ge params"); err != nil {
+			return err
+		}
 		return forbid(st.Add != 0 || st.Jitter != 0, "delay")
 	case ActDelay:
 		if st.Add < 0 || st.Jitter < 0 {
@@ -166,9 +206,12 @@ func (st *TimelineStep) validate() error {
 		if err := forbid(st.Rate != 0 || st.Nth != 0 || st.Match != "", "loss params"); err != nil {
 			return err
 		}
+		if err := forbid(geParams, "ge params"); err != nil {
+			return err
+		}
 		return forbid(st.Cap != 0, "cap")
 	default:
-		return fmt.Errorf("unknown action %q (want loss, fail, restore, blackhole, rate or delay)", st.Action)
+		return fmt.Errorf("unknown action %q (want loss, ge, fail, restore, blackhole, rate or delay)", st.Action)
 	}
 }
 
@@ -247,6 +290,26 @@ func parseTimelineText(name string, data []byte) (*Timeline, error) {
 				}
 			case "match":
 				st.Match = val
+			case "p":
+				st.P, err = strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad p %q", name, lineno+1, val)
+				}
+			case "r":
+				st.R, err = strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad r %q", name, lineno+1, val)
+				}
+			case "good":
+				st.Good, err = strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad good %q", name, lineno+1, val)
+				}
+			case "bad":
+				st.Bad, err = strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad bad %q", name, lineno+1, val)
+				}
 			case "cap":
 				st.Cap, err = sim.ParseRate(val)
 				if err != nil {
@@ -300,6 +363,14 @@ func (st TimelineStep) Text() string {
 		}
 		fmt.Fprintf(&b, " rate=%s nth=%d match=%s",
 			strconv.FormatFloat(st.Rate, 'g', -1, 64), st.Nth, match)
+	case ActGE:
+		match := st.Match
+		if match == "" {
+			match = "all"
+		}
+		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		fmt.Fprintf(&b, " p=%s r=%s good=%s bad=%s match=%s",
+			g(st.P), g(st.R), g(st.Good), g(st.Bad), match)
 	case ActRate:
 		fmt.Fprintf(&b, " cap=%s", st.Cap)
 	case ActDelay:
@@ -403,6 +474,12 @@ func applyStep(li *LinkImpairment, st TimelineStep) {
 			panic(err) // unreachable: validate checked the class
 		}
 		li.SetLoss(st.Rate, st.Nth, m)
+	case ActGE:
+		m, err := MatchClass(st.Match)
+		if err != nil {
+			panic(err) // unreachable: validate checked the class
+		}
+		li.SetGE(st.P, st.R, st.Good, st.Bad, m)
 	case ActFail:
 		li.Fail()
 	case ActRestore:

@@ -20,6 +20,9 @@ var timelineSeeds = []string{
 	"0s h*->* delay add=2us jitter=10us\n",
 	"123ps x loss rate=0.5\n",
 	"1.5us sw* loss rate=1e-3 match=unsched\n",
+	"0s spine*->* ge p=0.001 r=0.1 good=0 bad=1 match=data\n",
+	"2ms * ge p=0.05 r=0.5 good=0.001 bad=0.9\n",
+	`[{"at_ps":0,"target":"*","action":"ge","p":0.01,"r":0.2,"bad":1}]`,
 	`[{"at_ps":50000000000,"target":"sw0->h1","action":"fail"},{"at_ps":100000000000,"target":"sw0->h1","action":"restore"}]`,
 	`[{"at_ps":0,"target":"*","action":"loss","rate":0.01}]`,
 	`[]`,
@@ -32,6 +35,10 @@ var timelineSeeds = []string{
 	"0s * fail rate=0.5\n",
 	"0s * rate cap=-3bps\n",
 	"0s * delay add=oops\n",
+	"0s * ge p=1.5\n",
+	"0s * ge p=0.1 r=0.1 match=explode\n",
+	"0s * loss rate=0.1 p=0.5\n",
+	"0s * fail good=0.5\n",
 	"9e999s * fail\n",
 	`[{"at_ps":-1,"target":"*","action":"fail"}]`,
 	`[{"target":"*","action":"fail","bogus":1}]`,

@@ -21,6 +21,17 @@ type Event struct {
 	h    Handler
 	eng  *Engine
 
+	// schedAt is the simulated instant the scheduling decision was made —
+	// the secondary ordering key between seq and time. On the normal paths it
+	// equals the engine clock at the schedule call, which makes it
+	// nondecreasing in seq and therefore invisible: (time, schedAt, seq)
+	// order is exactly the historical (time, seq) order. Its purpose is
+	// AtHandlerFrom, where a sharded runner backdates a barrier-scheduled
+	// cross-shard delivery to the instant the source shard generated it, so
+	// that same-timestamp ties against locally scheduled events resolve in
+	// the same order a single sequential engine would have produced.
+	schedAt Time
+
 	// Scheduler residency. The heap uses index; the wheel links the event
 	// into an intrusive list (a slot, the overflow level, or the dispatch
 	// batch). An event outside any queue has index -1 and in == nil.
@@ -105,7 +116,7 @@ type Engine struct {
 func NewEngine() *Engine { return NewEngineWith(DefaultScheduler) }
 
 // NewEngineWith returns an engine backed by the named scheduler. Both kinds
-// fire events in identical (time, seq) order; see SchedulerKind.
+// fire events in identical (time, schedAt, seq) order; see SchedulerKind.
 func NewEngineWith(kind SchedulerKind) *Engine {
 	e := &Engine{}
 	switch kind {
@@ -144,6 +155,12 @@ func (e *Engine) SchedStats() SchedStats { return e.q.stats() }
 // event is recycled.
 func (e *Engine) EventAllocs() uint64 { return e.allocs }
 
+// NextEventTime returns the earliest pending deadline without firing
+// anything, or false when no events are pending. The sharded runner reads it
+// between windows to compute the global minimum the next lookahead window
+// starts from; it never mutates the queue.
+func (e *Engine) NextEventTime() (Time, bool) { return e.q.next() }
+
 // acquire takes an event from the free-list (or allocates one) and stamps it
 // with a fresh generation, invalidating every handle to its previous life.
 func (e *Engine) acquire(t Time) *Event {
@@ -178,10 +195,21 @@ func (e *Engine) release(ev *Event) {
 }
 
 func (e *Engine) schedule(t Time, fn func(), h Handler) Handle {
+	return e.scheduleFrom(t, e.now, fn, h)
+}
+
+// scheduleFrom is schedule with an explicit schedAt stamp. The stamp must be
+// set before the event enters the queue — it is part of the heap's ordering
+// key, and mutating a key after insertion would corrupt the heap invariant.
+func (e *Engine) scheduleFrom(t, from Time, fn func(), h Handler) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+	if from > t {
+		panic(fmt.Sprintf("sim: schedule stamp %v after deadline %v", from, t))
+	}
 	ev := e.acquire(t)
+	ev.schedAt = from
 	ev.fn = fn
 	ev.h = h
 	e.q.schedule(ev)
@@ -205,6 +233,20 @@ func (e *Engine) AtHandler(t Time, h Handler) Handle { return e.schedule(t, nil,
 // closure. A negative d panics.
 func (e *Engine) AfterHandler(d Duration, h Handler) Handle {
 	return e.schedule(e.now.Add(d), nil, h)
+}
+
+// AtHandlerFrom schedules h.Fire at absolute time t, stamping the event as if
+// it had been scheduled at the (possibly earlier) instant from. The stamp only
+// influences tie-breaking among events sharing a deadline: events fire in
+// (time, schedAt, seq) order, and on a lone engine schedAt is nondecreasing in
+// seq, so backdating is the one way the stamp can ever matter. The sharded
+// runner uses it when a window barrier transfers a cross-shard packet delivery
+// onto its destination engine: stamping the source shard's generation instant
+// restores the scheduling order a sequential run would have had, so
+// same-timestamp collisions at contended queues resolve identically. t must
+// not precede the engine clock and from must not exceed t; either panics.
+func (e *Engine) AtHandlerFrom(t, from Time, h Handler) Handle {
+	return e.scheduleFrom(t, from, nil, h)
 }
 
 // Stop makes the current Run call return after the in-flight event completes.

@@ -16,14 +16,20 @@ type heapQueue struct {
 	peak int
 }
 
-// eventHeap is a min-heap ordered by (time, seq); seq breaks ties in
-// scheduling order, which makes runs deterministic.
+// eventHeap is a min-heap ordered by (time, schedAt, seq): ties at a deadline
+// resolve by when the scheduling decision was made, then by scheduling order.
+// On a lone engine schedAt is nondecreasing in seq, so this is the classic
+// (time, seq) order; the schedAt key exists for backdated cross-shard
+// deliveries (Engine.AtHandlerFrom).
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
+	}
+	if h[i].schedAt != h[j].schedAt {
+		return h[i].schedAt < h[j].schedAt
 	}
 	return h[i].seq < h[j].seq
 }
@@ -61,6 +67,15 @@ func (q *heapQueue) popDue(limit Time) *Event {
 		return nil
 	}
 	return heap.Pop(&q.h).(*Event)
+}
+
+// next returns the earliest pending deadline — the heap root — without
+// mutating the queue.
+func (q *heapQueue) next() (Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].time, true
 }
 
 func (q *heapQueue) size() int { return len(q.h) }

@@ -3,9 +3,10 @@ package sim
 import "fmt"
 
 // SchedulerKind selects the event-queue implementation backing an Engine.
-// Both schedulers fire events in identical (time, seq) order — the golden
-// digest test and FuzzSchedulerEquivalence prove it — so the choice is purely
-// a performance knob with the heap retained as the reference implementation.
+// Both schedulers fire events in identical (time, schedAt, seq) order — the
+// golden digest test and FuzzSchedulerEquivalence prove it — so the choice is
+// purely a performance knob with the heap retained as the reference
+// implementation.
 type SchedulerKind string
 
 const (
@@ -60,10 +61,16 @@ type scheduler interface {
 	// remove deletes a pending event before it fires.
 	remove(ev *Event)
 
-	// popDue removes and returns the earliest pending event by (time, seq)
-	// if its time is ≤ limit, or nil (leaving the queue untouched in any
-	// observable way) when the queue is empty or the earliest event is later.
+	// popDue removes and returns the earliest pending event by (time,
+	// schedAt, seq) if its time is ≤ limit, or nil (leaving the queue
+	// untouched in any observable way) when the queue is empty or the
+	// earliest event is later.
 	popDue(limit Time) *Event
+
+	// next returns the earliest pending deadline without mutating the queue,
+	// or false when nothing is pending. This is what the sharded runner uses
+	// to compute the global lower bound of the next synchronization window.
+	next() (Time, bool)
 
 	// size is the number of pending events.
 	size() int

@@ -51,9 +51,11 @@ type wheel struct {
 	overflowLen   int
 
 	// due is the same-timestamp dispatch batch: the level-0 slot at cur,
-	// detached and sorted by seq. popDue serves from it until it drains;
-	// events scheduled at the current instant mid-batch land back in the
-	// level-0 slot and form the next batch, preserving seq order.
+	// detached and sorted by (schedAt, seq). popDue serves from it until it
+	// drains; events scheduled at the current instant mid-batch land back in
+	// the level-0 slot and form the next batch. Such events carry schedAt ==
+	// cur while everything already in the batch was scheduled strictly
+	// earlier, so serving the batch first preserves the dispatch order.
 	due eventList
 
 	count   int
@@ -222,9 +224,10 @@ func (w *wheel) popDue(limit Time) *Event {
 	w.advance(t)
 
 	// Detach the level-0 slot at the clock — exactly the events at time t —
-	// and sort it by seq into the dispatch batch. Direct schedules append in
-	// seq order already; cascaded arrivals can interleave, hence the sort
-	// (pdqsort, linear on the already-sorted common case).
+	// and sort it by (schedAt, seq) into the dispatch batch. Direct local
+	// schedules append in that order already; cascaded arrivals and backdated
+	// cross-shard deliveries can interleave, hence the sort (pdqsort, linear
+	// on the already-sorted common case).
 	li := &w.slots[0][uint64(t)&wheelMask]
 	if head := li.head; head != nil && head == li.tail {
 		// Lone event at this timestamp — the overwhelmingly common case in a
@@ -242,6 +245,10 @@ func (w *wheel) popDue(limit Time) *Event {
 	}
 	slices.SortFunc(w.scratch, func(a, b *Event) int {
 		switch {
+		case a.schedAt < b.schedAt:
+			return -1
+		case a.schedAt > b.schedAt:
+			return 1
 		case a.seq < b.seq:
 			return -1
 		case a.seq > b.seq:
@@ -257,6 +264,16 @@ func (w *wheel) popDue(limit Time) *Event {
 	w.due.unlink(head)
 	w.count--
 	return head
+}
+
+// next returns the earliest pending deadline without mutating the wheel.
+// A partially drained dispatch batch holds the current instant's remaining
+// events, which by construction precede everything still in the slots.
+func (w *wheel) next() (Time, bool) {
+	if head := w.due.head; head != nil {
+		return head.time, true
+	}
+	return w.nextTime()
 }
 
 func (w *wheel) size() int { return w.count }
@@ -316,6 +333,7 @@ func (w *wheel) check(now Time) error {
 		return err
 	}
 	count += n
+	var prevSchedAt Time
 	var prevSeq uint64
 	for ev := w.due.head; ev != nil; ev = ev.next {
 		if ev.time != w.cur {
@@ -324,10 +342,11 @@ func (w *wheel) check(now Time) error {
 		if ev.fired || ev.canceled {
 			return fmt.Errorf("sim: resolved event in the dispatch batch")
 		}
-		if ev != w.due.head && ev.seq <= prevSeq {
-			return fmt.Errorf("sim: dispatch batch out of seq order (%d after %d)", ev.seq, prevSeq)
+		if ev != w.due.head && (ev.schedAt < prevSchedAt || (ev.schedAt == prevSchedAt && ev.seq <= prevSeq)) {
+			return fmt.Errorf("sim: dispatch batch out of (schedAt, seq) order ((%v,%d) after (%v,%d))",
+				ev.schedAt, ev.seq, prevSchedAt, prevSeq)
 		}
-		prevSeq = ev.seq
+		prevSchedAt, prevSeq = ev.schedAt, ev.seq
 	}
 	n, err = w.overflow.checkLinks("wheel overflow")
 	if err != nil {

@@ -119,11 +119,17 @@ func New(env *transport.Env, opts Options) *Protocol {
 		tbl:       rdbase.NewTables[sender](),
 		receivers: make(map[uint64]*receiver),
 	}
-	for _, h := range env.Net.Hosts {
+	for _, h := range env.Net.EndpointHosts() {
 		h.EP = &endpoint{p: p}
 	}
 	return p
 }
+
+// Register records a flow without starting a sender. The sharded harness
+// calls it on the receiver shard's protocol instance (when the receiver
+// lives on a different shard than the sender) so arriving packets can
+// resolve the flow; on sequential runs Start's own AddFlow covers it.
+func (p *Protocol) Register(f *transport.Flow) { p.tbl.AddFlow(f) }
 
 // Name implements transport.Protocol.
 func (p *Protocol) Name() string {

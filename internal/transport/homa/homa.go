@@ -154,11 +154,15 @@ func New(env *transport.Env, opts Options) *Protocol {
 		}
 		p.cutoffs[opts.UnschedPrios-1] = 1 << 62
 	}
-	for _, h := range env.Net.Hosts {
+	for _, h := range env.Net.EndpointHosts() {
 		h.EP = &endpoint{p: p, host: h.ID}
 	}
 	return p
 }
+
+// Register records a flow without starting a sender — the receiver-shard
+// half of a cross-shard flow (see expresspass.Protocol.Register).
+func (p *Protocol) Register(f *transport.Flow) { p.tbl.AddFlow(f) }
 
 // Name implements transport.Protocol.
 func (p *Protocol) Name() string {

@@ -116,11 +116,15 @@ func New(env *transport.Env, opts Options) *Protocol {
 		r.pullTm.Init(p.env.Eng, r.pacePull)
 		return r
 	})
-	for _, h := range env.Net.Hosts {
+	for _, h := range env.Net.EndpointHosts() {
 		h.EP = &endpoint{p: p, host: h.ID}
 	}
 	return p
 }
+
+// Register records a flow without starting a sender — the receiver-shard
+// half of a cross-shard flow (see expresspass.Protocol.Register).
+func (p *Protocol) Register(f *transport.Flow) { p.tbl.AddFlow(f) }
 
 // Name implements transport.Protocol.
 func (p *Protocol) Name() string {
@@ -221,6 +225,16 @@ func (s *sender) receive(pkt *netem.Packet) {
 // immediately. Idle detection and rearming live in rdbase.RTO; completion
 // disarms the timer from the receiver path.
 func (s *sender) rtoExpire() {
+	if s.PC.AllAcked() {
+		// Every byte is acknowledged; nothing is left to recover.
+		// Sequentially the receiver's completion path disarms this timer
+		// before it can fire, but on a sharded run the receiver may live on
+		// another shard where it cannot reach this sender — without the
+		// self-disarm the timer would rearm forever and the drain phase
+		// would never terminate.
+		s.rto.Disarm()
+		return
+	}
 	if s.PC.RequeueUnacked() > 0 {
 		s.Flow.Timeouts++
 		s.DrainLost()
