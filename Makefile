@@ -82,19 +82,23 @@ fuzz:
 # (per-scheme packets/sec) benchmarks, folded into BENCH_micro.json with the
 # committed pre-pooling baseline preserved for comparison.
 bench:
-	( $(GO) test -bench=. -benchtime=20000x -benchmem -run=^$$ ./internal/sim ./internal/netem ; \
+	( $(GO) test -bench=. -benchtime=20000x -benchmem -run=^$$ ./internal/sim ./internal/netem ./internal/transport/rdbase ./internal/flatmap ; \
 	  $(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./internal/experiments ) \
 	| $(GO) run ./cmd/benchjson -o BENCH_micro.json
 
-# Allocation-regression smoke for CI: the port-path allocation gate
-# (TestPortPathAllocs fails above the committed allocs/op ceiling), the
-# event-scheduler hot-path gate (TestSchedulerHotPathGate fails above the
-# committed schedule/cancel ns-per-op and allocs/op ceilings, both
-# schedulers), one quick iteration of the hot-path benchmarks, and the race
-# detector over the packet-pool tests.
+# Allocation-regression smoke for CI: the port-path allocation and packet-slab
+# churn gates (committed allocs/op + ns/op ceilings), the event-scheduler
+# hot-path and cold-pending-set gates (committed schedule/cancel ceilings, both
+# schedulers, cache-hot and out-of-cache), the flow-table lookup gate, one
+# quick iteration of the hot-path benchmarks, and the race detector over the
+# packet-pool tests.
 bench-smoke:
-	$(GO) test -bench=BenchmarkPortPath -benchtime=100x -benchmem -run=TestPortPathAllocs ./internal/netem
-	$(GO) test -bench=. -benchtime=1x -benchmem -run=TestSchedulerHotPathGate ./internal/sim
+	$(GO) test -bench='BenchmarkPortPath|BenchmarkPacketSlabChurn' -benchtime=100x -benchmem \
+		-run='TestPortPathAllocs|TestPacketSlabChurnGate' ./internal/netem
+	$(GO) test -bench=. -benchtime=1x -benchmem \
+		-run='TestSchedulerHotPathGate|TestEngineScheduleColdGate' ./internal/sim
+	$(GO) test -bench=BenchmarkFlowTableLookup -benchtime=100x -benchmem \
+		-run=TestFlowTableLookupGate ./internal/transport/rdbase
 	$(GO) test -run=TestCollectorScratchAllocs ./internal/stats
 	$(GO) test -race -run=TestPool ./internal/netem
 
@@ -116,7 +120,9 @@ scale:
 
 # Scale-regression smoke for CI: the smallest fabric of the grid, both load
 # points, gated against the committed BENCH_scale.json baseline (events/sec
-# floor, heap / scheduler-pressure / per-flow-state ceilings), plus the same
-# fabric run sharded (TestScaleSmokeSharded matches the -run pattern).
+# floor, heap / scheduler-pressure / per-flow-state ceilings), the same
+# fabric run sharded (TestScaleSmokeSharded matches the -run pattern), and
+# the ledger gate holding the committed h1024 cells to the per-flow state
+# ceiling and the stamped slab geometry.
 scale-smoke:
-	$(GO) test -run=TestScaleSmoke -v ./internal/experiments
+	$(GO) test -run='TestScaleSmoke|TestScaleLedgerStateCeiling' -v ./internal/experiments

@@ -68,8 +68,12 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit one JSON array of tables instead of aligned text")
 		impair    = flag.String("impair", "", "inline impairment timeline applied to every run, ';'-separated steps")
 		impFile   = flag.String("impair-file", "", "impairment timeline file, text or JSON (see internal/netem/timeline.go)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a post-run allocation profile to this file")
 	)
 	flag.Parse()
+	stopProfiles := cliutil.StartProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
 	sched := cliutil.Scheduler(*schedStr)
 	timeline := cliutil.Timeline(*impair, *impFile)
 
@@ -155,6 +159,7 @@ func main() {
 	}
 
 	finish := func() {
+		stopProfiles() // the exits below skip defers; flush the profiles first
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")

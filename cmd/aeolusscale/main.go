@@ -30,8 +30,12 @@ func main() {
 		quick    = flag.Bool("quick", false, "trim the grid to the 64- and 256-host fabrics")
 		schedStr = flag.String("sched", "", "event scheduler: wheel or heap")
 		shards   = flag.Int("shards", 1, "spatial shards per run; sharded cells get a /sN ledger key and merge alongside the sequential ones")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a post-sweep allocation profile to this file")
 	)
 	flag.Parse()
+	stopProfiles := cliutil.StartProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
@@ -49,6 +53,7 @@ func main() {
 			p.PeakPending, float64(p.HeapPeakBytes)/(1<<20), p.StateBytesPerFlow,
 			map[bool]string{true: "clean", false: "VIOLATED"}[p.AuditClean])
 	}
+	stopProfiles() // os.Exit below skips defers; flush the profiles first
 	if err := experiments.WriteScaleLedger(*out, *note, points); err != nil {
 		fmt.Fprintln(os.Stderr, "aeolusscale:", err)
 		os.Exit(1)

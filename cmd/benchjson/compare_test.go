@@ -51,6 +51,48 @@ func TestCompareCells(t *testing.T) {
 	}
 }
 
+// TestCompareCellMetrics checks the secondary higher-is-worse ratios: memory
+// and scheduler-pressure growth beyond 1/threshold flags a regression even
+// when events/sec held steady, and cells missing a metric on either side skip
+// it silently.
+func TestCompareCellMetrics(t *testing.T) {
+	mem := func(eps, stateBpf float64, heap uint64, pending int) experiments.ScalePoint {
+		return experiments.ScalePoint{Hosts: 256, Load: 0.8, EventsPerSec: eps,
+			StateBytesPerFlow: stateBpf, HeapPeakBytes: heap, PeakPending: pending}
+	}
+	before := map[string]experiments.ScalePoint{
+		"h256/l0.8": mem(2.0e6, 2500, 1<<30, 100_000),
+		"h64/l0.4":  cell(64, 0.4, 1, 1.0e6), // no memory metrics on either side
+	}
+	after := map[string]experiments.ScalePoint{
+		// events/sec fine; state/flow grew 1.6x and peak_pending 1.5x, heap flat.
+		"h256/l0.8": mem(2.0e6, 4000, 1<<30, 150_000),
+		"h64/l0.4":  cell(64, 0.4, 1, 1.0e6),
+	}
+	report, regressed := compareCells(before, after, 0.9)
+	if regressed != 2 {
+		t.Fatalf("regressed = %d, want 2 (state/flow and peakPending)\n%s", regressed, report)
+	}
+	for _, want := range []string{
+		"state/flow x1.60 REGRESSED",
+		"heapPeak x1.00",
+		"peakPending x1.50 REGRESSED",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "heapPeak x1.00 REGRESSED") {
+		t.Errorf("flat heap flagged as regressed:\n%s", report)
+	}
+	// h64 has no memory metrics: its line must stay bare.
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "h64/l0.4") && strings.Contains(line, "state/flow") {
+			t.Errorf("metric-less cell grew metric columns: %s", line)
+		}
+	}
+}
+
 func writeLedger(t *testing.T, path string, led experiments.ScaleLedger) {
 	t.Helper()
 	buf, err := json.Marshal(led)

@@ -9,8 +9,10 @@
 // B/op, allocs/op and any custom metrics (e.g. packets/sec).
 //
 // With -compare, benchjson instead reads BENCH_scale.json ledgers and prints
-// per-cell events/sec ratios, flagging regressions below -threshold and
-// exiting nonzero when any cell regressed:
+// per-cell ratios for events/sec, state_bytes_per_flow, heap_peak_bytes and
+// peak_pending — flagging throughput that fell below -threshold or memory /
+// scheduler pressure that grew beyond 1/threshold — exiting nonzero when any
+// metric of any cell regressed:
 //
 //	benchjson -compare before.json after.json   # after ÷ before, per cell
 //	benchjson -compare BENCH_scale.json         # current ÷ baseline, one file
@@ -51,7 +53,7 @@ func main() {
 	compare := flag.Bool("compare", false,
 		"compare scale ledgers: two files (after ÷ before) or one (current ÷ baseline)")
 	threshold := flag.Float64("threshold", 0.9,
-		"with -compare, flag cells whose events/sec ratio falls below this")
+		"with -compare, flag cells whose events/sec ratio falls below this, or whose memory/pressure ratios exceed its reciprocal")
 	flag.Parse()
 
 	if *compare {
@@ -142,10 +144,27 @@ func loadCells(path string) (map[string]experiments.ScalePoint, string, error) {
 	return led.Current, path + ":current", nil
 }
 
-// compareCells renders the per-cell events/sec ratio table for every cell key
-// the two sides share, in sorted key order, and counts cells whose ratio fell
-// below the threshold. Cells present on only one side are listed — a silent
-// disappearance would otherwise read as "no regression".
+// sideMetrics are the per-cell measurements compared alongside events/sec.
+// They are all higher-is-worse: a cell regresses when the after÷before ratio
+// exceeds 1/threshold — the mirror image of the events/sec rule — so one
+// -threshold flag governs both directions. A metric absent (zero) on either
+// side is skipped: old ledgers predate some fields, and a zero divisor has no
+// ratio.
+var sideMetrics = []struct {
+	name string
+	val  func(experiments.ScalePoint) float64
+}{
+	{"state/flow", func(p experiments.ScalePoint) float64 { return p.StateBytesPerFlow }},
+	{"heapPeak", func(p experiments.ScalePoint) float64 { return float64(p.HeapPeakBytes) }},
+	{"peakPending", func(p experiments.ScalePoint) float64 { return float64(p.PeakPending) }},
+}
+
+// compareCells renders the per-cell comparison table for every cell key the
+// two sides share, in sorted key order: the events/sec ratio (regressed when
+// below threshold) plus the memory and scheduler-pressure ratios (regressed
+// when above 1/threshold), counting every flagged metric. Cells present on
+// only one side are listed — a silent disappearance would otherwise read as
+// "no regression".
 func compareCells(before, after map[string]experiments.ScalePoint, threshold float64) (string, int) {
 	var keys []string
 	for k := range before {
@@ -171,8 +190,22 @@ func compareCells(before, after map[string]experiments.ScalePoint, threshold flo
 			flag = "  REGRESSED"
 			regressed++
 		}
-		fmt.Fprintf(&b, "%-16s %11.3g -> %11.3g  x%.2f%s\n",
-			k, o.EventsPerSec, a.EventsPerSec, ratio, flag)
+		extra := ""
+		for _, m := range sideMetrics {
+			ov, av := m.val(o), m.val(a)
+			if ov <= 0 || av <= 0 {
+				continue
+			}
+			r := av / ov
+			tag := ""
+			if r*threshold > 1 {
+				tag = " REGRESSED"
+				regressed++
+			}
+			extra += fmt.Sprintf("  %s x%.2f%s", m.name, r, tag)
+		}
+		fmt.Fprintf(&b, "%-16s %11.3g -> %11.3g  x%.2f%s%s\n",
+			k, o.EventsPerSec, a.EventsPerSec, ratio, flag, extra)
 	}
 	var extra []string
 	for k := range after {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/aeolus-transport/aeolus/internal/flatmap"
 	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 )
@@ -157,6 +158,7 @@ func MergeReports(reps []*Report) *Report {
 type pktState struct {
 	payload   int // unaccounted payload bytes riding the packet
 	flow      uint64
+	seen      bool // slot-array presence marker (the map uses membership)
 	isData    bool
 	delivered bool
 	dropped   bool
@@ -171,14 +173,92 @@ type flowAcct struct {
 	trimmed   int64
 	residual  int64
 	unique    int64
-	forwarded int64          // handed across a shard boundary (outbound)
-	arrived   int64          // handed in across a shard boundary (inbound)
-	offsets   map[int64]bool // payload offsets delivered at least once
+	forwarded int64   // handed across a shard boundary (outbound)
+	arrived   int64   // handed in across a shard boundary (inbound)
+	spans     []int64 // delivered byte ranges as flat sorted [s0,e0,s1,e1,...] pairs
+}
+
+// markRange records a delivery of payload bytes [start, end), reporting
+// whether the range is new (the unique-payload case). Coverage is kept as
+// merged half-open intervals, not a per-segment set: deliveries arrive
+// overwhelmingly in offset order, so almost every flow carries exactly one
+// span (16 bytes) for its whole life, where a map or sorted offset slice
+// costs 8+ bytes per segment and dominated state_bytes_per_flow at scale.
+// Out-of-order firsts open a second span that merges away when the gap
+// fills. Segmentation is fixed per flow, so a range is either entirely
+// inside one existing span (a duplicate) or entirely in a gap — partial
+// overlap cannot occur, and the containment check only needs start.
+func (fa *flowAcct) markRange(start, end int64) bool {
+	s := fa.spans
+	n := len(s)
+	if n == 0 || start > s[n-1] {
+		fa.spans = appendSpan(s, start, end)
+		return true
+	}
+	if start == s[n-1] { // extends the last span in place
+		s[n-1] = end
+		return true
+	}
+	// Rightmost span whose start is <= start (span i occupies s[2i], s[2i+1]).
+	lo, hi := 0, n/2
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[2*mid] <= start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo - 1
+	if i >= 0 && start < s[2*i+1] {
+		return false // inside span i: a duplicate delivery
+	}
+	// New range in a gap; splice it in, merging with adjacent neighbors.
+	left := i >= 0 && s[2*i+1] == start
+	right := s[2*(i+1)] == end // span i+1 exists: start was not past the tail
+	switch {
+	case left && right:
+		s[2*i+1] = s[2*(i+1)+1]
+		copy(s[2*(i+1):], s[2*(i+2):])
+		fa.spans = s[:n-2]
+	case left:
+		s[2*i+1] = end
+	case right:
+		s[2*(i+1)] = start
+	default:
+		s = appendSpan(s, 0, 0)
+		copy(s[2*(i+1)+2:], s[2*(i+1):])
+		s[2*(i+1)], s[2*(i+1)+1] = start, end
+		fa.spans = s
+	}
+	return true
+}
+
+// appendSpan appends one [start, end) pair with a 1.25x growth policy
+// instead of append's doubling: tens of thousands of resident flows each
+// carrying up to 2x slack is real memory, and the copies a slower growth
+// costs are trivial at per-flow span counts.
+func appendSpan(s []int64, start, end int64) []int64 {
+	if len(s)+2 > cap(s) {
+		grown := make([]int64, len(s), len(s)+len(s)/4+8)
+		copy(grown, s)
+		s = grown
+	}
+	return append(s, start, end)
 }
 
 // Auditor observes an instrumented network and checks the invariants. It
 // implements netem.Tracer. Attach it before any traffic is injected; it is
 // not safe for use from multiple goroutines (one auditor per run).
+//
+// The per-packet ledger is kept in a flat array indexed by the packet's
+// dense pool slot (netem.Packet.PoolSlot) whenever that key is valid: on a
+// non-shared pool, slots name storage uniquely, so the Trace hot path is an
+// array index instead of a pointer-keyed map probe. Packets without a slot
+// (nil or disabled pools, hand-built fixtures) and every packet of a shared
+// pool — where slots collide across the exchanging pools — fall back to the
+// pointer-keyed map. Per-flow ledgers live in a flat open-addressed table
+// for the same reason.
 type Auditor struct {
 	eng    *sim.Engine
 	pool   *netem.PacketPool
@@ -186,11 +266,71 @@ type Auditor struct {
 	shared bool // pool exchanges packets with other shards' pools
 	report Report
 
-	pkts      map[*netem.Packet]*pktState
-	flows     map[uint64]*flowAcct
-	flowIDs   []uint64 // deterministic iteration order: first-seen
-	lastTime  sim.Time
-	hookDrops [netem.NumDropReasons]uint64
+	slotStates []pktState                  // PoolSlot-indexed ledger (non-shared pools)
+	pkts       map[*netem.Packet]*pktState // slot-less packets, shared pools
+	flowIdx    flatmap.Index               // flow ID -> dense index into flowAccts
+	flowAccts  []flowAcct
+	lastTime   sim.Time
+	hookDrops  [netem.NumDropReasons]uint64
+}
+
+// slotOf returns the packet's dense ledger slot, or -1 when the packet must
+// be tracked by pointer (no slab slot, or a shared pool whose slots collide
+// with its peers').
+func (a *Auditor) slotOf(p *netem.Packet) int32 {
+	if a.shared {
+		return -1
+	}
+	return p.PoolSlot()
+}
+
+// lookup returns the packet's existing ledger entry, or nil. The pointer is
+// only valid until the next ensure call (the slot array may grow).
+func (a *Auditor) lookup(p *netem.Packet) *pktState {
+	if s := a.slotOf(p); s >= 0 {
+		if int(s) >= len(a.slotStates) {
+			return nil
+		}
+		if st := &a.slotStates[s]; st.seen {
+			return st
+		}
+		return nil
+	}
+	return a.pkts[p]
+}
+
+// ensure returns the packet's ledger entry, creating a zeroed one (with
+// seen set) when absent; existed reports which. The pointer is only valid
+// until the next ensure call.
+func (a *Auditor) ensure(p *netem.Packet) (st *pktState, existed bool) {
+	if s := a.slotOf(p); s >= 0 {
+		if int(s) >= len(a.slotStates) {
+			grown := make([]pktState, int(s)+netem.PacketChunkSize)
+			copy(grown, a.slotStates)
+			a.slotStates = grown
+		}
+		st = &a.slotStates[s]
+		existed = st.seen
+		st.seen = true
+		return st, existed
+	}
+	if st = a.pkts[p]; st != nil {
+		return st, true
+	}
+	st = &pktState{seen: true}
+	a.pkts[p] = st
+	return st, false
+}
+
+// forget retires the packet's ledger entry (recycle, shard departure).
+func (a *Auditor) forget(p *netem.Packet) {
+	if s := a.slotOf(p); s >= 0 {
+		if int(s) < len(a.slotStates) {
+			a.slotStates[s] = pktState{}
+		}
+		return
+	}
+	delete(a.pkts, p)
 }
 
 // Attach instruments every port and host of the network and claims each
@@ -215,7 +355,6 @@ func AttachScope(eng *sim.Engine, pool *netem.PacketPool, ports []*netem.Port, h
 		ports:  ports,
 		shared: shared,
 		pkts:   make(map[*netem.Packet]*pktState),
-		flows:  make(map[uint64]*flowAcct),
 	}
 	for _, pt := range ports {
 		pt.Q.SetDropHook(func(p *netem.Packet, r netem.DropReason) {
@@ -236,14 +375,16 @@ func AttachScope(eng *sim.Engine, pool *netem.PacketPool, ports []*netem.Port, h
 // destination shard's auditor takes over. The sharded harness calls it at a
 // window barrier, with every shard worker parked.
 func (a *Auditor) Depart(p *netem.Packet) {
-	st, ok := a.pkts[p]
-	if !ok {
+	st := a.lookup(p)
+	if st == nil {
 		return
 	}
-	delete(a.pkts, p)
-	if st.isData && !st.delivered && !st.dropped && st.payload > 0 {
-		a.report.ForwardedPayload += int64(st.payload)
-		a.flowOf(st.flow).forwarded += int64(st.payload)
+	fwd := st.isData && !st.delivered && !st.dropped && st.payload > 0
+	payload, flow := st.payload, st.flow
+	a.forget(p)
+	if fwd {
+		a.report.ForwardedPayload += int64(payload)
+		a.flowOf(flow).forwarded += int64(payload)
 	}
 }
 
@@ -252,8 +393,8 @@ func (a *Auditor) Depart(p *netem.Packet) {
 // injected so the first local observation is not mistaken for an injection.
 // Paired with the source auditor's Depart at the same barrier.
 func (a *Auditor) Arrive(p *netem.Packet) {
-	st := &pktState{payload: p.PayloadLen, flow: p.Flow, isData: p.Type == netem.Data}
-	a.pkts[p] = st
+	st, _ := a.ensure(p)
+	*st = pktState{seen: true, payload: p.PayloadLen, flow: p.Flow, isData: p.Type == netem.Data}
 	if st.isData && st.payload > 0 {
 		a.report.ArrivedPayload += int64(st.payload)
 		a.flowOf(st.flow).arrived += int64(st.payload)
@@ -266,7 +407,7 @@ func (a *Auditor) Arrive(p *netem.Packet) {
 // preceded the Put.)
 func (a *Auditor) PoolGet(p *netem.Packet, fresh bool) {
 	if !fresh {
-		delete(a.pkts, p)
+		a.forget(p)
 	}
 }
 
@@ -279,7 +420,7 @@ func (a *Auditor) PoolPut(p *netem.Packet, firstPut bool) {
 			Detail: fmt.Sprintf("packet %v returned to the pool twice", p)})
 		return
 	}
-	if st, ok := a.pkts[p]; ok && !st.delivered && !st.dropped {
+	if st := a.lookup(p); st != nil && !st.delivered && !st.dropped {
 		a.report.add(Violation{Check: "pool-put-live", Flow: st.flow,
 			Detail: fmt.Sprintf("packet %v released without a terminal event", p)})
 	}
@@ -289,21 +430,35 @@ func (a *Auditor) PoolPut(p *netem.Packet, firstPut bool) {
 // a reference. Unregistered flows are still conservation-checked, but their
 // size-dependent invariants are skipped.
 func (a *Auditor) RegisterFlow(id uint64, size int64) {
-	if _, ok := a.flows[id]; ok {
+	slot, added := a.flowIdx.Put(id)
+	if !added {
 		return
 	}
-	a.flows[id] = &flowAcct{size: size, offsets: make(map[int64]bool)}
-	a.flowIDs = append(a.flowIDs, id)
+	_ = slot // slots are dense and issued in Put order: slot == len(flowAccts)
+	a.appendAcct(flowAcct{size: size})
 }
 
-func (a *Auditor) flowOf(id uint64) *flowAcct {
-	if fa, ok := a.flows[id]; ok {
-		return fa
+// appendAcct appends one flow ledger with a 1.25x growth policy: at ~96
+// bytes per flowAcct, append's doubling would leave up to one ledger's worth
+// of slack per resident flow at the scale cells' measurement point.
+func (a *Auditor) appendAcct(fa flowAcct) {
+	if len(a.flowAccts) == cap(a.flowAccts) {
+		grown := make([]flowAcct, len(a.flowAccts), len(a.flowAccts)+len(a.flowAccts)/4+8)
+		copy(grown, a.flowAccts)
+		a.flowAccts = grown
 	}
-	fa := &flowAcct{size: -1, offsets: make(map[int64]bool)}
-	a.flows[id] = fa
-	a.flowIDs = append(a.flowIDs, id)
-	return fa
+	a.flowAccts = append(a.flowAccts, fa)
+}
+
+// flowOf returns the flow's ledger, materializing an unregistered flow with
+// unknown size. The pointer is only valid until the next flowOf call (the
+// backing array may grow) — callers use it immediately and never retain it.
+func (a *Auditor) flowOf(id uint64) *flowAcct {
+	slot, added := a.flowIdx.Put(id)
+	if added {
+		a.appendAcct(flowAcct{size: -1})
+	}
+	return &a.flowAccts[slot]
 }
 
 // Trace implements netem.Tracer: the per-packet ledger.
@@ -316,12 +471,12 @@ func (a *Auditor) Trace(now sim.Time, ev netem.TraceEvent, where string, p *nete
 		a.lastTime = now
 	}
 
-	st, seen := a.pkts[p]
+	st, seen := a.ensure(p)
 	if !seen {
 		// First observation is the injection: the packet enters the fabric
 		// carrying its payload (zero for control packets).
-		st = &pktState{payload: p.PayloadLen, flow: p.Flow, isData: p.Type == netem.Data}
-		a.pkts[p] = st
+		st.payload, st.flow, st.isData = p.PayloadLen, p.Flow, p.Type == netem.Data
+		st.delivered, st.dropped = false, false
 		if st.isData {
 			a.report.InjectedPayload += int64(st.payload)
 			a.flowOf(p.Flow).injected += int64(st.payload)
@@ -381,8 +536,7 @@ func (a *Auditor) Trace(now sim.Time, ev netem.TraceEvent, where string, p *nete
 				Detail: fmt.Sprintf("payload [%d, %d) outside flow of %d bytes",
 					p.Seq, p.Seq+int64(st.payload), fa.size)})
 		}
-		if st.payload > 0 && !fa.offsets[p.Seq] {
-			fa.offsets[p.Seq] = true
+		if st.payload > 0 && fa.markRange(p.Seq, p.Seq+int64(st.payload)) {
 			fa.unique += int64(st.payload)
 			a.report.UniquePayload += int64(st.payload)
 		}
@@ -442,12 +596,21 @@ func (a *Auditor) Finish() *Report {
 
 	// Residual payload: packets that saw no terminal event are still queued
 	// somewhere (or were leaked — the drain check above distinguishes).
-	for _, st := range a.pkts {
-		if st.delivered || st.dropped || !st.isData || st.payload == 0 {
-			continue
+	// Every data flow was materialized at injection (or arrival), so these
+	// flowOf calls never add flows and the accumulation order is irrelevant
+	// (sums only).
+	residual := func(st *pktState) {
+		if !st.seen || st.delivered || st.dropped || !st.isData || st.payload == 0 {
+			return
 		}
 		a.report.ResidualPayload += int64(st.payload)
 		a.flowOf(st.flow).residual += int64(st.payload)
+	}
+	for i := range a.slotStates {
+		residual(&a.slotStates[i])
+	}
+	for _, st := range a.pkts {
+		residual(st)
 	}
 	if drained && a.report.ResidualPayload != 0 {
 		a.report.add(Violation{Check: "residual",
@@ -460,8 +623,8 @@ func (a *Auditor) Finish() *Report {
 	// output like delivery — so the check closes per shard, and summing the
 	// per-shard ledgers closes globally because every Depart pairs with an
 	// Arrive at the same barrier.
-	for _, id := range a.flowIDs {
-		fa := a.flows[id]
+	for slot, id := range a.flowIdx.Keys() {
+		fa := &a.flowAccts[slot]
 		got := fa.delivered + fa.dropped + fa.trimmed + fa.residual + fa.forwarded
 		if want := fa.injected + fa.arrived; got != want {
 			a.report.add(Violation{Check: "conservation", Flow: id,

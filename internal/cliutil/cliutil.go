@@ -8,6 +8,8 @@ package cliutil
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/aeolus-transport/aeolus/internal/experiments"
 	"github.com/aeolus-transport/aeolus/internal/netem"
@@ -20,6 +22,46 @@ import (
 func Die(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(2)
+}
+
+// StartProfiles starts the -cpuprofile/-memprofile pair shared by the
+// simulator CLIs and returns the stop function callers must defer (and also
+// invoke explicitly before os.Exit, which skips defers): it stops the CPU
+// profile and writes the allocation profile after a settling GC, so `go tool
+// pprof` shows live retained state rather than a garbage snapshot. Empty
+// paths are no-ops; the stop function is idempotent.
+func StartProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			Die(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			Die(fmt.Errorf("cliutil: start CPU profile: %w", err))
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			Die(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			Die(fmt.Errorf("cliutil: write heap profile: %w", err))
+		}
+	}
 }
 
 // Scheduler parses a -sched value. The empty string stays empty — the

@@ -80,6 +80,14 @@ const (
 // PreCredit is the sender-side Aeolus state machine for one flow. The host
 // transport provides the raw packet senders; PreCredit decides what to send
 // in the pre-credit phase and how each later scheduled opportunity is spent.
+//
+// One machine exists per live flow — at the h1024 sweep cells that is a
+// hundred thousand of them resident at once — so the struct is packed for
+// footprint: counters and scan pointers are int32 (segment counts cannot
+// approach 2^31), the Options relevant to the sender are copied into three
+// scalar fields instead of embedding the whole struct, and the flag bytes
+// sit together at the tail so padding is paid once. The packing is purely
+// representational; every method still computes in int.
 type PreCredit struct {
 	Env  *transport.Env
 	Flow *transport.Flow
@@ -91,14 +99,29 @@ type PreCredit struct {
 	// last unscheduled byte (and the flow size, for Homa-style receivers).
 	SendProbe func()
 
-	opts Options
+	probeTimeout sim.Duration // Options.ProbeTimeout; zero disables the §6 timer
 
-	burstLimit int // segments eligible for the pre-credit burst (≤ one BDP)
-	burstSent  int // segments actually burst before the phase ended
+	acked    transport.Bitset
+	assigned transport.Bitset // spent a scheduled opportunity on this segment already
+
+	lost []int32 // FIFO of loss-detected segments awaiting retransmission
+
+	pacer sim.Timer // self-pacing of the pre-credit burst
+	timer sim.Timer // probe safety timer (§6)
+
+	burstLimit int32 // segments eligible for the pre-credit burst (≤ one BDP)
+	burstSent  int32 // segments actually burst before the phase ended
+	ackCount   int32
+	nextNew    int32 // next never-sent segment
+	unackedP   int32 // scan pointer for the ClassUnacked sweep
+
+	resends    int32
+	maxResends int32 // Options.MaxProbeResends
+
+	enabled    bool // Options.Enabled
 	stopped    bool
 	probeSent  bool
 	probeAcked bool
-	resends    int
 
 	// oppSeen records that at least one scheduled transmission opportunity
 	// (credit, grant, pull, resend request) reached the sender. §6 resends
@@ -107,21 +130,10 @@ type PreCredit struct {
 	// duplicate probe would be pure overhead.
 	oppSeen bool
 
-	acked    []bool
-	assigned []bool // spent a scheduled opportunity on this segment already
-	ackCount int
-
-	lost     []int // FIFO of loss-detected segments awaiting retransmission
-	nextNew  int   // next never-sent segment
-	unackedP int   // scan pointer for the ClassUnacked sweep
-
 	// noUnackedSweep disables the ClassUnacked class. Original transports
 	// without per-packet ACKs (vanilla Homa) assume burst delivery and
 	// surface losses only through ForceLost.
 	noUnackedSweep bool
-
-	pacer sim.Timer // self-pacing of the pre-credit burst
-	timer sim.Timer // probe safety timer (§6)
 }
 
 // NewPreCredit builds the state machine for a flow. bdpBytes bounds the
@@ -138,27 +150,29 @@ func NewPreCredit(env *transport.Env, f *transport.Flow, opts Options, bdpBytes 
 		burst = n
 	}
 	pc := &PreCredit{
-		Env: env, Flow: f, Seg: seg, opts: opts,
-		burstLimit: burst,
-		acked:      make([]bool, n),
-		assigned:   make([]bool, n),
+		Env: env, Flow: f, Seg: seg,
+		probeTimeout: opts.ProbeTimeout,
+		maxResends:   int32(opts.MaxProbeResends),
+		enabled:      opts.Enabled,
+		burstLimit:   int32(burst),
 	}
+	pc.acked, pc.assigned = transport.NewBitsetPair(n)
 	pc.pacer.Init(env.Eng, pc.sendNext)
-	pc.timer.Init(env.Eng, pc.probeTimeout)
+	pc.timer.Init(env.Eng, pc.onProbeTimeout)
 	return pc
 }
 
 // BurstLimit returns the number of segments the pre-credit phase may send.
-func (pc *PreCredit) BurstLimit() int { return pc.burstLimit }
+func (pc *PreCredit) BurstLimit() int { return int(pc.burstLimit) }
 
 // BurstSent returns how many unscheduled segments were actually sent.
-func (pc *PreCredit) BurstSent() int { return pc.burstSent }
+func (pc *PreCredit) BurstSent() int { return int(pc.burstSent) }
 
 // ProbeSeq returns the byte sequence the probe should echo: the offset just
 // past the last unscheduled byte (clamped to the flow size when the final
 // burst segment is partial).
 func (pc *PreCredit) ProbeSeq() int64 {
-	off := pc.Seg.Offset(pc.burstSent)
+	off := pc.Seg.Offset(int(pc.burstSent))
 	if off > pc.Flow.Size {
 		off = pc.Flow.Size
 	}
@@ -170,7 +184,7 @@ func (pc *PreCredit) ProbeSeq() int64 {
 // arrives (§3.1: "once the credit returns, it will exit the pre-credit state
 // immediately even it has not yet sent out all unscheduled packets").
 func (pc *PreCredit) Start() {
-	if !pc.opts.Enabled {
+	if !pc.enabled {
 		// Original transports without a pre-credit phase skip the burst;
 		// everything is "unsent" and flows entirely through credits.
 		pc.stopped = true
@@ -187,7 +201,7 @@ func (pc *PreCredit) sendNext() {
 		pc.finishBurst()
 		return
 	}
-	seg := pc.burstSent
+	seg := int(pc.burstSent)
 	pc.burstSent++
 	pc.nextNew = pc.burstSent
 	pc.SendSeg(seg, false)
@@ -206,14 +220,14 @@ func (pc *PreCredit) finishBurst() {
 }
 
 func (pc *PreCredit) armTimer() {
-	if pc.opts.ProbeTimeout <= 0 {
+	if pc.probeTimeout <= 0 {
 		return
 	}
-	pc.timer.Reset(pc.opts.ProbeTimeout)
+	pc.timer.Reset(pc.probeTimeout)
 }
 
-func (pc *PreCredit) probeTimeout() {
-	if pc.probeAcked || pc.oppSeen || pc.Done() || pc.resends >= pc.opts.MaxProbeResends {
+func (pc *PreCredit) onProbeTimeout() {
+	if pc.probeAcked || pc.oppSeen || pc.Done() || pc.resends >= pc.maxResends {
 		return
 	}
 	pc.resends++
@@ -236,10 +250,10 @@ func (pc *PreCredit) StopBurst() {
 // byte offset.
 func (pc *PreCredit) OnAck(off int64) {
 	i := pc.Seg.SegOf(off)
-	if i < 0 || i >= len(pc.acked) || pc.acked[i] {
+	if i < 0 || i >= pc.acked.Len() || pc.acked.Get(i) {
 		return
 	}
-	pc.acked[i] = true
+	pc.acked.Set(i)
 	pc.ackCount++
 }
 
@@ -252,10 +266,10 @@ func (pc *PreCredit) OnProbeAck() int {
 	pc.probeAcked = true
 	pc.timer.Stop()
 	n := 0
-	for i := 0; i < pc.burstSent; i++ {
-		if !pc.acked[i] && !pc.assigned[i] {
-			pc.lost = append(pc.lost, i)
-			pc.assigned[i] = true
+	for i := 0; i < int(pc.burstSent); i++ {
+		if !pc.acked.Get(i) && !pc.assigned.Get(i) {
+			pc.lost = append(pc.lost, int32(i))
+			pc.assigned.Set(i)
 			n++
 		}
 	}
@@ -267,11 +281,11 @@ func (pc *PreCredit) OnProbeAck() int {
 // requests (RTO recovery of scheduled drops), which override the one-shot
 // assignment bookkeeping.
 func (pc *PreCredit) ForceLost(seg int) {
-	if seg < 0 || seg >= len(pc.acked) || pc.acked[seg] {
+	if seg < 0 || seg >= pc.acked.Len() || pc.acked.Get(seg) {
 		return
 	}
-	pc.lost = append(pc.lost, seg)
-	pc.assigned[seg] = true
+	pc.lost = append(pc.lost, int32(seg))
+	pc.assigned.Set(seg)
 }
 
 // DisableUnackedSweep turns off the ClassUnacked sweep; see noUnackedSweep.
@@ -283,9 +297,9 @@ func (pc *PreCredit) DisableUnackedSweep() { pc.noUnackedSweep = true }
 func (pc *PreCredit) NextLost() (seg int, ok bool) {
 	pc.oppSeen = true
 	for len(pc.lost) > 0 {
-		s := pc.lost[0]
+		s := int(pc.lost[0])
 		pc.lost = pc.lost[1:]
-		if pc.acked[s] {
+		if pc.acked.Get(s) {
 			continue
 		}
 		return s, true
@@ -302,10 +316,10 @@ func (pc *PreCredit) RequeueUnacked() int {
 	pc.lost = pc.lost[:0]
 	n := 0
 	for i := 0; i < pc.Seg.NumSegs(); i++ {
-		sent := i < pc.burstSent || pc.assigned[i]
-		if sent && !pc.acked[i] {
-			pc.lost = append(pc.lost, i)
-			pc.assigned[i] = true
+		sent := i < int(pc.burstSent) || pc.assigned.Get(i)
+		if sent && !pc.acked.Get(i) {
+			pc.lost = append(pc.lost, int32(i))
+			pc.assigned.Set(i)
 			n++
 		}
 	}
@@ -321,21 +335,21 @@ func (pc *PreCredit) Next() (seg int, class RetxClass) {
 	// Class 1: loss-detected unscheduled packets ("we want to fill the gap
 	// as soon as possible to minimize the re-sequence buffer").
 	for len(pc.lost) > 0 {
-		s := pc.lost[0]
+		s := int(pc.lost[0])
 		pc.lost = pc.lost[1:]
-		if pc.acked[s] {
+		if pc.acked.Get(s) {
 			continue // ACK raced ahead of the loss verdict
 		}
 		return s, ClassLost
 	}
 	// Class 2: unsent payload ("to avoid redundant retransmissions").
-	for pc.nextNew < pc.Seg.NumSegs() {
-		s := pc.nextNew
+	for int(pc.nextNew) < pc.Seg.NumSegs() {
+		s := int(pc.nextNew)
 		pc.nextNew++
-		if pc.assigned[s] || pc.acked[s] {
+		if pc.assigned.Get(s) || pc.acked.Get(s) {
 			continue
 		}
-		pc.assigned[s] = true
+		pc.assigned.Set(s)
 		return s, ClassUnsent
 	}
 	// Class 3: sent-but-unacknowledged unscheduled packets. While a probe
@@ -346,12 +360,12 @@ func (pc *PreCredit) Next() (seg int, class RetxClass) {
 		return -1, ClassNone
 	}
 	for pc.unackedP < pc.burstSent {
-		s := pc.unackedP
+		s := int(pc.unackedP)
 		pc.unackedP++
-		if pc.acked[s] || pc.assigned[s] {
+		if pc.acked.Get(s) || pc.assigned.Get(s) {
 			continue
 		}
-		pc.assigned[s] = true
+		pc.assigned.Set(s)
 		return s, ClassUnacked
 	}
 	return -1, ClassNone
@@ -365,20 +379,20 @@ func (pc *PreCredit) Next() (seg int, class RetxClass) {
 // spending credits and grants on it.
 func (pc *PreCredit) Done() bool {
 	for _, s := range pc.lost {
-		if !pc.acked[s] {
+		if !pc.acked.Get(int(s)) {
 			return false
 		}
 	}
-	for i := pc.nextNew; i < pc.Seg.NumSegs(); i++ {
-		if !pc.acked[i] && !pc.assigned[i] {
+	for i := int(pc.nextNew); i < pc.Seg.NumSegs(); i++ {
+		if !pc.acked.Get(i) && !pc.assigned.Get(i) {
 			return false
 		}
 	}
 	if pc.noUnackedSweep {
 		return true
 	}
-	for i := pc.unackedP; i < pc.burstSent; i++ {
-		if !pc.acked[i] && !pc.assigned[i] {
+	for i := int(pc.unackedP); i < int(pc.burstSent); i++ {
+		if !pc.acked.Get(i) && !pc.assigned.Get(i) {
 			return false
 		}
 	}
@@ -393,12 +407,7 @@ func (pc *PreCredit) Done() bool {
 // provably useless and may stop itself. The scan is linear but runs only on
 // actual timer expiry, never on the data path.
 func (pc *PreCredit) AllAcked() bool {
-	for i := 0; i < pc.Seg.NumSegs(); i++ {
-		if !pc.acked[i] {
-			return false
-		}
-	}
-	return true
+	return pc.acked.NextZero(0) == pc.acked.Len()
 }
 
 // Stopped reports whether the pre-credit phase has ended.
@@ -413,21 +422,15 @@ func (pc *PreCredit) Stopped() bool { return pc.stopped }
 // within the segment space.
 func (pc *PreCredit) Audit() error {
 	n := pc.Seg.NumSegs()
-	if len(pc.acked) != n || len(pc.assigned) != n {
+	if pc.acked.Len() != n || pc.assigned.Len() != n {
 		return fmt.Errorf("precredit flow %d: bitmap sizes acked=%d assigned=%d, want %d",
-			pc.Flow.ID, len(pc.acked), len(pc.assigned), n)
+			pc.Flow.ID, pc.acked.Len(), pc.assigned.Len(), n)
 	}
-	acks := 0
-	for _, a := range pc.acked {
-		if a {
-			acks++
-		}
-	}
-	if acks != pc.ackCount {
+	if acks := pc.acked.Count(); acks != int(pc.ackCount) {
 		return fmt.Errorf("precredit flow %d: ackCount %d but %d segments acked",
 			pc.Flow.ID, pc.ackCount, acks)
 	}
-	if pc.burstLimit < 1 || pc.burstLimit > n {
+	if pc.burstLimit < 1 || int(pc.burstLimit) > n {
 		return fmt.Errorf("precredit flow %d: burstLimit %d outside [1, %d]",
 			pc.Flow.ID, pc.burstLimit, n)
 	}
@@ -435,7 +438,7 @@ func (pc *PreCredit) Audit() error {
 		return fmt.Errorf("precredit flow %d: burstSent %d outside [0, burstLimit %d]",
 			pc.Flow.ID, pc.burstSent, pc.burstLimit)
 	}
-	if pc.nextNew < pc.burstSent || pc.nextNew > n {
+	if pc.nextNew < pc.burstSent || int(pc.nextNew) > n {
 		return fmt.Errorf("precredit flow %d: nextNew %d outside [burstSent %d, %d]",
 			pc.Flow.ID, pc.nextNew, pc.burstSent, n)
 	}
@@ -444,11 +447,11 @@ func (pc *PreCredit) Audit() error {
 			pc.Flow.ID, pc.unackedP, pc.burstSent)
 	}
 	for _, s := range pc.lost {
-		if s < 0 || s >= n {
+		if s < 0 || int(s) >= n {
 			return fmt.Errorf("precredit flow %d: lost queue holds segment %d outside [0, %d)",
 				pc.Flow.ID, s, n)
 		}
-		if !pc.acked[s] && !pc.assigned[s] {
+		if !pc.acked.Get(int(s)) && !pc.assigned.Get(int(s)) {
 			return fmt.Errorf("precredit flow %d: lost segment %d neither acked nor assigned",
 				pc.Flow.ID, s)
 		}
@@ -456,9 +459,9 @@ func (pc *PreCredit) Audit() error {
 	if pc.probeAcked && !pc.probeSent {
 		return fmt.Errorf("precredit flow %d: probe acked before being sent", pc.Flow.ID)
 	}
-	if pc.opts.ProbeTimeout > 0 && pc.resends > pc.opts.MaxProbeResends {
+	if pc.probeTimeout > 0 && pc.resends > pc.maxResends {
 		return fmt.Errorf("precredit flow %d: %d probe resends exceed limit %d",
-			pc.Flow.ID, pc.resends, pc.opts.MaxProbeResends)
+			pc.Flow.ID, pc.resends, pc.maxResends)
 	}
 	return nil
 }

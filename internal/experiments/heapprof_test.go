@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/transport"
+)
+
+// TestScaleHeapProfile reproduces MeasureScale's retained-state measurement
+// point for one cell and dumps an inuse_space heap profile there, for
+// attributing state_bytes_per_flow. Opt-in via SCALE_HEAP_PROFILE=<out>.
+func TestScaleHeapProfile(t *testing.T) {
+	out := os.Getenv("SCALE_HEAP_PROFILE")
+	if out == "" {
+		t.Skip("set SCALE_HEAP_PROFILE=<path> to dump the profile")
+	}
+	cfg := DefaultConfig()
+	sem, rspec := mustFromScenario(ScaleScenario(cfg, 8, 0.4))
+	var protos []transport.Protocol
+	run := cfg.ForScenario(sem)
+	run.Audit = true
+	run.Observe = func(_ *netem.Network, _ *transport.Env, p transport.Protocol) {
+		protos = append(protos, p)
+	}
+	res := Run(run, rspec)
+	runtime.GC()
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	t.Logf("completed %d/%d; profile written to %s", res.Completed, res.Total, out)
+	runtime.KeepAlive(protos)
+	runtime.KeepAlive(res)
+}

@@ -46,6 +46,13 @@ func poolOnOffSweep(t *testing.T, sched sim.SchedulerKind) {
 			t.Errorf("%s: pooling saved no allocations: %d with pool, %d without",
 				id, rOn.Audit.Pool.Allocated, rOff.Audit.Pool.Allocated)
 		}
+		// The behavior digest is the strongest equality: slab-carved packets
+		// (pool on) versus individually allocated ones (pool off) must be
+		// observationally indistinguishable down to the last flow record.
+		if dOn, dOff := rOn.Digest(), rOff.Digest(); dOn != dOff {
+			t.Errorf("%s: digest diverges between slab and individual allocation:\non:  %s\noff: %s",
+				id, dOn, dOff)
+		}
 		// Everything but the pool counters themselves must match exactly.
 		rOn.Audit.Pool = netem.PoolStats{}
 		rOff.Audit.Pool = netem.PoolStats{}

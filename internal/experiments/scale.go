@@ -80,6 +80,13 @@ type ScalePoint struct {
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
 
+	// Slab geometry the cell was measured under. Chunk sizes change cache
+	// behavior, so cells measured under different geometry are not directly
+	// comparable; stamping them keeps old baseline cells honest. Zero in
+	// cells recorded before the slab allocators existed.
+	EventChunk  int `json:"event_chunk,omitempty"`
+	PacketChunk int `json:"packet_chunk,omitempty"`
+
 	// Scheduler pressure: the engine's peak simultaneous pending events and,
 	// for the timing wheel, the peak population of the far-future overflow
 	// list (see sim.SchedStats).
@@ -103,6 +110,17 @@ type ScalePoint struct {
 	StateReceivers    int     `json:"state_receivers"`
 
 	AuditClean bool `json:"audit_clean"`
+}
+
+// recompute derives events_per_sec from the summed event count over the wall
+// time. Events is already the total across every shard engine (shardrun sums
+// Fired() before it reaches the point), so this single division is the only
+// one in the pipeline: no per-shard or per-cell float quotient is ever carried
+// into an aggregate, and a ledger merge can restamp the field from its inputs.
+func (p *ScalePoint) recompute() {
+	if p.WallSeconds > 0 {
+		p.EventsPerSec = float64(p.Events) / p.WallSeconds
+	}
 }
 
 // Key is the ledger key of the cell, e.g. "h1024/l0.8" — with a "/s4" suffix
@@ -181,9 +199,9 @@ func MeasureScale(cfg Config, width int, load float64) ScalePoint {
 	pt.Events = res.Events
 	pt.Shards = res.Shards
 	pt.GOMAXPROCS = runtime.GOMAXPROCS(0)
-	if pt.WallSeconds > 0 {
-		pt.EventsPerSec = float64(pt.Events) / pt.WallSeconds
-	}
+	pt.EventChunk = sim.EventChunkSize
+	pt.PacketChunk = netem.PacketChunkSize
+	pt.recompute()
 	pt.PeakPending, pt.PeakOverflow = res.Sched.PeakPending, res.Sched.PeakOverflow
 	pt.HeapPeakBytes = max(sampled, heapEnd)
 	pt.RSSPeakBytes = vmHWMBytes()
@@ -357,6 +375,10 @@ func WriteScaleLedger(path, note string, points []ScalePoint) error {
 		led.Current = make(map[string]ScalePoint, len(points))
 	}
 	for _, p := range points {
+		// Restamp throughput from the summed events over wall time so the
+		// stored figure is always the quotient of its stored inputs, whatever
+		// float the caller carried.
+		p.recompute()
 		led.Current[p.Key()] = p
 	}
 	if led.Baseline == nil {

@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/aeolus-transport/aeolus/internal/netem"
+	"github.com/aeolus-transport/aeolus/internal/sim"
 )
 
 // ledgerPath is the committed scale ledger at the repo root, relative to this
@@ -129,6 +132,53 @@ func TestScaleSmokeSharded(t *testing.T) {
 		}
 	} else {
 		t.Errorf("no sequential h64/l0.4 baseline in %s", ledgerPath)
+	}
+}
+
+// stateBytesPerFlowCeiling is the committed per-flow state budget for the
+// largest fabric of the grid: 2.5 KB. The packed-table layout (flow tables
+// over slab chunks, bitmap segment flags) landed h1024 well under it from the
+// ~4.1 KB of the map-of-pointers layout; creeping back over is a memory
+// regression and needs a PR justifying why.
+const stateBytesPerFlowCeiling = 2560
+
+// TestScaleLedgerStateCeiling gates the committed ledger itself: the h1024
+// cells CI cannot afford to re-run must have been measured under the per-flow
+// state ceiling, and every current cell must carry the slab-geometry stamp of
+// the compiled constants — a ledger regenerated under different chunk sizes
+// without being recommitted alongside them is not comparable.
+//
+// Sharded (/sN) cells are exempt from the per-flow ceiling: each shard owns a
+// full engine slab, packet pool and port array, so their retained heap
+// measures the sharding overhead the /sN keys exist to track, not the
+// per-flow layout this ceiling budgets.
+func TestScaleLedgerStateCeiling(t *testing.T) {
+	led, err := LoadScaleLedger(ledgerPath)
+	if err != nil {
+		t.Fatalf("scale ledger missing or unreadable (regenerate with `make scale`): %v", err)
+	}
+	found := 0
+	for key, pt := range led.Current {
+		if pt.Hosts != 1024 || pt.Shards > 1 {
+			continue
+		}
+		found++
+		if pt.StateBytesPerFlow <= 0 {
+			t.Errorf("%s: no state_bytes_per_flow recorded", key)
+		}
+		if pt.StateBytesPerFlow > stateBytesPerFlowCeiling {
+			t.Errorf("%s: %.0f B/flow exceeds the %d B ceiling",
+				key, pt.StateBytesPerFlow, stateBytesPerFlowCeiling)
+		}
+	}
+	if found == 0 {
+		t.Errorf("no h1024 cells in %s current section; run `make scale` on the full grid", ledgerPath)
+	}
+	for key, pt := range led.Current {
+		if pt.EventChunk != sim.EventChunkSize || pt.PacketChunk != netem.PacketChunkSize {
+			t.Errorf("%s: measured under slab geometry event=%d packet=%d, compiled constants are %d/%d — re-run `make scale`",
+				key, pt.EventChunk, pt.PacketChunk, sim.EventChunkSize, netem.PacketChunkSize)
+		}
 	}
 }
 

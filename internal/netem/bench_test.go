@@ -3,6 +3,7 @@ package netem
 import (
 	"testing"
 
+	"github.com/aeolus-transport/aeolus/internal/raceflag"
 	"github.com/aeolus-transport/aeolus/internal/sim"
 )
 
@@ -126,6 +127,89 @@ func TestPortPathAllocs(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(1000, cycle); avg > portPathAllocCeiling {
 		t.Errorf("port path allocates %.2f objects per packet, ceiling %v", avg, portPathAllocCeiling)
+	}
+}
+
+// churnLivePackets is the standing live population of the slab-churn
+// benchmark: 8 chunks (~450 KB of packets) so the working set spans several
+// slab chunks and outsizes L1/L2 — the in-flight population of a loaded
+// fabric rather than a single port's handful.
+const churnLivePackets = 8 * PacketChunkSize
+
+// BenchmarkPacketSlabChurn measures the pool's steady-state Get/Put cycle
+// against the multi-chunk live set: each op retires the oldest live packet
+// and replaces it, so the free-list, the reset write and the slab storage all
+// churn across chunk boundaries instead of reusing one hot slot.
+func BenchmarkPacketSlabChurn(b *testing.B) {
+	pool := NewPacketPool()
+	ring := make([]*Packet, churnLivePackets)
+	for i := range ring {
+		ring[i] = pool.Get()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % churnLivePackets
+		pool.Put(ring[j])
+		p := pool.Get()
+		p.Type, p.Flow, p.WireSize = Data, uint64(i), 1538
+		ring[j] = p
+	}
+}
+
+// Committed slab-churn budgets for the CI smoke gate. Steady-state recycling
+// allocates nothing (every Get is a free-list pop once the slab is carved);
+// the ns ceiling is an order of magnitude above the recorded number so only a
+// structural regression — per-Get allocation or a scattered layout — trips it.
+const (
+	slabChurnNsCeiling    = 500
+	slabChurnAllocCeiling = 0.05
+	slabGateIterations    = 20000
+)
+
+// TestPacketSlabChurnGate is the packet-slab regression gate run by
+// `make bench-smoke`.
+func TestPacketSlabChurnGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	pool := NewPacketPool()
+	ring := make([]*Packet, churnLivePackets)
+	for i := range ring {
+		ring[i] = pool.Get()
+	}
+	var i int
+	cycle := func() {
+		j := i % churnLivePackets
+		pool.Put(ring[j])
+		p := pool.Get()
+		p.Type, p.Flow, p.WireSize = Data, uint64(i), 1538
+		ring[j] = p
+		i++
+	}
+	if avg := testing.AllocsPerRun(1000, cycle); avg > slabChurnAllocCeiling {
+		t.Errorf("slab churn allocates %.3f objects/op, ceiling %v", avg, slabChurnAllocCeiling)
+	}
+	if raceflag.Enabled {
+		return // ns ceilings are meaningless under race instrumentation
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		pool := NewPacketPool()
+		ring := make([]*Packet, churnLivePackets)
+		for i := range ring {
+			ring[i] = pool.Get()
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			j := n % churnLivePackets
+			pool.Put(ring[j])
+			p := pool.Get()
+			p.Type, p.Flow, p.WireSize = Data, uint64(n), 1538
+			ring[j] = p
+		}
+	})
+	if ns := res.NsPerOp(); res.N >= slabGateIterations && ns > slabChurnNsCeiling {
+		t.Errorf("slab churn %d ns/op, ceiling %d", ns, slabChurnNsCeiling)
 	}
 }
 

@@ -80,11 +80,13 @@ func WireSizeFor(payload int) int { return payload + FrameOverhead }
 // Packet is the unit of transmission. Transports allocate one Packet per
 // simulated wire packet; switches never copy packets, they only move the
 // pointer between queues (and may trim it in place, as NDP hardware does).
+//
+// The field order is deliberate: 8-byte fields first, then the pointers,
+// then the 4-byte IDs, then the packed byte-wide type/priority/flag tail —
+// no interior padding, so a Packet is 112 bytes and a pool slab chunk packs
+// them shoulder to shoulder.
 type Packet struct {
-	Type PacketType
 	Flow uint64 // flow identifier, unique per run
-	Src  NodeID // source host
-	Dst  NodeID // destination host
 
 	// Seq is the byte offset of the first payload byte for Data packets; for
 	// control packets it echoes whatever sequence the protocol requires
@@ -94,21 +96,6 @@ type Packet struct {
 
 	PayloadLen int // application payload bytes carried (0 for control/trimmed)
 	WireSize   int // total bytes occupying the wire, headers included
-
-	// Scheduled marks the packet as credit-induced (ECT in the RED/ECN
-	// realization of §4.1). Unscheduled packets (Scheduled=false, Non-ECT)
-	// are the ones selective dropping may discard.
-	Scheduled bool
-
-	Prio uint8 // strict-priority band; 0 is the highest priority
-
-	Trimmed bool // NDP: payload was cut by the switch
-
-	// PathID seeds ECMP decisions: each switch with k equal-cost next hops
-	// forwards to choice PathID mod k. Per-flow ECMP sets it to a hash of
-	// the flow ID (symmetric forward/reverse paths); per-packet spraying
-	// draws a fresh random PathID for every packet.
-	PathID uint32
 
 	SendTime sim.Time // first placed on the wire at the source
 
@@ -129,11 +116,43 @@ type Packet struct {
 	// flight toward at most one node at a time, so one slot suffices.
 	next Node
 
+	Src NodeID // source host
+	Dst NodeID // destination host
+
+	// PathID seeds ECMP decisions: each switch with k equal-cost next hops
+	// forwards to choice PathID mod k. Per-flow ECMP sets it to a hash of
+	// the flow ID (symmetric forward/reverse paths); per-packet spraying
+	// draws a fresh random PathID for every packet.
+	PathID uint32
+
+	// slot is 1 + the packet's index in its pool's slab, 0 for packets
+	// allocated outside a pool slab (nil pools, disabled pools, hand-built
+	// fixtures). It survives recycling: the slot names the storage, not the
+	// packet's current life.
+	slot uint32
+
+	Type PacketType
+
+	Prio uint8 // strict-priority band; 0 is the highest priority
+
+	// Scheduled marks the packet as credit-induced (ECT in the RED/ECN
+	// realization of §4.1). Unscheduled packets (Scheduled=false, Non-ECT)
+	// are the ones selective dropping may discard.
+	Scheduled bool
+
+	Trimmed bool // NDP: payload was cut by the switch
+
 	// pooled marks a packet currently sitting in a PacketPool free-list;
 	// Put on an already-pooled packet is the double-free bug the audit layer
 	// reports as a structured violation.
 	pooled bool
 }
+
+// PoolSlot returns the packet's dense index in its pool's slab arena, or -1
+// for packets allocated outside a slab. Slots are unique per pool and stable
+// across recycling, so observers (the audit layer) can keep per-packet state
+// in a flat array instead of a pointer-keyed map.
+func (p *Packet) PoolSlot() int32 { return int32(p.slot) - 1 }
 
 // Fire implements sim.Handler: deliver the packet to the recorded in-flight
 // target. Scheduling the packet itself as the event removes the per-hop

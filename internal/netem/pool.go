@@ -33,8 +33,19 @@ type PoolObserver interface {
 // On recycle the SegList backing array is kept but truncated; because
 // receivers copy SegList rather than alias it, reuse cannot leak stale
 // segment data across packets.
+//
+// Storage is a chunked slab arena: fresh packets are carved sequentially
+// from non-moving chunks, so packets traversing a port chain are contiguous
+// in allocation order and the steady-state working set packs into a few
+// cache-resident chunks. The free-list still holds pointers — packets move
+// through the fabric by pointer — but every pointer aims into the slab, and
+// each slab packet knows its slot (Packet.PoolSlot) so observers can key
+// per-packet state by dense index. A disabled pool allocates individually
+// instead, preserving the old release-to-GC behavior for -nopool runs.
 type PacketPool struct {
 	free     []*Packet
+	chunks   []*[PacketChunkSize]Packet
+	carved   uint32 // slots issued from the slab
 	disabled bool
 	obs      PoolObserver
 
@@ -43,6 +54,18 @@ type PacketPool struct {
 	puts       uint64 // packets returned (first Put only)
 	doublePuts uint64 // Put calls on packets already in the pool
 }
+
+// Packet slab geometry: 512 packets per chunk — 56 KiB of 112-byte packets,
+// sized so one chunk covers the in-flight population of a loaded port chain.
+const (
+	packetChunkBits = 9
+
+	// PacketChunkSize is the number of packets per pool slab chunk. Exported
+	// so the scale ledger can stamp the slab geometry a measurement ran under.
+	PacketChunkSize = 1 << packetChunkBits
+
+	packetChunkMask = PacketChunkSize - 1
+)
 
 // PoolStats is a snapshot of pool counters.
 type PoolStats struct {
@@ -57,9 +80,11 @@ type PoolStats struct {
 // NewPacketPool returns an empty pool.
 func NewPacketPool() *PacketPool { return &PacketPool{} }
 
-// Disable makes Get always allocate and Put always discard (while still
-// counting), so a run can be replayed without recycling to prove pooling
-// does not change results. Any currently pooled packets are released to GC.
+// Disable makes Get always allocate individually and Put always discard
+// (while still counting), so a run can be replayed without recycling to
+// prove pooling does not change results. The free-list is dropped; slab
+// chunks stay resident only if packets were already carved from them (a
+// live packet must keep its storage).
 func (pp *PacketPool) Disable() {
 	pp.disabled = true
 	pp.free = nil
@@ -85,12 +110,24 @@ func (pp *PacketPool) Get() *Packet {
 		pp.free[n-1] = nil
 		pp.free = pp.free[:n-1]
 		fresh = false
-		// Reset every field but keep the SegList backing array: the
-		// copy-never-alias rule means no one else can still see it.
+		// Reset every field but keep the SegList backing array (the
+		// copy-never-alias rule means no one else can still see it) and the
+		// slot, which names the storage rather than the packet's current life.
 		segs := p.SegList[:0]
-		*p = Packet{SegList: segs}
-	} else {
+		*p = Packet{SegList: segs, slot: p.slot}
+	} else if pp.disabled {
+		// No recycling: individual allocations keep -nopool runs GC-bounded
+		// instead of retaining every packet ever issued in the slab.
 		p = &Packet{}
+		pp.allocs++
+	} else {
+		idx := pp.carved
+		if int(idx>>packetChunkBits) == len(pp.chunks) {
+			pp.chunks = append(pp.chunks, new([PacketChunkSize]Packet))
+		}
+		pp.carved++
+		p = &pp.chunks[idx>>packetChunkBits][idx&packetChunkMask]
+		p.slot = idx + 1
 		pp.allocs++
 	}
 	if pp.obs != nil {

@@ -129,3 +129,37 @@ func TestPoolObserverSeesEveryTransfer(t *testing.T) {
 		t.Fatalf("observer saw %+v", obs)
 	}
 }
+
+// TestPoolSlotSlabSemantics pins the dense-index contract of the packet slab:
+// slab-carved packets report a stable PoolSlot across their whole recycling
+// life (the slot names the storage, not the packet's current use), slots are
+// carved densely from zero, and packets outside the slab — nil-pool fixtures
+// and disabled-pool individual allocations — report -1 so slot-keyed state
+// arrays know to fall back.
+func TestPoolSlotSlabSemantics(t *testing.T) {
+	pp := NewPacketPool()
+	n := 2*PacketChunkSize + 3 // force growth past a chunk boundary
+	pkts := make([]*Packet, n)
+	for i := range pkts {
+		pkts[i] = pp.Get()
+		if got := pkts[i].PoolSlot(); got != int32(i) {
+			t.Fatalf("packet %d carved with slot %d, want dense slots from zero", i, got)
+		}
+	}
+	// Recycling keeps the slot: the free list is LIFO, so the last Put comes
+	// back first, still naming its original storage.
+	last := pkts[n-1]
+	pp.Put(last)
+	if got := pp.Get(); got != last || got.PoolSlot() != int32(n-1) {
+		t.Fatalf("recycled packet %p slot %d, want %p slot %d", got, got.PoolSlot(), last, n-1)
+	}
+
+	if got := (*PacketPool)(nil).Get().PoolSlot(); got != -1 {
+		t.Errorf("nil-pool packet reports slot %d, want -1", got)
+	}
+	off := NewPacketPool()
+	off.Disable()
+	if got := off.Get().PoolSlot(); got != -1 {
+		t.Errorf("disabled-pool packet reports slot %d, want -1", got)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !race
+
+// Package raceflag reports whether the race detector is compiled into the
+// binary. Timing-sensitive CI gates consult it to keep their allocation
+// assertions — race mode does not change allocation counts — while skipping
+// wall-clock ns/op ceilings, which race instrumentation inflates roughly an
+// order of magnitude and would otherwise make `make race` flake on gates
+// that are green in every non-instrumented build.
+package raceflag
+
+// Enabled is false in ordinary builds.
+const Enabled = false

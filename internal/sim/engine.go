@@ -10,16 +10,25 @@ import (
 // Handler on long-lived objects so that scheduling captures no environment.
 type Handler interface{ Fire() }
 
-// Event is a scheduled callback. Events are owned by the engine and recycled
-// through a free-list once they resolve (fire or cancel); callers refer to
-// them only through the generation-checked Handle returned by At/After,
-// never by raw pointer.
+// Event flag bits. Fired and canceled survive release so stale handles keep
+// reading an event's final state truthfully until the slot is reissued.
+const (
+	evFired uint8 = 1 << iota
+	evCanceled
+	evHasFn // callback is a closure in the slab's cold fns array
+)
+
+// Event is a scheduled callback, a 64-byte slot in the engine's slab arena.
+// Events are owned by the engine and recycled through a free list once they
+// resolve (fire or cancel); callers refer to them only through the
+// generation-checked Handle returned by At/After, never by raw pointer or
+// index. The layout packs the dispatch keys (time, schedAt, seq) and the
+// handler word into one cache line; the cold closure path lives outside the
+// struct entirely (eventSlab.fns).
 type Event struct {
 	time Time
 	seq  uint64
-	fn   func()
 	h    Handler
-	eng  *Engine
 
 	// schedAt is the simulated instant the scheduling decision was made —
 	// the secondary ordering key between seq and time. On the normal paths it
@@ -32,83 +41,97 @@ type Event struct {
 	// the same order a single sequential engine would have produced.
 	schedAt Time
 
-	// Scheduler residency. The heap uses index; the wheel links the event
-	// into an intrusive list (a slot, the overflow level, or the dispatch
-	// batch). An event outside any queue has index -1 and in == nil.
-	index      int
-	next, prev *Event
-	in         *eventList
+	// Scheduler residency, all in slab indices. The heap uses index; the
+	// wheel links the event into an intrusive list (a slot, the overflow
+	// level, or the dispatch batch) named by in. An event outside any queue
+	// has index -1 and in == listNone.
+	next, prev uint32
+	index      int32
+	in         uint16
 
-	gen      uint32 // bumped each time the event is (re)issued
-	canceled bool
-	fired    bool
+	gen   uint32 // bumped each time the slot is (re)issued
+	flags uint8
 }
 
-// Handle is a value-type reference to a scheduled event. It stays truthful
-// across event recycling: once the underlying Event object is reissued for a
-// later scheduling, the generation no longer matches and every method on the
-// stale handle becomes an inert no-op. The zero Handle refers to nothing.
+func (ev *Event) fired() bool    { return ev.flags&evFired != 0 }
+func (ev *Event) canceled() bool { return ev.flags&evCanceled != 0 }
+func (ev *Event) resolved() bool { return ev.flags&(evFired|evCanceled) != 0 }
+
+// Handle is a value-type reference to a scheduled event: the owning engine
+// plus the event's slab index and generation. It stays truthful across slot
+// recycling: once the underlying slot is reissued for a later scheduling,
+// the generation no longer matches and every method on the stale handle
+// becomes an inert no-op. The zero Handle refers to nothing.
 type Handle struct {
-	ev  *Event
+	eng *Engine
+	idx uint32
 	gen uint32
 }
 
-// valid reports whether the handle still refers to the scheduling it was
-// issued for (the underlying object has not been reissued).
-func (h Handle) valid() bool { return h.ev != nil && h.ev.gen == h.gen }
+// deref returns the referenced event, or nil when the handle is zero or
+// stale (the slot has been reissued).
+func (h Handle) deref() *Event {
+	if h.eng == nil {
+		return nil
+	}
+	if ev := h.eng.slab.at(h.idx); ev.gen == h.gen {
+		return ev
+	}
+	return nil
+}
 
 // Time returns the instant the event is (or was) scheduled to fire, or zero
 // for a stale or empty handle.
 func (h Handle) Time() Time {
-	if !h.valid() {
-		return 0
+	if ev := h.deref(); ev != nil {
+		return ev.time
 	}
-	return h.ev.time
+	return 0
 }
 
 // Pending reports whether the event is still waiting to fire.
 func (h Handle) Pending() bool {
-	return h.valid() && !h.ev.fired && !h.ev.canceled
+	ev := h.deref()
+	return ev != nil && !ev.resolved()
 }
 
 // Fired reports whether the event ran. A fired event reports Fired even if
 // Cancel was called afterwards — cancellation cannot rewrite history.
-func (h Handle) Fired() bool { return h.valid() && h.ev.fired }
+func (h Handle) Fired() bool {
+	ev := h.deref()
+	return ev != nil && ev.fired()
+}
 
 // Canceled reports whether the event was canceled before it fired.
 func (h Handle) Canceled() bool {
-	return h.valid() && h.ev.canceled && !h.ev.fired
+	ev := h.deref()
+	return ev != nil && ev.canceled() && !ev.fired()
 }
 
 // Cancel prevents the event from firing and removes it from the scheduler
 // immediately — O(1) on the wheel, O(log n) on the heap — so the event
-// object recycles at once and Pending drops by one. Canceling an
+// slot recycles at once and Pending drops by one. Canceling an
 // already-fired event, an already-canceled event, or through a stale handle
 // is a no-op.
 func (h Handle) Cancel() {
-	if !h.valid() || h.ev.fired || h.ev.canceled {
+	ev := h.deref()
+	if ev == nil || ev.resolved() {
 		return
 	}
-	ev := h.ev
-	ev.canceled = true
-	ev.eng.q.remove(ev)
-	ev.eng.release(ev)
+	ev.flags |= evCanceled
+	h.eng.q.remove(ev, h.idx)
+	h.eng.release(ev, h.idx)
 }
 
 // Engine is the discrete-event scheduler. It is not safe for concurrent use;
 // the whole simulation runs on one goroutine.
 type Engine struct {
+	slab    eventSlab
 	q       scheduler
 	now     Time
 	nextSeq uint64
 	fired   uint64
 	stopped bool
-
-	// free holds resolved Event objects awaiting reissue; allocs counts how
-	// many Event objects the engine ever created, so the steady-state churn
-	// rate is observable (allocs stops growing once the pool warms up).
-	free   []*Event
-	allocs uint64
 }
 
 // NewEngine returns an engine with the clock at zero, no pending events, and
@@ -119,11 +142,12 @@ func NewEngine() *Engine { return NewEngineWith(DefaultScheduler) }
 // fire events in identical (time, schedAt, seq) order; see SchedulerKind.
 func NewEngineWith(kind SchedulerKind) *Engine {
 	e := &Engine{}
+	e.slab.freeHead = nilIdx
 	switch kind {
 	case SchedHeap:
-		e.q = &heapQueue{}
+		e.q = &heapQueue{sl: &e.slab}
 	case SchedWheel, "":
-		e.q = newWheel()
+		e.q = newWheel(&e.slab)
 	default:
 		panic(fmt.Sprintf("sim: unknown scheduler kind %q", kind))
 	}
@@ -150,10 +174,10 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // cheap read at any point during or after a run.
 func (e *Engine) SchedStats() SchedStats { return e.q.stats() }
 
-// EventAllocs returns how many Event objects the engine has allocated. In
-// steady state this stays flat while Fired keeps climbing: every resolved
-// event is recycled.
-func (e *Engine) EventAllocs() uint64 { return e.allocs }
+// EventAllocs returns how many event slots the engine has carved from its
+// slab. In steady state this stays flat while Fired keeps climbing: every
+// resolved event is recycled.
+func (e *Engine) EventAllocs() uint64 { return e.slab.carved }
 
 // NextEventTime returns the earliest pending deadline without firing
 // anything, or false when no events are pending. The sharded runner reads it
@@ -161,37 +185,30 @@ func (e *Engine) EventAllocs() uint64 { return e.allocs }
 // starts from; it never mutates the queue.
 func (e *Engine) NextEventTime() (Time, bool) { return e.q.next() }
 
-// acquire takes an event from the free-list (or allocates one) and stamps it
-// with a fresh generation, invalidating every handle to its previous life.
-func (e *Engine) acquire(t Time) *Event {
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-	} else {
-		ev = &Event{eng: e}
-		e.allocs++
-	}
+// acquire takes an event slot from the slab and stamps it with a fresh
+// generation, invalidating every handle to its previous life.
+func (e *Engine) acquire(t Time) (*Event, uint32) {
+	ev, idx := e.slab.alloc()
 	ev.gen++
 	ev.time = t
 	ev.seq = e.nextSeq
-	ev.index = -1
-	ev.canceled = false
-	ev.fired = false
+	ev.flags = 0
 	e.nextSeq++
-	return ev
+	return ev, idx
 }
 
-// release returns a resolved (fired or canceled) event to the free-list. The
-// callback references are dropped so the engine does not pin closures or
-// handlers alive; the generation is NOT bumped here — it bumps on reissue,
-// so stale handles keep reading the event's final state truthfully until the
-// object is reused.
-func (e *Engine) release(ev *Event) {
-	ev.fn = nil
+// release returns a resolved (fired or canceled) event to the slab's free
+// list. The callback references are dropped so the engine does not pin
+// closures or handlers alive; the generation is NOT bumped here — it bumps
+// on reissue, so stale handles keep reading the event's final state
+// truthfully until the slot is reused.
+func (e *Engine) release(ev *Event, idx uint32) {
 	ev.h = nil
-	e.free = append(e.free, ev)
+	if ev.flags&evHasFn != 0 {
+		e.slab.clearFn(idx)
+		ev.flags &^= evHasFn
+	}
+	e.slab.free(idx)
 }
 
 func (e *Engine) schedule(t Time, fn func(), h Handler) Handle {
@@ -208,12 +225,15 @@ func (e *Engine) scheduleFrom(t, from Time, fn func(), h Handler) Handle {
 	if from > t {
 		panic(fmt.Sprintf("sim: schedule stamp %v after deadline %v", from, t))
 	}
-	ev := e.acquire(t)
+	ev, idx := e.acquire(t)
 	ev.schedAt = from
-	ev.fn = fn
 	ev.h = h
-	e.q.schedule(ev)
-	return Handle{ev: ev, gen: ev.gen}
+	if fn != nil {
+		ev.flags |= evHasFn
+		e.slab.setFn(idx, fn)
+	}
+	e.q.schedule(ev, idx)
+	return Handle{eng: e, idx: idx, gen: ev.gen}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics —
@@ -259,10 +279,10 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 // CheckInvariants verifies the engine's internal bookkeeping: the scheduler's
 // own structure (heap order and index bookkeeping, or wheel slot membership,
 // occupancy bitmaps, cascade currency and overflow horizon), that no pending
-// event is behind the clock, and that the free-list holds only resolved,
-// fully unlinked events. It returns nil when everything is coherent; the
-// audit layer calls it at drain time, and it is cheap enough to call in
-// tests after every run.
+// event is behind the clock, and that the slab's free list holds only
+// resolved, fully unlinked events. It returns nil when everything is
+// coherent; the audit layer calls it at drain time, and it is cheap enough
+// to call in tests after every run.
 func (e *Engine) CheckInvariants() error {
 	if err := e.q.check(e.now); err != nil {
 		return err
@@ -270,25 +290,31 @@ func (e *Engine) CheckInvariants() error {
 	if e.q.size() < 0 {
 		return fmt.Errorf("sim: negative pending count %d", e.q.size())
 	}
-	for i, ev := range e.free {
-		if ev == nil {
-			return fmt.Errorf("sim: nil entry %d in free-list", i)
-		}
+	seen := uint64(0)
+	for i := e.slab.freeHead; i != nilIdx; {
+		ev := e.slab.at(i)
 		if ev.index != -1 {
 			return fmt.Errorf("sim: free-list entry %d carries heap index %d", i, ev.index)
 		}
-		if ev.in != nil || ev.next != nil || ev.prev != nil {
-			return fmt.Errorf("sim: free-list entry %d still linked into a wheel list", i)
+		if ev.in != listNone {
+			return fmt.Errorf("sim: free-list entry %d still claims wheel list %d", i, ev.in)
 		}
-		if ev.fn != nil || ev.h != nil {
+		if ev.h != nil || ev.flags&evHasFn != 0 || e.slab.fn(i) != nil {
 			return fmt.Errorf("sim: free-list entry %d retains a callback", i)
 		}
-		if !ev.fired && !ev.canceled {
+		if !ev.resolved() {
 			return fmt.Errorf("sim: free-list entry %d was never resolved", i)
 		}
+		if seen++; seen > e.slab.carved {
+			return fmt.Errorf("sim: free-list cycle after %d entries", seen)
+		}
+		i = ev.next
 	}
-	if uint64(len(e.free)) > e.allocs {
-		return fmt.Errorf("sim: free-list %d exceeds total allocations %d", len(e.free), e.allocs)
+	if seen != uint64(e.slab.freeLen) {
+		return fmt.Errorf("sim: free-list holds %d entries but freeLen says %d", seen, e.slab.freeLen)
+	}
+	if seen > e.slab.carved {
+		return fmt.Errorf("sim: free-list %d exceeds total allocations %d", seen, e.slab.carved)
 	}
 	return nil
 }
@@ -299,17 +325,22 @@ func (e *Engine) CheckInvariants() error {
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.q.popDue(deadline)
-		if ev == nil {
+		idx := e.q.popDue(deadline)
+		if idx == nilIdx {
 			break
 		}
+		ev := e.slab.at(idx)
 		e.now = ev.time
-		ev.fired = true
-		fn, h := ev.fn, ev.h
+		ev.flags |= evFired
+		h := ev.h
+		var fn func()
+		if h == nil {
+			fn = e.slab.fn(idx)
+		}
 		// Release before firing: the callback may immediately reschedule and
-		// reuse this very object (the common timer-rearm pattern), which is
+		// reuse this very slot (the common timer-rearm pattern), which is
 		// safe because reissue bumps the generation.
-		e.release(ev)
+		e.release(ev, idx)
 		if h != nil {
 			h.Fire()
 		} else {

@@ -353,15 +353,17 @@ func TestCheckInvariantsDetectsHeapCorruption(t *testing.T) {
 	e.now = 0
 
 	// Broken heap index bookkeeping.
-	q.h[0].index = 2
+	root := q.sl.at(q.h[0])
+	root.index = 2
 	if err := e.CheckInvariants(); err == nil {
 		t.Fatal("index corruption not detected")
 	}
-	q.h[0].index = 0
+	root.index = 0
 
 	// Heap order violation.
-	q.h[0].time, q.h[1].time = q.h[1].time, q.h[0].time
-	if q.h.Less(1, 0) {
+	second := q.sl.at(q.h[1])
+	root.time, second.time = second.time, root.time
+	if q.less(1, 0) {
 		if err := e.CheckInvariants(); err == nil {
 			t.Fatal("heap order violation not detected")
 		}

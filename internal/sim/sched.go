@@ -14,8 +14,8 @@ const (
 	// removal on cancel, amortized O(levels) dispatch. The default.
 	SchedWheel SchedulerKind = "wheel"
 
-	// SchedHeap is the container/heap reference implementation: O(log n)
-	// schedule, removal and dispatch.
+	// SchedHeap is the container/heap-equivalent reference implementation:
+	// O(log n) schedule, removal and dispatch.
 	SchedHeap SchedulerKind = "heap"
 )
 
@@ -52,20 +52,22 @@ type SchedStats struct {
 
 // scheduler is the event-queue contract the Engine drives. Exactly the events
 // that were scheduled and not removed are pending; Cancel is a true removal,
-// so a scheduler never holds fired or canceled events.
+// so a scheduler never holds fired or canceled events. Events travel as
+// (pointer, slab index) pairs: the pointer spares re-derefencing a slot the
+// caller already has in hand, the index is what the queues store.
 type scheduler interface {
 	// schedule inserts a pending event. The engine guarantees ev.time is not
 	// in the past and ev.seq is strictly larger than every earlier event's.
-	schedule(ev *Event)
+	schedule(ev *Event, idx uint32)
 
 	// remove deletes a pending event before it fires.
-	remove(ev *Event)
+	remove(ev *Event, idx uint32)
 
-	// popDue removes and returns the earliest pending event by (time,
-	// schedAt, seq) if its time is ≤ limit, or nil (leaving the queue
-	// untouched in any observable way) when the queue is empty or the
-	// earliest event is later.
-	popDue(limit Time) *Event
+	// popDue removes and returns the slab index of the earliest pending
+	// event by (time, schedAt, seq) if its time is ≤ limit, or nilIdx
+	// (leaving the queue untouched in any observable way) when the queue is
+	// empty or the earliest event is later.
+	popDue(limit Time) uint32
 
 	// next returns the earliest pending deadline without mutating the queue,
 	// or false when nothing is pending. This is what the sharded runner uses
@@ -86,70 +88,83 @@ type scheduler interface {
 	check(now Time) error
 }
 
-// eventList is an intrusive doubly-linked list of pending events, used by the
+// Wheel list identifiers, stored in Event.in. The 512 slot lists are named
+// level<<wheelBits | slot; the overflow list and the dispatch batch follow.
+// listNone marks an event resident in no list (free, or in the heap).
+const (
+	numSlotLists = wheelLevels * wheelSlots // slot list ids: 0..511
+	listOverflow = numSlotLists
+	listDue      = numSlotLists + 1
+	listNone     = ^uint16(0)
+)
+
+// slotList is an intrusive doubly-linked list of pending events, used by the
 // timing wheel for its slots, its overflow level and its same-timestamp
-// dispatch batch. Links live on the Event itself, so membership changes are
-// pointer writes with no allocation. A list backing a wheel slot knows its
-// (wheel, level, slot) so emptying it can clear the occupancy bitmap bit.
-type eventList struct {
-	head, tail *Event
-	wh         *wheel // non-nil for wheel slot lists
-	level      uint8
-	slot       uint8
+// dispatch batch. Links are slab indices living on the Event itself, so
+// membership changes are a handful of 4-byte stores with no allocation and
+// the list head is a single word. The zero value is NOT an empty list —
+// index 0 is a real slot — so wheels initialize head and tail to nilIdx.
+type slotList struct {
+	head, tail uint32
 }
 
-// pushBack appends ev and records the owning list on the event.
-func (l *eventList) pushBack(ev *Event) {
-	ev.in = l
+func (l *slotList) init() { l.head, l.tail = nilIdx, nilIdx }
+
+func (l *slotList) empty() bool { return l.head == nilIdx }
+
+// pushBack appends ev (at slab index idx) and records the owning list id on
+// the event.
+func (l *slotList) pushBack(sl *eventSlab, ev *Event, idx uint32, id uint16) {
+	ev.in = id
 	ev.prev = l.tail
-	ev.next = nil
-	if l.tail != nil {
-		l.tail.next = ev
+	ev.next = nilIdx
+	if l.tail != nilIdx {
+		sl.at(l.tail).next = idx
 	} else {
-		l.head = ev
+		l.head = idx
 	}
-	l.tail = ev
+	l.tail = idx
 }
 
-// unlink removes ev from this list in O(1) and clears its links. When a wheel
-// slot empties, the level's occupancy bit is cleared so the bitmap scans stay
-// truthful.
-func (l *eventList) unlink(ev *Event) {
-	if ev.prev != nil {
-		ev.prev.next = ev.next
+// unlink removes ev from this list in O(1) and clears its links. Callers
+// removing the last resident of a wheel slot must clear the level's
+// occupancy bit themselves (the wheel's remove and cascade paths do).
+func (l *slotList) unlink(sl *eventSlab, ev *Event) {
+	if ev.prev != nilIdx {
+		sl.at(ev.prev).next = ev.next
 	} else {
 		l.head = ev.next
 	}
-	if ev.next != nil {
-		ev.next.prev = ev.prev
+	if ev.next != nilIdx {
+		sl.at(ev.next).prev = ev.prev
 	} else {
 		l.tail = ev.prev
 	}
-	ev.next, ev.prev, ev.in = nil, nil, nil
-	if l.head == nil && l.wh != nil {
-		l.wh.occupied[l.level] &^= 1 << l.slot
-	}
+	ev.next, ev.prev, ev.in = nilIdx, nilIdx, listNone
 }
 
-// checkLinks validates the list's internal pointer structure and returns the
-// number of events it holds.
-func (l *eventList) checkLinks(what string) (int, error) {
+// checkLinks validates the list's internal link structure — every resident
+// claims the list id, prev links mirror next links, tail reaches the last
+// entry — and returns the number of events it holds.
+func (l *slotList) checkLinks(sl *eventSlab, id uint16, what string) (int, error) {
 	n := 0
-	var prev *Event
-	for ev := l.head; ev != nil; ev = ev.next {
-		if ev.in != l {
-			return n, fmt.Errorf("sim: %s entry %d claims a different owning list", what, n)
+	prev := nilIdx
+	for i := l.head; i != nilIdx; {
+		ev := sl.at(i)
+		if ev.in != id {
+			return n, fmt.Errorf("sim: %s entry %d claims a different owning list (%d)", what, n, ev.in)
 		}
 		if ev.prev != prev {
 			return n, fmt.Errorf("sim: %s entry %d has a broken prev link", what, n)
 		}
-		prev = ev
+		prev = i
+		i = ev.next
 		n++
 	}
 	if l.tail != prev {
 		return n, fmt.Errorf("sim: %s tail does not reach the last entry", what)
 	}
-	if (l.head == nil) != (l.tail == nil) {
+	if (l.head == nilIdx) != (l.tail == nilIdx) {
 		return n, fmt.Errorf("sim: %s head/tail nil mismatch", what)
 	}
 	return n, nil

@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+// TestHandleReuseAfterFree pins the generation-counter discipline of the
+// event slab: a resolved slot keeps reporting its final state to old handles
+// until it is reissued, and from the moment a new event occupies the slot
+// every stale handle goes inert — reads return zero values and Cancel cannot
+// touch the slot's new tenant.
+func TestHandleReuseAfterFree(t *testing.T) {
+	for _, kind := range []SchedulerKind{SchedWheel, SchedHeap} {
+		t.Run(string(kind), func(t *testing.T) {
+			e := NewEngineWith(kind)
+			fired := 0
+
+			// Cancel path: the canceled handle reads its final state...
+			a := e.At(10, func() { fired++ })
+			a.Cancel()
+			if a.Pending() || a.Fired() || !a.Canceled() {
+				t.Fatalf("canceled handle misreports before reuse: pending=%v fired=%v canceled=%v",
+					a.Pending(), a.Fired(), a.Canceled())
+			}
+
+			// ...until the LIFO free list hands the slot to the next event.
+			b := e.At(20, func() { fired++ })
+			if b.idx != a.idx {
+				t.Fatalf("free list did not recycle the canceled slot: a.idx=%d b.idx=%d", a.idx, b.idx)
+			}
+			if b.gen == a.gen {
+				t.Fatalf("reissued slot did not bump its generation (gen=%d)", b.gen)
+			}
+			if a.Pending() || a.Fired() || a.Canceled() || a.Time() != 0 {
+				t.Errorf("stale handle not inert after slot reuse: pending=%v fired=%v canceled=%v time=%v",
+					a.Pending(), a.Fired(), a.Canceled(), a.Time())
+			}
+			a.Cancel() // must not evict the slot's new tenant
+			if !b.Pending() {
+				t.Fatal("stale Cancel removed the reissued event — use-after-free through an old handle")
+			}
+			e.Run()
+			if fired != 1 || !b.Fired() {
+				t.Errorf("reissued event outcome: fired=%d b.Fired()=%v, want 1/true", fired, b.Fired())
+			}
+
+			// Fire path: same discipline when the slot resolves by firing.
+			c := e.At(e.Now()+5, func() { fired++ })
+			e.Run()
+			if !c.Fired() {
+				t.Fatal("fired handle misreports before reuse")
+			}
+			d := e.At(e.Now()+5, func() { fired++ })
+			if d.idx != c.idx {
+				t.Fatalf("free list did not recycle the fired slot: c.idx=%d d.idx=%d", c.idx, d.idx)
+			}
+			if c.Fired() || c.Pending() {
+				t.Errorf("stale fired handle not inert after reuse: fired=%v pending=%v", c.Fired(), c.Pending())
+			}
+			c.Cancel()
+			if !d.Pending() {
+				t.Fatal("stale Cancel through a fired handle removed the slot's new tenant")
+			}
+			e.Run()
+			if fired != 3 {
+				t.Errorf("fired %d events, want 3", fired)
+			}
+		})
+	}
+}
+
+// TestSlabChunkGrowthMassCancel drives the slab through the 2^20-pending
+// mass-cancel scenario: carving must grow by whole chunks exactly as far as
+// the peak population requires, a mass cancel must return every slot to the
+// free list with the scheduler empty, and re-offering the same population
+// must be served entirely from recycled slots — no new chunk, no new carving.
+func TestSlabChunkGrowthMassCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a 2^20-event slab; skipped in -short mode")
+	}
+	const n = 1 << 20
+	const wantChunks = n / EventChunkSize
+	for _, kind := range []SchedulerKind{SchedWheel, SchedHeap} {
+		t.Run(string(kind), func(t *testing.T) {
+			e := NewEngineWith(kind)
+			handles := make([]Handle, n)
+			for i := range handles {
+				handles[i] = e.At(Time(1+i), func() {})
+			}
+			if got := len(e.slab.chunks); got != wantChunks {
+				t.Fatalf("carved %d chunks for %d events, want exactly %d", got, n, wantChunks)
+			}
+			if e.EventAllocs() != n {
+				t.Fatalf("EventAllocs = %d, want %d", e.EventAllocs(), n)
+			}
+			if e.Pending() != n {
+				t.Fatalf("Pending = %d, want %d", e.Pending(), n)
+			}
+
+			for _, h := range handles {
+				h.Cancel()
+			}
+			if e.Pending() != 0 {
+				t.Fatalf("Pending = %d after mass cancel, want 0", e.Pending())
+			}
+			if e.slab.freeLen != n {
+				t.Fatalf("free list holds %d slots after mass cancel, want %d", e.slab.freeLen, n)
+			}
+
+			// The same population again: recycled wholesale, zero growth.
+			for i := 0; i < n; i++ {
+				e.At(Time(1+i), func() {})
+			}
+			if e.EventAllocs() != n {
+				t.Errorf("re-offer carved new slots: EventAllocs = %d, want still %d", e.EventAllocs(), n)
+			}
+			if got := len(e.slab.chunks); got != wantChunks {
+				t.Errorf("re-offer grew the slab to %d chunks, want still %d", got, wantChunks)
+			}
+			e.Run()
+			if e.Fired() != n {
+				t.Errorf("Fired = %d, want %d (mass cancel must not eat live events)", e.Fired(), n)
+			}
+		})
+	}
+}

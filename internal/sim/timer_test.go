@@ -39,7 +39,7 @@ func TestStaleHandleIsInertAfterRecycle(t *testing.T) {
 	if e.EventAllocs() != 1 {
 		t.Fatalf("EventAllocs() = %d after reschedule, want 1 (object not recycled)", e.EventAllocs())
 	}
-	if h1.ev != h2.ev {
+	if h1.idx != h2.idx {
 		t.Fatal("test premise broken: second event did not reuse the first object")
 	}
 	if h1.gen == h2.gen {
@@ -80,7 +80,7 @@ func TestStaleHandleAfterCancel(t *testing.T) {
 	if e.EventAllocs() != 1 {
 		t.Fatalf("EventAllocs() = %d, want 1 (canceled object recycled immediately)", e.EventAllocs())
 	}
-	if h2.ev != h1.ev {
+	if h2.idx != h1.idx {
 		t.Fatal("canceled event object was not recycled")
 	}
 	if h1.Canceled() {

@@ -29,14 +29,20 @@ const (
 // disambiguate, and the lowest set bit of a level's occupancy bitmap is
 // always that level's earliest window.
 //
+// The slot lists are slab-index links (slotList), so the whole wheel
+// skeleton is 512 two-word list heads — 4 KiB, cache-resident — and walking
+// a slot touches the contiguous event slab rather than chasing heap
+// pointers.
+//
 // Costs: schedule and remove are O(1); popDue advances the clock straight to
 // the next event time (this is a discrete-event simulator — no tick parade)
 // and cascades at most one slot per level, so each event is relinked at most
 // wheelLevels times over its whole life.
 type wheel struct {
+	sl       *eventSlab
 	cur      Time
-	slots    [wheelLevels][wheelSlots]eventList
-	occupied [wheelLevels]uint64 // bit s set iff slots[l][s] is nonempty
+	slots    [numSlotLists]slotList // indexed level<<wheelBits | slot
+	occupied [wheelLevels]uint64    // bit s set iff slots[l<<6|s] is nonempty
 
 	// overflow holds events beyond the top level's horizon, unordered; they
 	// migrate into the wheel when the clock crosses a horizon boundary.
@@ -45,7 +51,7 @@ type wheel struct {
 	// marks it dirty for lazy recomputation. overflowLen counts residents
 	// (the intrusive list has no length of its own) so occupancy is
 	// observable without a walk.
-	overflow      eventList
+	overflow      slotList
 	overflowMin   Time
 	overflowDirty bool
 	overflowLen   int
@@ -56,44 +62,43 @@ type wheel struct {
 	// the level-0 slot and form the next batch. Such events carry schedAt ==
 	// cur while everything already in the batch was scheduled strictly
 	// earlier, so serving the batch first preserves the dispatch order.
-	due eventList
+	due slotList
 
 	count   int
-	scratch []*Event // reusable sort buffer for dispatch batches
+	scratch []uint32 // reusable sort buffer for dispatch batches
 
 	// Lifetime high-water marks, maintained inline on the schedule path.
 	peakCount    int
 	peakOverflow int
 }
 
-func newWheel() *wheel {
-	w := &wheel{}
-	for l := range w.slots {
-		for s := range w.slots[l] {
-			li := &w.slots[l][s]
-			li.wh, li.level, li.slot = w, uint8(l), uint8(s)
-		}
+func newWheel(sl *eventSlab) *wheel {
+	w := &wheel{sl: sl}
+	for i := range w.slots {
+		w.slots[i].init()
 	}
+	w.overflow.init()
+	w.due.init()
 	return w
 }
 
-func (w *wheel) schedule(ev *Event) {
+func (w *wheel) schedule(ev *Event, idx uint32) {
 	w.count++
 	if w.count > w.peakCount {
 		w.peakCount = w.count
 	}
-	w.place(ev)
+	w.place(ev, idx)
 }
 
 // place links ev into the slot its deadline selects relative to the current
 // wheel clock, or onto the overflow list when it is beyond the horizon.
-func (w *wheel) place(ev *Event) {
+func (w *wheel) place(ev *Event, idx uint32) {
 	d := uint64(ev.time ^ w.cur)
 	if d>>wheelHorizonBits != 0 {
-		if !w.overflowDirty && (w.overflow.head == nil || ev.time < w.overflowMin) {
+		if !w.overflowDirty && (w.overflow.empty() || ev.time < w.overflowMin) {
 			w.overflowMin = ev.time
 		}
-		w.overflow.pushBack(ev)
+		w.overflow.pushBack(w.sl, ev, idx, listOverflow)
 		w.overflowLen++
 		if w.overflowLen > w.peakOverflow {
 			w.peakOverflow = w.overflowLen
@@ -104,13 +109,15 @@ func (w *wheel) place(ev *Event) {
 	if d != 0 {
 		l = (63 - bits.LeadingZeros64(d)) / wheelBits
 	}
-	s := (uint64(ev.time) >> (l * wheelBits)) & wheelMask
-	w.slots[l][s].pushBack(ev)
+	s := int((uint64(ev.time) >> (l * wheelBits)) & wheelMask)
+	id := uint16(l<<wheelBits | s)
+	w.slots[id].pushBack(w.sl, ev, idx, id)
 	w.occupied[l] |= 1 << s
 }
 
-func (w *wheel) remove(ev *Event) {
-	if ev.in == &w.overflow {
+func (w *wheel) remove(ev *Event, idx uint32) {
+	switch id := ev.in; id {
+	case listOverflow:
 		w.overflowLen--
 		// Removing the cached minimum invalidates the cache; mark it dirty so
 		// the next nextTime recomputes instead of reporting a canceled
@@ -119,8 +126,16 @@ func (w *wheel) remove(ev *Event) {
 		if !w.overflowDirty && ev.time == w.overflowMin {
 			w.overflowDirty = true
 		}
+		w.overflow.unlink(w.sl, ev)
+	case listDue:
+		w.due.unlink(w.sl, ev)
+	default:
+		li := &w.slots[id]
+		li.unlink(w.sl, ev)
+		if li.empty() {
+			w.occupied[id>>wheelBits] &^= 1 << (id & wheelMask)
+		}
 	}
-	ev.in.unlink(ev)
 	w.count--
 }
 
@@ -130,7 +145,7 @@ func (w *wheel) remove(ev *Event) {
 // a higher bit group), and overflow events lie beyond all of them. So the
 // earliest event lives in the lowest occupied slot of the lowest occupied
 // level — and at level 0 that slot holds a single timestamp, making the
-// common case a bitmap scan plus one pointer chase.
+// common case a bitmap scan plus one slab load.
 func (w *wheel) nextTime() (Time, bool) {
 	for l := 0; l < wheelLevels; l++ {
 		occ := w.occupied[l]
@@ -138,24 +153,29 @@ func (w *wheel) nextTime() (Time, bool) {
 			continue
 		}
 		s := bits.TrailingZeros64(occ)
+		li := &w.slots[l<<wheelBits|s]
 		if l == 0 {
-			return w.slots[0][s].head.time, true
+			return w.sl.at(li.head).time, true
 		}
 		best := MaxTime
-		for ev := w.slots[l][s].head; ev != nil; ev = ev.next {
+		for i := li.head; i != nilIdx; {
+			ev := w.sl.at(i)
 			if ev.time < best {
 				best = ev.time
 			}
+			i = ev.next
 		}
 		return best, true
 	}
-	if w.overflow.head != nil {
+	if !w.overflow.empty() {
 		if w.overflowDirty {
 			w.overflowMin = MaxTime
-			for ev := w.overflow.head; ev != nil; ev = ev.next {
+			for i := w.overflow.head; i != nilIdx; {
+				ev := w.sl.at(i)
 				if ev.time < w.overflowMin {
 					w.overflowMin = ev.time
 				}
+				i = ev.next
 			}
 			w.overflowDirty = false
 		}
@@ -176,17 +196,21 @@ func (w *wheel) advance(t Time) {
 		w.cur = t
 	}
 	for l := wheelLevels - 1; l >= 1; l-- {
-		s := (uint64(t) >> (l * wheelBits)) & wheelMask
+		s := int((uint64(t) >> (l * wheelBits)) & wheelMask)
 		if w.occupied[l]&(1<<s) == 0 {
 			continue
 		}
-		li := &w.slots[l][s]
-		for ev := li.head; ev != nil; {
+		li := &w.slots[l<<wheelBits|s]
+		for i := li.head; i != nilIdx; {
+			ev := w.sl.at(i)
 			next := ev.next
-			li.unlink(ev)
-			w.place(ev)
-			ev = next
+			li.unlink(w.sl, ev)
+			// Cascades move strictly downward: ev now shares group l with the
+			// clock, so place picks a lower level, never this slot again.
+			w.place(ev, i)
+			i = next
 		}
+		w.occupied[l] &^= 1 << s
 	}
 }
 
@@ -194,32 +218,34 @@ func (w *wheel) advance(t Time) {
 // refreshes the cached minimum of whatever stays behind.
 func (w *wheel) migrateOverflow() {
 	w.overflowMin = MaxTime
-	for ev := w.overflow.head; ev != nil; {
+	for i := w.overflow.head; i != nilIdx; {
+		ev := w.sl.at(i)
 		next := ev.next
 		if uint64(ev.time^w.cur)>>wheelHorizonBits == 0 {
-			w.overflow.unlink(ev)
+			w.overflow.unlink(w.sl, ev)
 			w.overflowLen--
-			w.place(ev)
+			w.place(ev, i)
 		} else if ev.time < w.overflowMin {
 			w.overflowMin = ev.time
 		}
-		ev = next
+		i = next
 	}
 	w.overflowDirty = false
 }
 
-func (w *wheel) popDue(limit Time) *Event {
-	if head := w.due.head; head != nil {
-		if head.time > limit {
-			return nil
+func (w *wheel) popDue(limit Time) uint32 {
+	if h := w.due.head; h != nilIdx {
+		ev := w.sl.at(h)
+		if ev.time > limit {
+			return nilIdx
 		}
-		w.due.unlink(head)
+		w.due.unlink(w.sl, ev)
 		w.count--
-		return head
+		return h
 	}
 	t, ok := w.nextTime()
 	if !ok || t > limit {
-		return nil
+		return nilIdx
 	}
 	w.advance(t)
 
@@ -228,50 +254,56 @@ func (w *wheel) popDue(limit Time) *Event {
 	// schedules append in that order already; cascaded arrivals and backdated
 	// cross-shard deliveries can interleave, hence the sort (pdqsort, linear
 	// on the already-sorted common case).
-	li := &w.slots[0][uint64(t)&wheelMask]
-	if head := li.head; head != nil && head == li.tail {
+	s := uint16(uint64(t) & wheelMask)
+	li := &w.slots[s]
+	if h := li.head; h != nilIdx && h == li.tail {
 		// Lone event at this timestamp — the overwhelmingly common case in a
 		// simulation with picosecond resolution. No batch, no sort.
-		li.unlink(head)
+		li.unlink(w.sl, w.sl.at(h))
+		w.occupied[0] &^= 1 << s
 		w.count--
-		return head
+		return h
 	}
 	w.scratch = w.scratch[:0]
-	for ev := li.head; ev != nil; {
+	for i := li.head; i != nilIdx; {
+		ev := w.sl.at(i)
 		next := ev.next
-		li.unlink(ev)
-		w.scratch = append(w.scratch, ev)
-		ev = next
+		li.unlink(w.sl, ev)
+		w.scratch = append(w.scratch, i)
+		i = next
 	}
-	slices.SortFunc(w.scratch, func(a, b *Event) int {
+	w.occupied[0] &^= 1 << s
+	sl := w.sl
+	slices.SortFunc(w.scratch, func(a, b uint32) int {
+		ea, eb := sl.at(a), sl.at(b)
 		switch {
-		case a.schedAt < b.schedAt:
+		case ea.schedAt < eb.schedAt:
 			return -1
-		case a.schedAt > b.schedAt:
+		case ea.schedAt > eb.schedAt:
 			return 1
-		case a.seq < b.seq:
+		case ea.seq < eb.seq:
 			return -1
-		case a.seq > b.seq:
+		case ea.seq > eb.seq:
 			return 1
 		default:
 			return 0
 		}
 	})
-	for _, ev := range w.scratch {
-		w.due.pushBack(ev)
+	for _, i := range w.scratch {
+		w.due.pushBack(sl, sl.at(i), i, listDue)
 	}
-	head := w.due.head
-	w.due.unlink(head)
+	h := w.due.head
+	w.due.unlink(sl, sl.at(h))
 	w.count--
-	return head
+	return h
 }
 
 // next returns the earliest pending deadline without mutating the wheel.
 // A partially drained dispatch batch holds the current instant's remaining
 // events, which by construction precede everything still in the slots.
 func (w *wheel) next() (Time, bool) {
-	if head := w.due.head; head != nil {
-		return head.time, true
+	if h := w.due.head; h != nilIdx {
+		return w.sl.at(h).time, true
 	}
 	return w.nextTime()
 }
@@ -302,18 +334,20 @@ func (w *wheel) check(now Time) error {
 	count := 0
 	for l := 0; l < wheelLevels; l++ {
 		for s := 0; s < wheelSlots; s++ {
-			li := &w.slots[l][s]
+			id := uint16(l<<wheelBits | s)
+			li := &w.slots[id]
 			occupied := w.occupied[l]&(1<<s) != 0
-			if occupied != (li.head != nil) {
+			if occupied != !li.empty() {
 				return fmt.Errorf("sim: wheel level %d slot %d occupancy bit %v disagrees with contents", l, s, occupied)
 			}
-			n, err := li.checkLinks(fmt.Sprintf("wheel level %d slot %d", l, s))
+			n, err := li.checkLinks(w.sl, id, fmt.Sprintf("wheel level %d slot %d", l, s))
 			if err != nil {
 				return err
 			}
 			count += n
-			for ev := li.head; ev != nil; ev = ev.next {
-				if ev.fired || ev.canceled {
+			for i := li.head; i != nilIdx; {
+				ev := w.sl.at(i)
+				if ev.resolved() {
 					return fmt.Errorf("sim: resolved event resident at wheel level %d slot %d", l, s)
 				}
 				if ev.time < w.cur {
@@ -325,30 +359,33 @@ func (w *wheel) check(now Time) error {
 				if uint64(ev.time^w.cur)>>((l+1)*wheelBits) != 0 {
 					return fmt.Errorf("sim: event at %v overdue for cascade out of level %d (clock %v)", ev.time, l, w.cur)
 				}
+				i = ev.next
 			}
 		}
 	}
-	n, err := w.due.checkLinks("wheel dispatch batch")
+	n, err := w.due.checkLinks(w.sl, listDue, "wheel dispatch batch")
 	if err != nil {
 		return err
 	}
 	count += n
 	var prevSchedAt Time
 	var prevSeq uint64
-	for ev := w.due.head; ev != nil; ev = ev.next {
+	for i := w.due.head; i != nilIdx; {
+		ev := w.sl.at(i)
 		if ev.time != w.cur {
 			return fmt.Errorf("sim: dispatch-batch event at %v, wheel clock %v", ev.time, w.cur)
 		}
-		if ev.fired || ev.canceled {
+		if ev.resolved() {
 			return fmt.Errorf("sim: resolved event in the dispatch batch")
 		}
-		if ev != w.due.head && (ev.schedAt < prevSchedAt || (ev.schedAt == prevSchedAt && ev.seq <= prevSeq)) {
+		if i != w.due.head && (ev.schedAt < prevSchedAt || (ev.schedAt == prevSchedAt && ev.seq <= prevSeq)) {
 			return fmt.Errorf("sim: dispatch batch out of (schedAt, seq) order ((%v,%d) after (%v,%d))",
 				ev.schedAt, ev.seq, prevSchedAt, prevSeq)
 		}
 		prevSchedAt, prevSeq = ev.schedAt, ev.seq
+		i = ev.next
 	}
-	n, err = w.overflow.checkLinks("wheel overflow")
+	n, err = w.overflow.checkLinks(w.sl, listOverflow, "wheel overflow")
 	if err != nil {
 		return err
 	}
@@ -357,8 +394,9 @@ func (w *wheel) check(now Time) error {
 	}
 	count += n
 	min := MaxTime
-	for ev := w.overflow.head; ev != nil; ev = ev.next {
-		if ev.fired || ev.canceled {
+	for i := w.overflow.head; i != nilIdx; {
+		ev := w.sl.at(i)
+		if ev.resolved() {
 			return fmt.Errorf("sim: resolved event on the overflow list")
 		}
 		if uint64(ev.time^w.cur)>>wheelHorizonBits == 0 {
@@ -367,8 +405,9 @@ func (w *wheel) check(now Time) error {
 		if ev.time < min {
 			min = ev.time
 		}
+		i = ev.next
 	}
-	if w.overflow.head != nil && !w.overflowDirty && w.overflowMin != min {
+	if !w.overflow.empty() && !w.overflowDirty && w.overflowMin != min {
 		return fmt.Errorf("sim: cached overflow minimum %v, actual %v", w.overflowMin, min)
 	}
 	if count != w.count {

@@ -20,7 +20,7 @@ func TestWheelFarFutureOverflow(t *testing.T) {
 	e.At(wheelHorizon+7, func() { order = append(order, 3) })    // one horizon out
 	e.At(3*wheelHorizon+11, func() { order = append(order, 4) }) // several horizons out
 	e.At(Time(1000*Microsecond), func() { order = append(order, 2) })
-	if w.overflow.head == nil {
+	if w.overflow.empty() {
 		t.Fatal("far-future events did not land on the overflow list")
 	}
 	if err := e.CheckInvariants(); err != nil {
@@ -35,7 +35,7 @@ func TestWheelFarFutureOverflow(t *testing.T) {
 			t.Fatalf("firing order %v, want [1 2 3 4]", order)
 		}
 	}
-	if w.overflow.head != nil {
+	if !w.overflow.empty() {
 		t.Fatal("overflow list not drained")
 	}
 	if err := e.CheckInvariants(); err != nil {
@@ -191,12 +191,16 @@ func TestCheckInvariantsDetectsWheelCorruption(t *testing.T) {
 
 	e, w = newPopulated()
 	// Relocate an event into a slot its deadline does not select.
-	ev := w.slots[1][1].head
-	if ev == nil {
+	from := uint16(1<<wheelBits | 1)
+	idx := w.slots[from].head
+	if idx == nilIdx {
 		t.Fatal("test premise broken: expected a level-1 resident at slot 1")
 	}
-	w.slots[1][1].unlink(ev)
-	w.slots[1][9].pushBack(ev)
+	ev := w.sl.at(idx)
+	w.slots[from].unlink(w.sl, ev)
+	w.occupied[1] &^= 1 << 1
+	to := uint16(1<<wheelBits | 9)
+	w.slots[to].pushBack(w.sl, ev, idx, to)
 	w.occupied[1] |= 1 << 9
 	if err := e.CheckInvariants(); err == nil {
 		t.Fatal("slot mismembership not detected")
@@ -205,8 +209,7 @@ func TestCheckInvariantsDetectsWheelCorruption(t *testing.T) {
 	e, w = newPopulated()
 	// An overflow resident whose delta now fits the horizon is an overdue
 	// migration.
-	ev = w.overflow.head
-	ev.time = 200
+	w.sl.at(w.overflow.head).time = 200
 	if err := e.CheckInvariants(); err == nil {
 		t.Fatal("overdue overflow migration not detected")
 	}
@@ -304,17 +307,18 @@ func TestWheelOverflowMassCancel(t *testing.T) {
 	var last Time
 	fired := 0
 	for {
-		ev := e.q.popDue(MaxTime)
-		if ev == nil {
+		idx := e.q.popDue(MaxTime)
+		if idx == nilIdx {
 			break
 		}
+		ev := e.slab.at(idx)
 		if ev.time < last {
 			t.Fatalf("event at %v popped after %v", ev.time, last)
 		}
 		last = ev.time
 		e.now = ev.time
-		ev.fired = true
-		e.release(ev)
+		ev.flags |= evFired
+		e.release(ev, idx)
 		fired++
 	}
 	want := n - canceled

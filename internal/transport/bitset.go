@@ -1,0 +1,78 @@
+package transport
+
+import "math/bits"
+
+// Bitset is a fixed-size bit array used for per-segment flags (received,
+// acknowledged, assigned). At one bit per segment instead of one bool byte
+// it is the dominant term in per-flow state for large flows, so the scale
+// sweep's state_bytes_per_flow rides directly on this representation.
+type Bitset struct {
+	w []uint64
+	n int
+}
+
+// NewBitset returns a zeroed bitset of n bits.
+func NewBitset(n int) Bitset {
+	return Bitset{w: make([]uint64, (n+63)/64), n: n}
+}
+
+// NewBitsetPair returns two independent zeroed bitsets of n bits carved from
+// one allocation. Per-flow senders keep two parallel bitmaps (acked and
+// assigned) for the flow's whole life; allocating them together halves the
+// allocator traffic and rounding waste at flow setup, which the scale
+// sweep's state_bytes_per_flow measures directly.
+func NewBitsetPair(n int) (Bitset, Bitset) {
+	words := (n + 63) / 64
+	w := make([]uint64, 2*words)
+	return Bitset{w: w[:words:words], n: n}, Bitset{w: w[words:], n: n}
+}
+
+// Len returns the number of bits.
+func (b Bitset) Len() int { return b.n }
+
+// Get reports bit i. Out-of-range indices panic, like a slice would.
+func (b Bitset) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic("transport: bitset index out of range")
+	}
+	return b.w[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i.
+func (b Bitset) Set(i int) {
+	if i < 0 || i >= b.n {
+		panic("transport: bitset index out of range")
+	}
+	b.w[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	c := 0
+	for _, w := range b.w {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// NextZero returns the index of the first clear bit at or after i, or Len()
+// when every remaining bit is set. Scan loops (loss sweeps, completeness
+// checks) use it to skip fully-acknowledged 64-segment spans in one
+// compare.
+func (b Bitset) NextZero(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < b.n {
+		w := ^b.w[i>>6] >> (uint(i) & 63)
+		if w != 0 {
+			i += bits.TrailingZeros64(w)
+			if i > b.n {
+				return b.n
+			}
+			return i
+		}
+		i = (i &^ 63) + 64
+	}
+	return b.n
+}

@@ -104,7 +104,7 @@ type Protocol struct {
 	rng  *rand.Rand
 
 	tbl       rdbase.Tables[sender]
-	receivers map[uint64]*receiver
+	receivers rdbase.FlowTable[receiver]
 
 	// WastedCredits counts credits that arrived at a sender with nothing
 	// left to send.
@@ -115,9 +115,8 @@ type Protocol struct {
 func New(env *transport.Env, opts Options) *Protocol {
 	p := &Protocol{
 		env: env, opts: opts,
-		rng:       sim.NewRand(opts.Seed, 0xE9),
-		tbl:       rdbase.NewTables[sender](),
-		receivers: make(map[uint64]*receiver),
+		rng: sim.NewRand(opts.Seed, 0xE9),
+		tbl: rdbase.NewTables[sender](),
 	}
 	for _, h := range env.Net.EndpointHosts() {
 		h.EP = &endpoint{p: p}
@@ -142,8 +141,8 @@ func (p *Protocol) Name() string {
 // Start implements transport.Protocol.
 func (p *Protocol) Start(f *transport.Flow) {
 	p.tbl.AddFlow(f)
-	s := newSender(p, f)
-	p.tbl.AddSender(f.ID, s)
+	s := p.tbl.AddSender(f.ID)
+	s.init(p, f)
 	s.start()
 }
 
@@ -155,10 +154,9 @@ func (ep *endpoint) Receive(pkt *netem.Packet) {
 	p := ep.p
 	switch pkt.Type {
 	case netem.CreditReq, netem.Data, netem.Probe, netem.CtrlOther:
-		r := p.receivers[pkt.Flow]
-		if r == nil {
-			r = newReceiver(p, pkt.Flow)
-			p.receivers[pkt.Flow] = r
+		r, added := p.receivers.Put(pkt.Flow)
+		if added {
+			r.init(p, pkt.Flow)
 		}
 		r.receive(pkt)
 	case netem.Credit, netem.Ack, netem.Resend:
@@ -179,8 +177,9 @@ type sender struct {
 	reqTm    sim.Timer
 }
 
-func newSender(p *Protocol, f *transport.Flow) *sender {
-	s := &sender{p: p}
+// init wires a zeroed sender slot (from the packed sender table) for a flow.
+func (s *sender) init(p *Protocol, f *transport.Flow) {
+	s.p = p
 	s.Init(p.env, f, p.opts.Aeolus, p.env.Net.BDPBytes())
 	s.reqTm.Init(p.env.Eng, s.reqExpire)
 	if p.opts.RTOOnly {
@@ -188,7 +187,6 @@ func newSender(p *Protocol, f *transport.Flow) *sender {
 		// losses surface only through receiver RTO resend requests.
 		s.DisableProbe()
 	}
-	return s
 }
 
 func (s *sender) start() {
@@ -269,16 +267,15 @@ type receiver struct {
 	feedback  sim.Timer
 }
 
-func newReceiver(p *Protocol, flowID uint64) *receiver {
-	r := &receiver{
-		p: p, flowID: flowID,
-		rate: p.opts.InitRate, w: p.opts.Aggressiveness,
-	}
+// init wires a zeroed receiver slot (from the packed receiver table) for a
+// flow.
+func (r *receiver) init(p *Protocol, flowID uint64) {
+	r.p, r.flowID = p, flowID
+	r.rate, r.w = p.opts.InitRate, p.opts.Aggressiveness
 	r.rx.Env = p.env
 	r.creditTm.Init(p.env.Eng, r.creditTick)
 	r.feedback.Init(p.env.Eng, r.feedbackTick)
 	r.rx.RTO.Init(p.env.Eng, p.opts.RTO, r.rtoExpire)
-	return r
 }
 
 func (r *receiver) host() *netem.Host { return r.p.env.Net.Host(r.rx.Flow.Dst) }
@@ -475,5 +472,5 @@ func (p *Protocol) AuditInvariants() []error {
 // descriptors, sender machines and per-flow credit-shaping receivers.
 func (p *Protocol) Footprint() transport.Footprint {
 	flows, senders := p.tbl.Len()
-	return transport.Footprint{Flows: flows, Senders: senders, Receivers: len(p.receivers)}
+	return transport.Footprint{Flows: flows, Senders: senders, Receivers: p.receivers.Len()}
 }

@@ -137,7 +137,7 @@ func New(env *transport.Env, opts Options) *Protocol {
 		tbl:      rdbase.NewTables[sender](),
 	}
 	p.rxHosts = rdbase.NewHostMap(func(host netem.NodeID) *rxHost {
-		return &rxHost{p: p, host: host, msgs: make(map[uint64]*rxMsg)}
+		return &rxHost{p: p, host: host}
 	})
 	if p.rttBytes <= 0 {
 		p.rttBytes = env.Net.BDPBytes()
@@ -175,8 +175,8 @@ func (p *Protocol) Name() string {
 // Start implements transport.Protocol.
 func (p *Protocol) Start(f *transport.Flow) {
 	p.tbl.AddFlow(f)
-	s := newSender(p, f)
-	p.tbl.AddSender(f.ID, s)
+	s := p.tbl.AddSender(f.ID)
+	s.init(p, f)
 	s.start()
 }
 
@@ -219,8 +219,9 @@ type sender struct {
 	grantBased  bool  // maxGrant baselined to the end of the burst
 }
 
-func newSender(p *Protocol, f *transport.Flow) *sender {
-	s := &sender{p: p, unschedPrio: PrioFor(p.cutoffs, f.Size)}
+// init wires a zeroed sender slot (from the packed sender table) for a flow.
+func (s *sender) init(p *Protocol, f *transport.Flow) {
+	s.p, s.unschedPrio = p, PrioFor(p.cutoffs, f.Size)
 	// The pre-credit burst is Homa's own unscheduled first window, so it is
 	// active in both modes; the probe/ACK machinery only with Aeolus.
 	opts := p.opts.Aeolus
@@ -245,7 +246,6 @@ func newSender(p *Protocol, f *transport.Flow) *sender {
 		// presumed delivered and losses surface only via the receiver RTO.
 		s.DisableProbe()
 	}
-	return s
 }
 
 func (s *sender) start() { s.Start() }
@@ -337,26 +337,29 @@ func (m *rxMsg) wantGrant(rttBytes int64) int64 {
 }
 
 // rxHost is the per-receiving-host message scheduler: it tracks all incoming
-// messages and runs the SRPT grant policy with overcommitment.
+// messages and runs the SRPT grant policy with overcommitment. Messages live
+// packed in a FlowTable slab; the scheduler walks them by dense slot.
 type rxHost struct {
 	p    *Protocol
 	host netem.NodeID
-	msgs map[uint64]*rxMsg
+	msgs rdbase.FlowTable[rxMsg]
+
+	sched []*rxMsg // scratch for the grant scheduler's active set
 }
 
 func (r *rxHost) receive(pkt *netem.Packet) {
-	m := r.msgs[pkt.Flow]
+	m := r.msgs.Get(pkt.Flow)
 	if m == nil {
 		f := r.p.tbl.Flow(pkt.Flow)
 		if f == nil {
 			return
 		}
-		m = &rxMsg{host: r}
+		m, _ = r.msgs.Put(pkt.Flow)
+		m.host = r
 		m.rx.Env = r.p.env
 		m.rx.Flow = f
 		m.rx.Tracker = transport.NewRxTracker(f.Size, r.p.env.MSS)
 		m.rx.RTO.Init(r.p.env.Eng, r.p.opts.RTO, m.rtoExpire)
-		r.msgs[pkt.Flow] = m
 		m.rx.RTO.Arm()
 	}
 	if m.rx.Done {
@@ -409,8 +412,9 @@ func (r *rxHost) receive(pkt *netem.Packet) {
 // remaining bytes hold grants; each is granted up to received + RTTbytes;
 // the k-th ranked granted message transmits at the k-th scheduled priority.
 func (r *rxHost) schedule() {
-	var active []*rxMsg
-	for _, m := range r.msgs {
+	active := r.sched[:0]
+	for i, n := 0, r.msgs.Len(); i < n; i++ {
+		m := r.msgs.At(i)
 		// Messages longer than the unscheduled window need grants; shorter
 		// ones join the granted set only once a probe reveals holes that
 		// must be retransmitted through scheduled packets.
@@ -418,6 +422,7 @@ func (r *rxHost) schedule() {
 			active = append(active, m)
 		}
 	}
+	r.sched = active
 	if len(active) == 0 {
 		return
 	}
@@ -480,6 +485,6 @@ func (p *Protocol) AuditInvariants() []error {
 func (p *Protocol) Footprint() transport.Footprint {
 	flows, senders := p.tbl.Len()
 	fp := transport.Footprint{Flows: flows, Senders: senders}
-	p.rxHosts.Each(func(_ netem.NodeID, r *rxHost) { fp.Receivers += len(r.msgs) })
+	p.rxHosts.Each(func(_ netem.NodeID, r *rxHost) { fp.Receivers += r.msgs.Len() })
 	return fp
 }

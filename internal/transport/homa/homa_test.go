@@ -306,15 +306,15 @@ func TestLateDuplicateDoesNotResurrectMessage(t *testing.T) {
 	env.Eng.RunUntil(env.Eng.Now().Add(10 * sim.Millisecond))
 	// Replay a duplicate of the first segment directly into the receiver.
 	rx := p.rxHosts.Get(5)
-	before := len(rx.msgs)
+	before := rx.msgs.Len()
 	rx.receive(&netem.Packet{
 		Type: netem.Data, Flow: 1, Src: 0, Dst: 5,
 		Seq: 0, PayloadLen: 1460, WireSize: netem.WireSizeFor(1460),
 	})
-	if len(rx.msgs) != before {
-		t.Fatalf("duplicate resurrected message state: %d -> %d entries", before, len(rx.msgs))
+	if rx.msgs.Len() != before {
+		t.Fatalf("duplicate resurrected message state: %d -> %d entries", before, rx.msgs.Len())
 	}
-	m := rx.msgs[1]
+	m := rx.msgs.Get(1)
 	if m == nil || !m.rx.Done {
 		t.Fatal("tombstone missing or not done")
 	}

@@ -112,7 +112,7 @@ func New(env *transport.Env, opts Options) *Protocol {
 		tbl: rdbase.NewTables[sender](),
 	}
 	p.rxHosts = rdbase.NewHostMap(func(host netem.NodeID) *rxHost {
-		r := &rxHost{p: p, host: host, flows: make(map[uint64]*rxFlow)}
+		r := &rxHost{p: p, host: host}
 		r.pullTm.Init(p.env.Eng, r.pacePull)
 		return r
 	})
@@ -137,8 +137,8 @@ func (p *Protocol) Name() string {
 // Start implements transport.Protocol.
 func (p *Protocol) Start(f *transport.Flow) {
 	p.tbl.AddFlow(f)
-	s := newSender(p, f)
-	p.tbl.AddSender(f.ID, s)
+	s := p.tbl.AddSender(f.ID)
+	s.init(p, f)
 	s.start()
 }
 
@@ -177,8 +177,9 @@ type sender struct {
 	rto rdbase.RTO
 }
 
-func newSender(p *Protocol, f *transport.Flow) *sender {
-	s := &sender{p: p}
+// init wires a zeroed sender slot (from the packed sender table) for a flow.
+func (s *sender) init(p *Protocol, f *transport.Flow) {
+	s.p = p
 	s.rto.Init(p.env.Eng, p.opts.RTO, s.rtoExpire)
 	opts := p.opts.Aeolus
 	opts.Enabled = true // the line-rate first window is NDP's own behaviour
@@ -195,7 +196,6 @@ func newSender(p *Protocol, f *transport.Flow) *sender {
 		// is needed and blind class-3 retransmissions are never useful.
 		s.DisableProbe()
 	}
-	return s
 }
 
 func (s *sender) start() {
@@ -260,7 +260,7 @@ type rxFlow struct {
 type rxHost struct {
 	p     *Protocol
 	host  netem.NodeID
-	flows map[uint64]*rxFlow
+	flows rdbase.FlowTable[rxFlow]
 
 	pullQ   []uint64 // flow IDs awaiting a pull slot
 	pacing  bool
@@ -269,13 +269,13 @@ type rxHost struct {
 }
 
 func (r *rxHost) receive(pkt *netem.Packet) {
-	fl := r.flows[pkt.Flow]
+	fl := r.flows.Get(pkt.Flow)
 	if fl == nil {
 		f := r.p.tbl.Flow(pkt.Flow)
 		if f == nil {
 			return
 		}
-		fl = &rxFlow{}
+		fl, _ = r.flows.Put(pkt.Flow)
 		fl.rx.Env = r.p.env
 		fl.rx.Flow = f
 		fl.rx.Tracker = transport.NewRxTracker(f.Size, r.p.env.MSS)
@@ -289,7 +289,6 @@ func (r *rxHost) receive(pkt *netem.Packet) {
 		if n := fl.rx.Tracker.Seg.NumSegs() - windowSegs; n > 0 {
 			fl.pullDebt = n
 		}
-		r.flows[pkt.Flow] = fl
 	}
 	if fl.rx.Done {
 		return
@@ -354,7 +353,7 @@ func (r *rxHost) pacePull() {
 	}
 	flow := r.pullQ[0]
 	r.pullQ = r.pullQ[1:]
-	if fl := r.flows[flow]; fl != nil && !fl.rx.Done {
+	if fl := r.flows.Get(flow); fl != nil && !fl.rx.Done {
 		r.pullSeq++
 		fl.rx.SendCtrl(netem.Pull, r.pullSeq, 0)
 	}
@@ -375,6 +374,6 @@ func (p *Protocol) AuditInvariants() []error {
 func (p *Protocol) Footprint() transport.Footprint {
 	flows, senders := p.tbl.Len()
 	fp := transport.Footprint{Flows: flows, Senders: senders}
-	p.rxHosts.Each(func(_ netem.NodeID, r *rxHost) { fp.Receivers += len(r.flows) })
+	p.rxHosts.Each(func(_ netem.NodeID, r *rxHost) { fp.Receivers += r.flows.Len() })
 	return fp
 }

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"github.com/aeolus-transport/aeolus/internal/core"
+	"github.com/aeolus-transport/aeolus/internal/flatmap"
 	"github.com/aeolus-transport/aeolus/internal/netem"
 	"github.com/aeolus-transport/aeolus/internal/transport"
 )
@@ -154,18 +155,80 @@ func Ctrl(env *transport.Env, f *transport.Flow, typ netem.PacketType,
 	env.Net.Host(src).Send(p)
 }
 
+// flowChunkBits sizes FlowTable's value slab chunks: 256 values per chunk
+// keeps growth allocation-cheap while packing per-flow machines that are
+// touched together (sequential flow IDs) into contiguous memory.
+const (
+	flowChunkBits = 8
+	flowChunkSize = 1 << flowChunkBits
+	flowChunkMask = flowChunkSize - 1
+)
+
+// FlowTable is an open-addressed table of packed per-flow state structs
+// keyed by flow ID. Values live in non-moving chunked slabs in insertion
+// order — the table hands out stable *T pointers, but the structs themselves
+// sit shoulder to shoulder instead of one heap object per flow, and lookups
+// go through a flat open-addressed index instead of a Go map. Flows are
+// never deleted mid-run (completed state is kept for audits and footprint
+// accounting), so the table does not support deletion.
+type FlowTable[T any] struct {
+	idx    flatmap.Index
+	chunks []*[flowChunkSize]T
+}
+
+// at returns the value at a dense slot.
+func (t *FlowTable[T]) at(slot uint32) *T {
+	return &t.chunks[slot>>flowChunkBits][slot&flowChunkMask]
+}
+
+// Get returns the state of a flow, or nil when the flow is unknown.
+func (t *FlowTable[T]) Get(id uint64) *T {
+	slot, ok := t.idx.Get(id)
+	if !ok {
+		return nil
+	}
+	return t.at(slot)
+}
+
+// Put returns the state of a flow, materializing a zeroed slot on first
+// use; added reports whether this call created it (so the caller knows to
+// initialize). The returned pointer is stable for the table's lifetime.
+func (t *FlowTable[T]) Put(id uint64) (v *T, added bool) {
+	slot, added := t.idx.Put(id)
+	if added && int(slot>>flowChunkBits) == len(t.chunks) {
+		t.chunks = append(t.chunks, new([flowChunkSize]T))
+	}
+	return t.at(slot), added
+}
+
+// Len returns the number of resident flows.
+func (t *FlowTable[T]) Len() int { return t.idx.Len() }
+
+// At returns the i-th entry in insertion order, 0 ≤ i < Len(). Paired with
+// Len it gives hot loops closure-free iteration (Homa's grant scheduler
+// walks every message on every arrival).
+func (t *FlowTable[T]) At(i int) *T { return t.at(uint32(i)) }
+
+// Keys returns the flow IDs in insertion order (read-only view).
+func (t *FlowTable[T]) Keys() []uint64 { return t.idx.Keys() }
+
+// Each visits every entry in insertion order — deterministic, since flows
+// are inserted in simulated-event order.
+func (t *FlowTable[T]) Each(f func(id uint64, v *T)) {
+	for slot, id := range t.idx.Keys() {
+		f(id, t.at(uint32(slot)))
+	}
+}
+
 // AuditPreCredits checks every per-flow PreCredit machine for internal
 // consistency, in flow-ID order, prefixing violations with the transport
 // name. It is the shared body of the transports' AuditInvariants.
-func AuditPreCredits[S any](name string, senders map[uint64]*S, pc func(*S) *core.PreCredit) []error {
-	ids := make([]uint64, 0, len(senders))
-	for id := range senders {
-		ids = append(ids, id)
-	}
+func AuditPreCredits[S any](name string, senders *FlowTable[S], pc func(*S) *core.PreCredit) []error {
+	ids := append([]uint64(nil), senders.Keys()...)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var errs []error
 	for _, id := range ids {
-		if err := pc(senders[id]).Audit(); err != nil {
+		if err := pc(senders.Get(id)).Audit(); err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", name, err))
 		}
 	}
@@ -175,69 +238,87 @@ func AuditPreCredits[S any](name string, senders map[uint64]*S, pc func(*S) *cor
 // Tables are the per-host protocol state tables keyed by flow ID: the flow
 // descriptors and the per-flow sender machines. One Tables instance serves
 // a whole Protocol (all hosts), as is conventional in packet-level
-// simulators — logically distributed state in one object.
+// simulators — logically distributed state in one object. Sender machines
+// are stored packed in the table's slab, not as one allocation per flow.
 type Tables[S any] struct {
-	flows   map[uint64]*transport.Flow
-	senders map[uint64]*S
+	flows   FlowTable[*transport.Flow]
+	senders FlowTable[S]
 }
 
 // NewTables returns empty state tables.
-func NewTables[S any]() Tables[S] {
-	return Tables[S]{
-		flows:   make(map[uint64]*transport.Flow),
-		senders: make(map[uint64]*S),
-	}
-}
+func NewTables[S any]() Tables[S] { return Tables[S]{} }
 
 // AddFlow registers a flow descriptor.
-func (t *Tables[S]) AddFlow(f *transport.Flow) { t.flows[f.ID] = f }
+func (t *Tables[S]) AddFlow(f *transport.Flow) {
+	p, _ := t.flows.Put(f.ID)
+	*p = f
+}
 
 // Flow returns the descriptor of a flow, or nil.
-func (t *Tables[S]) Flow(id uint64) *transport.Flow { return t.flows[id] }
+func (t *Tables[S]) Flow(id uint64) *transport.Flow {
+	if p := t.flows.Get(id); p != nil {
+		return *p
+	}
+	return nil
+}
 
-// AddSender registers the sender machine of a flow.
-func (t *Tables[S]) AddSender(id uint64, s *S) { t.senders[id] = s }
+// AddSender materializes the sender machine of a flow in the packed sender
+// slab and returns it, zeroed, for in-place initialization. The pointer is
+// stable for the protocol's lifetime.
+func (t *Tables[S]) AddSender(id uint64) *S {
+	s, _ := t.senders.Put(id)
+	return s
+}
 
 // Sender returns the sender machine of a flow, or nil.
-func (t *Tables[S]) Sender(id uint64) *S { return t.senders[id] }
+func (t *Tables[S]) Sender(id uint64) *S { return t.senders.Get(id) }
 
 // Senders exposes the sender table for audits.
-func (t *Tables[S]) Senders() map[uint64]*S { return t.senders }
+func (t *Tables[S]) Senders() *FlowTable[S] { return &t.senders }
 
 // Len returns the resident flow-descriptor and sender-machine counts — the
 // per-flow state the scale sweep tracks, since neither table is pruned on
 // flow completion.
-func (t *Tables[S]) Len() (flows, senders int) { return len(t.flows), len(t.senders) }
+func (t *Tables[S]) Len() (flows, senders int) { return t.flows.Len(), t.senders.Len() }
 
 // HostMap lazily materializes per-receiving-host state (Homa's message
-// scheduler, NDP's pull pacer).
+// scheduler, NDP's pull pacer). Host IDs are dense and start at zero
+// (netem.NodeID's contract), so the map is a flat slice indexed by host ID.
 type HostMap[R any] struct {
-	m  map[netem.NodeID]*R
-	mk func(host netem.NodeID) *R
+	hosts []*R
+	n     int
+	mk    func(host netem.NodeID) *R
 }
 
 // NewHostMap returns a host map materializing entries with mk.
 func NewHostMap[R any](mk func(host netem.NodeID) *R) HostMap[R] {
-	return HostMap[R]{m: make(map[netem.NodeID]*R), mk: mk}
+	return HostMap[R]{mk: mk}
 }
 
 // Get returns the state of a host, materializing it on first use.
 func (h *HostMap[R]) Get(host netem.NodeID) *R {
-	r := h.m[host]
+	if int(host) >= len(h.hosts) {
+		grown := make([]*R, int(host)+1)
+		copy(grown, h.hosts)
+		h.hosts = grown
+	}
+	r := h.hosts[host]
 	if r == nil {
 		r = h.mk(host)
-		h.m[host] = r
+		h.hosts[host] = r
+		h.n++
 	}
 	return r
 }
 
 // Len returns the number of materialized host entries.
-func (h *HostMap[R]) Len() int { return len(h.m) }
+func (h *HostMap[R]) Len() int { return h.n }
 
-// Each visits every materialized host state; the order is unspecified, so
-// callers must only aggregate order-independent facts (counts, sums).
+// Each visits every materialized host state in host-ID order.
 func (h *HostMap[R]) Each(f func(host netem.NodeID, r *R)) {
-	for id, r := range h.m {
-		f(id, r)
+	for id, r := range h.hosts {
+		if r != nil {
+			f(netem.NodeID(id), r)
+		}
 	}
 }

@@ -146,10 +146,11 @@ func (s Segmenter) Offset(i int) int64 { return int64(i) * int64(s.MSS) }
 func (s Segmenter) SegOf(off int64) int { return int(off / int64(s.MSS)) }
 
 // RxTracker reassembles a flow at the receiver: it deduplicates segments and
-// reports completion.
+// reports completion. Receipt flags are one bit per segment, so the tracker
+// costs ~n/8 bytes for an n-segment flow.
 type RxTracker struct {
 	Seg       Segmenter
-	got       []bool
+	got       Bitset
 	remaining int
 	bytes     int64
 }
@@ -158,20 +159,20 @@ type RxTracker struct {
 func NewRxTracker(size int64, mss int) *RxTracker {
 	seg := Segmenter{Size: size, MSS: mss}
 	n := seg.NumSegs()
-	return &RxTracker{Seg: seg, got: make([]bool, n), remaining: n}
+	return &RxTracker{Seg: seg, got: NewBitset(n), remaining: n}
 }
 
 // Accept marks the segment at the given byte offset received. It returns the
 // number of new unique payload bytes (0 for duplicates).
 func (t *RxTracker) Accept(off int64) int {
 	i := t.Seg.SegOf(off)
-	if i < 0 || i >= len(t.got) {
+	if i < 0 || i >= t.got.Len() {
 		panic(fmt.Sprintf("transport: offset %d outside flow of %d bytes", off, t.Seg.Size))
 	}
-	if t.got[i] {
+	if t.got.Get(i) {
 		return 0
 	}
-	t.got[i] = true
+	t.got.Set(i)
 	t.remaining--
 	n := t.Seg.SegLen(i)
 	t.bytes += int64(n)
@@ -179,7 +180,7 @@ func (t *RxTracker) Accept(off int64) int {
 }
 
 // Has reports whether segment i was received.
-func (t *RxTracker) Has(i int) bool { return t.got[i] }
+func (t *RxTracker) Has(i int) bool { return t.got.Get(i) }
 
 // Complete reports whether every segment arrived.
 func (t *RxTracker) Complete() bool { return t.remaining == 0 }
@@ -192,13 +193,11 @@ func (t *RxTracker) Bytes() int64 { return t.bytes }
 // hot path pass a reusable scratch buffer (sliced to length zero) so loss
 // scans allocate nothing in steady state.
 func (t *RxTracker) Missing(n int, out []int) []int {
-	if n > len(t.got) {
-		n = len(t.got)
+	if n > t.got.Len() {
+		n = t.got.Len()
 	}
-	for i := 0; i < n; i++ {
-		if !t.got[i] {
-			out = append(out, i)
-		}
+	for i := t.got.NextZero(0); i < n; i = t.got.NextZero(i + 1) {
+		out = append(out, i)
 	}
 	return out
 }
